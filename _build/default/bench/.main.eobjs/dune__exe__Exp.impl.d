@@ -1,0 +1,1 @@
+bench/exp.ml: Array Hashtbl List Namer_baselines Namer_classifier Namer_core Namer_corpus Namer_mining Namer_ml Namer_namepath Namer_pattern Namer_userstudy Namer_util Option Printf String Unix

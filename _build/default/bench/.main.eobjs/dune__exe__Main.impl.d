@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp List Namer_core Namer_corpus Perf Printf Sys Unix

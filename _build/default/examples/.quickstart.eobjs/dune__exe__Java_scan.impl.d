@@ -1,0 +1,1 @@
+examples/java_scan.ml: Array Hashtbl List Namer_core Namer_corpus Namer_pattern Namer_util Printf String

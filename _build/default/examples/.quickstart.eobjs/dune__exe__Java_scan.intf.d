@@ -1,0 +1,1 @@
+examples/java_scan.mli:

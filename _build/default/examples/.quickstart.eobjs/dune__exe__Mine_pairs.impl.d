@@ -1,0 +1,1 @@
+examples/mine_pairs.ml: List Namer_core Namer_corpus Namer_mining Namer_pylang Namer_tree Printf

@@ -1,0 +1,1 @@
+examples/python_scan.ml: Array List Namer_classifier Namer_core Namer_corpus Namer_pattern Namer_util Printf String

@@ -1,0 +1,1 @@
+examples/python_scan.mli:

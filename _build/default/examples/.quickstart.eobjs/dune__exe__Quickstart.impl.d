@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Namer_core Namer_corpus Namer_mining Namer_namepath Namer_pattern Namer_tree Namer_util Printf

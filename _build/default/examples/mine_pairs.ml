@@ -1,0 +1,56 @@
+(* Mine confusing word pairs from commit histories (§3.2 of the paper).
+
+   Run with:  dune exec examples/mine_pairs.exe
+
+   For every commit, the before/after ASTs are matched with the tree-diff
+   algorithm; matched identifiers whose subtoken sequences differ in exactly
+   one position contribute a ⟨mistaken, correct⟩ pair.  The paper mined 950K
+   pairs for Java and 150K for Python this way; this example mines from the
+   synthetic corpus's histories and also demonstrates the diff on a single
+   hand-written commit. *)
+
+module Corpus = Namer_corpus.Corpus
+module Confusing_pairs = Namer_mining.Confusing_pairs
+
+let single_commit_demo () =
+  print_endline "Single-commit demo:";
+  let before =
+    "class TestApi(TestCase):\n    def test_value(self):\n        self.assertTrue(vec.size, 4)\n"
+  in
+  let after =
+    "class TestApi(TestCase):\n    def test_value(self):\n        self.assertEqual(vec.size, 4)\n"
+  in
+  let tree src =
+    Namer_pylang.Py_lower.module_tree (Namer_pylang.Py_parser.parse_module src)
+  in
+  let pairs = Namer_tree.Treediff.confusing_subtoken_pairs (tree before) (tree after) in
+  List.iter (fun (w1, w2) -> Printf.printf "  mined pair: ⟨%s, %s⟩\n" w1 w2) pairs
+
+let () =
+  single_commit_demo ();
+  List.iter
+    (fun lang ->
+      Printf.printf "\nMining %s commit histories…\n%!" (Corpus.lang_name lang);
+      let corpus =
+        Corpus.generate
+          { (Corpus.default_config lang) with Corpus.n_repos = 5; n_commit_files = 250 }
+      in
+      let pairs = Confusing_pairs.create () in
+      List.iter
+        (fun (before_src, after_src) ->
+          match
+            ( Namer_core.Frontend.whole_tree lang before_src,
+              Namer_core.Frontend.whole_tree lang after_src )
+          with
+          | Some b, Some a -> Confusing_pairs.add_commit pairs ~before:b ~after:a
+          | _ -> ())
+        corpus.Corpus.commits;
+      let pruned = Confusing_pairs.prune pairs ~min_count:3 in
+      Printf.printf "  %d commits → %d raw pairs, %d after pruning; most frequent:\n"
+        (List.length corpus.Corpus.commits)
+        (Confusing_pairs.total_pairs pairs)
+        (Confusing_pairs.total_pairs pruned);
+      List.iter
+        (fun ((w1, w2), count) -> Printf.printf "    ⟨%-8s → %-8s⟩  ×%d\n" w1 w2 count)
+        (Confusing_pairs.top 10 pruned))
+    [ Corpus.Python; Corpus.Java ]

@@ -1,0 +1,63 @@
+(* Scan a Python corpus with Namer and print a report listing in the style
+   of Table 3 of the paper.
+
+   Run with:  dune exec examples/python_scan.exe *)
+
+module Namer = Namer_core.Namer
+module Corpus = Namer_corpus.Corpus
+module Pattern = Namer_pattern.Pattern
+
+let () =
+  print_endline "Generating a synthetic Python Big Code corpus…";
+  let corpus =
+    Corpus.generate
+      {
+        (Corpus.default_config Corpus.Python) with
+        Corpus.n_repos = 45;
+        files_per_repo = (8, 16);
+        issue_rate = 0.03;
+        benign_rate = 0.045;
+      }
+  in
+  let n_repos =
+    List.sort_uniq compare
+      (List.map (fun (f : Corpus.file) -> f.Corpus.repo) corpus.Corpus.files)
+    |> List.length
+  in
+  Printf.printf "  %d files across %d repositories\n%!"
+    (List.length corpus.Corpus.files)
+    n_repos;
+  print_endline "Building Namer (mining + classifier training)…";
+  let t = Namer.build Namer.default_config corpus in
+  Printf.printf "  %d patterns mined, %d potential violations, classifier %s\n%!"
+    (Pattern.Store.size t.Namer.store)
+    (Array.length t.Namer.violations)
+    (match t.Namer.classifier with Some _ -> "trained" | None -> "disabled");
+
+  print_endline "\nSample of Namer reports (classifier-accepted violations):";
+  print_endline (String.make 78 '-');
+  let sampled = Namer.sample_violations t ~n:400 ~seed:2024 in
+  let reports = List.filter (Namer.classify t) sampled in
+  List.iteri
+    (fun i v ->
+      if i < 12 then begin
+        let verdict =
+          match Namer.grade t v with
+          | Corpus.Oracle.True_issue c -> Namer_corpus.Issue.category_name c
+          | Corpus.Oracle.Known_benign | Corpus.Oracle.False_positive ->
+              "false positive"
+        in
+        Printf.printf "%-28s L%-4d %s\n"
+          v.Namer.v_stmt.Namer.sctx.Namer_classifier.Features.file
+          v.Namer.v_stmt.Namer.line (Namer.source_line t v);
+        Printf.printf "%-28s       suggested fix: %s   [oracle: %s]\n"
+          "" (Namer.describe_fix v) verdict
+      end)
+    reports;
+  print_endline (String.make 78 '-');
+  let outcome = Namer.grade_reports t reports in
+  Printf.printf
+    "totals over %d reports: %d semantic defects, %d code-quality issues, %d false positives — precision %s\n"
+    outcome.Namer.n_reports outcome.Namer.semantic outcome.Namer.quality
+    outcome.Namer.false_pos
+    (Namer_util.Tablefmt.pct (Namer.precision outcome))

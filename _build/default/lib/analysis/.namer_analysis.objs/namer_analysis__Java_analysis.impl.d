@@ -1,0 +1,1 @@
+lib/analysis/java_analysis.ml: Flow Hashtbl Java_ast Java_lower List Namer_javalang Namer_namepath Option Printf Solver

@@ -1,0 +1,1 @@
+lib/analysis/java_analysis.mli: Namer_javalang Namer_namepath

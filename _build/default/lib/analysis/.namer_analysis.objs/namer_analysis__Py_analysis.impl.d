@@ -1,0 +1,1 @@
+lib/analysis/py_analysis.ml: Hashtbl List Namer_namepath Namer_pylang Option Printf Py_ast Queue Solver String

@@ -1,0 +1,1 @@
+lib/analysis/py_analysis.mli: Namer_namepath Namer_pylang

@@ -1,0 +1,1 @@
+lib/analysis/solver.ml: Array List Namer_datalog Namer_util

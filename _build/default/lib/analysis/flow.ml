@@ -1,0 +1,6 @@
+(** The value lattice shared by the language analyses' expression walks:
+    a value either flows from another abstract location ([Key]), has a known
+    immediate origin ([Origin] — allocation class, literal category,
+    returning function, or {!Solver.top}), or is unknown ([Nothing]). *)
+
+type value = Key of string | Origin of string | Nothing

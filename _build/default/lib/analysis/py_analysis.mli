@@ -1,0 +1,22 @@
+(** Per-file interprocedural points-to and dataflow analysis for Python
+    (§4.1): Andersen-style with k-call-site sensitivity (k = 5 by default,
+    demoted to k = 0 under context explosion — more than ~8 contexts per
+    function on average).  Every function is a possible entry point;
+    everything outside the file is a fresh unknown (deliberately unsound,
+    as in the paper). *)
+
+type t
+
+(** Analyze one parsed module. *)
+val analyze : ?k:int -> Namer_pylang.Py_ast.module_ -> t
+
+(** Origin resolvers for statements inside class [cls] / function [fn] —
+    the input to {!Namer_namepath.Astplus.transform}. *)
+val origins_for :
+  t -> cls:string option -> fn:string option -> Namer_namepath.Origins.t
+
+(** Effective context depth after the explosion guard. *)
+val effective_k : t -> int
+
+(** Number of (function, context) instances enumerated. *)
+val n_instances : t -> int

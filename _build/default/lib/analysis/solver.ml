@@ -1,0 +1,84 @@
+(** Points-to solving harness over the Datalog engine.
+
+    Both language analyses reduce to the same two-relation program over
+    string-keyed abstract locations:
+
+    {v
+      points_to(X, O) :- alloc(X, O).
+      points_to(D, O) :- assign(D, S), points_to(S, O).
+    v}
+
+    [alloc] records allocation sites / literal origins / declared types;
+    [assign] records copies (plain assignments, parameter bindings at call
+    sites, returned values).  After [solve], a location's origin is
+    *precise* when its points-to set is a singleton other than ⊤ — only
+    precise origins decorate the AST+ (§4.1: "when the origin sites are
+    precisely computed, this information is added to the AST"). *)
+
+module Datalog = Namer_datalog.Datalog
+module Interner = Namer_util.Interner
+
+(** The ⊤ origin: a value modified after creation (e.g. the target of an
+    augmented assignment), which poisons precision. *)
+let top = "⊤"
+
+type t = {
+  dl : Datalog.t;
+  syms : Interner.t;
+  pred_pt : int;
+  pred_alloc : int;
+  pred_assign : int;
+  mutable solved : bool;
+}
+
+let create () =
+  let syms = Interner.create () in
+  let dl = Datalog.create () in
+  let pred_pt = Interner.intern syms "$points_to" in
+  let pred_alloc = Interner.intern syms "$alloc" in
+  let pred_assign = Interner.intern syms "$assign" in
+  let open Datalog in
+  (* points_to(X, O) :- alloc(X, O). *)
+  add_rule dl (rule (atom pred_pt [ v 0; v 1 ]) [ atom pred_alloc [ v 0; v 1 ] ]);
+  (* points_to(D, O) :- assign(D, S), points_to(S, O). *)
+  add_rule dl
+    (rule
+       (atom pred_pt [ v 0; v 1 ])
+       [ atom pred_assign [ v 0; v 2 ]; atom pred_pt [ v 2; v 1 ] ]);
+  { dl; syms; pred_pt; pred_alloc; pred_assign; solved = false }
+
+let sym t s = Interner.intern t.syms s
+
+(** [alloc t ~key ~origin] : location [key] may hold a value of [origin]. *)
+let alloc t ~key ~origin =
+  Datalog.add_fact t.dl ~pred:t.pred_alloc [| sym t key; sym t origin |]
+
+(** [assign t ~dst ~src] : values flow from location [src] to [dst]. *)
+let assign t ~dst ~src =
+  Datalog.add_fact t.dl ~pred:t.pred_assign [| sym t dst; sym t src |]
+
+let solve t =
+  if not t.solved then begin
+    Datalog.solve t.dl;
+    t.solved <- true
+  end
+
+(** All origins that may flow to [key]. *)
+let origins_of t ~key =
+  solve t;
+  match Interner.lookup t.syms key with
+  | None -> []
+  | Some id ->
+      Datalog.query_first t.dl ~pred:t.pred_pt ~key:id
+      |> List.map (fun tup -> Interner.name t.syms tup.(1))
+
+(** The precise origin of [key], if its points-to set is a singleton ≠ ⊤. *)
+let singleton_origin t ~key =
+  match origins_of t ~key with
+  | [ o ] when o <> top -> Some o
+  | _ -> None
+
+(** Number of points-to tuples derived (for diagnostics / benches). *)
+let n_tuples t =
+  solve t;
+  Datalog.count t.dl ~pred:t.pred_pt

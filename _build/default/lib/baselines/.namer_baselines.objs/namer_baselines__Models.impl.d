@@ -1,0 +1,1 @@
+lib/baselines/models.ml: Array Hashtbl List Namer_nn Namer_tree Namer_util Sample String

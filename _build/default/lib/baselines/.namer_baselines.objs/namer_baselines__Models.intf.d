@@ -1,0 +1,1 @@
+lib/baselines/models.mli: Namer_util Sample

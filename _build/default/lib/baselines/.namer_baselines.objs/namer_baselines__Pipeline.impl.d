@@ -1,0 +1,1 @@
+lib/baselines/pipeline.ml: Array List Models Namer_corpus Namer_tree Namer_util Sample String

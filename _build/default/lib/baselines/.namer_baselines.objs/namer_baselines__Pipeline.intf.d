@@ -1,0 +1,1 @@
+lib/baselines/pipeline.mli: Models Namer_corpus Namer_util Sample

@@ -1,0 +1,1 @@
+lib/baselines/sample.ml: Array Hashtbl List Namer_core Namer_corpus Namer_tree Namer_util String

@@ -1,0 +1,1 @@
+lib/baselines/sample.mli: Namer_corpus Namer_tree Namer_util

@@ -1,0 +1,222 @@
+(** The two deep-learning baselines of §5.6, re-implemented at CPU scale:
+
+    - {!Ggnn}: gated graph neural network (Allamanis et al., ICLR 2018) —
+      typed message passing over the statement's AST graph (child / parent /
+      next-leaf / prev-leaf / same-name edges) with GRU state updates;
+    - {!Great}: relation-biased transformer (Hellendoorn et al., ICLR 2020)
+      — self-attention over the token sequence whose scores carry additive
+      biases for structural relations.
+
+    Both predict the variable belonging in a masked slot from a candidate
+    set, the joint localization-and-repair surrogate described in
+    {!Sample}.  Capacities are scaled to this corpus (dim 32, thousands of
+    samples) — the paper's point is distributional, not capacity-bound: a
+    model that aces synthetic misuse still misfires on real naming issues. *)
+
+module A = Namer_nn.Autograd
+module Params = Namer_nn.Params
+module Layers = Namer_nn.Layers
+module Tree = Namer_tree.Tree
+module Prng = Namer_util.Prng
+
+let vocab_size = 512
+let dim = 32
+let slot_token = "#SLOT#"
+
+(* Stable hashed vocabulary (OCaml's Hashtbl.hash is deterministic). *)
+let token_id (s : string) = Hashtbl.hash s mod vocab_size
+
+type prediction = { cand : int; confidence : float }
+
+(* Masked leaf values of a sample. *)
+let masked_leaves (s : Sample.t) =
+  Array.mapi (fun i v -> if i = s.Sample.slot then slot_token else v) s.Sample.leaves
+
+(* Candidate scoring, shared by both models: score(c) = proj(state)·emb(c). *)
+let candidate_scores tape ~embed ~proj state (s : Sample.t) =
+  let projected = Layers.Dense.forward proj tape state in
+  Array.to_list s.Sample.candidates
+  |> List.map (fun c -> A.dot tape projected (A.row tape embed (token_id c)))
+
+let predict_with ~forward t (s : Sample.t) =
+  let tape = A.tape () in
+  let scores = forward t tape s in
+  let cand = A.argmax_scores scores in
+  let probs = A.softmax_probs scores in
+  { cand; confidence = List.nth probs cand }
+
+let train_batch_with ~forward ~store t (batch : Sample.t list) =
+  let total = ref 0.0 in
+  List.iter
+    (fun s ->
+      let tape = A.tape () in
+      let scores = forward t tape s in
+      let loss = A.softmax_cross_entropy tape scores ~target:s.Sample.target in
+      total := !total +. loss.A.data.(0);
+      A.backward tape loss)
+    batch;
+  Params.adam_step ~lr:2e-3 store;
+  !total /. float_of_int (max 1 (List.length batch))
+
+(* ------------------------------------------------------------------ *)
+(* GGNN                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Ggnn = struct
+  let name = "GGNN"
+
+  let n_edge_types = 5 (* child, parent, next-leaf, prev-leaf, same-name *)
+  let n_steps = 2
+
+  type t = {
+    store : Params.store;
+    embed : Params.mat;
+    edge_w : Params.mat array;  (** one transform per edge type *)
+    gru : Layers.Gru.t;
+    proj : Layers.Dense.t;
+  }
+
+  let create ~prng =
+    let store = Params.create ~prng in
+    {
+      store;
+      embed = Params.mat store ~rows:vocab_size ~cols:dim;
+      edge_w = Array.init n_edge_types (fun _ -> Params.mat store ~rows:dim ~cols:dim);
+      gru = Layers.Gru.create store ~dim;
+      proj = Layers.Dense.create store ~input:dim ~output:dim;
+    }
+
+  (* Build the graph: nodes in pre-order; returns (values, typed edges,
+     slot node index). *)
+  let graph_of (s : Sample.t) =
+    let values = ref [] and edges = ref [] in
+    let leaf_nodes = ref [] in
+    let counter = ref (-1) and leaf_counter = ref (-1) in
+    let rec go parent (t : Tree.t) =
+      incr counter;
+      let me = !counter in
+      values := t.Tree.value :: !values;
+      (match parent with
+      | Some p ->
+          edges := (p, me, 0) :: (me, p, 1) :: !edges (* child / parent *)
+      | None -> ());
+      if Tree.is_leaf t then begin
+        incr leaf_counter;
+        if !leaf_counter = s.Sample.slot then
+          (* the slot leaf is masked *)
+          values := slot_token :: List.tl !values;
+        leaf_nodes := me :: !leaf_nodes
+      end
+      else List.iter (go (Some me)) t.Tree.children
+    in
+    go None s.Sample.tree;
+    let leaves = Array.of_list (List.rev !leaf_nodes) in
+    for i = 0 to Array.length leaves - 2 do
+      edges := (leaves.(i), leaves.(i + 1), 2) :: (leaves.(i + 1), leaves.(i), 3) :: !edges
+    done;
+    let values = Array.of_list (List.rev !values) in
+    (* same-name edges between equal-valued leaves *)
+    for i = 0 to Array.length leaves - 1 do
+      for j = i + 1 to Array.length leaves - 1 do
+        if String.equal values.(leaves.(i)) values.(leaves.(j)) then
+          edges := (leaves.(i), leaves.(j), 4) :: (leaves.(j), leaves.(i), 4) :: !edges
+      done
+    done;
+    let slot_node =
+      leaves.(s.Sample.slot)
+    in
+    (values, !edges, slot_node)
+
+  let forward t tape (s : Sample.t) =
+    let values, edges, slot_node = graph_of s in
+    let n = Array.length values in
+    let states =
+      Array.init n (fun i -> A.row tape t.embed (token_id values.(i)))
+    in
+    for _step = 1 to n_steps do
+      let incoming = Array.make n [] in
+      List.iter
+        (fun (src, dst, ty) ->
+          incoming.(dst) <- A.matvec tape t.edge_w.(ty) states.(src) :: incoming.(dst))
+        edges;
+      let next =
+        Array.init n (fun i ->
+            match incoming.(i) with
+            | [] -> states.(i)
+            | msgs ->
+                let msg = A.sum_vecs tape msgs in
+                Layers.Gru.step t.gru tape ~input:msg ~state:states.(i))
+      in
+      Array.blit next 0 states 0 n
+    done;
+    candidate_scores tape ~embed:t.embed ~proj:t.proj states.(slot_node) s
+
+  let train_batch t batch = train_batch_with ~forward ~store:t.store t batch
+  let predict t s = predict_with ~forward t s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Great                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Great = struct
+  let name = "Great"
+
+  let n_layers = 2
+  let max_pos = 48
+
+  type t = {
+    store : Params.store;
+    embed : Params.mat;
+    pos : Params.mat;
+    blocks : (Layers.Attention.t * Layers.Dense.t) array;
+    proj : Layers.Dense.t;
+  }
+
+  let create ~prng =
+    let store = Params.create ~prng in
+    {
+      store;
+      embed = Params.mat store ~rows:vocab_size ~cols:dim;
+      pos = Params.mat store ~rows:max_pos ~cols:dim;
+      blocks =
+        Array.init n_layers (fun _ ->
+            ( Layers.Attention.create store ~dim,
+              Layers.Dense.create store ~input:dim ~output:dim ));
+      proj = Layers.Dense.create store ~input:dim ~output:dim;
+    }
+
+  let forward t tape (s : Sample.t) =
+    let leaves = masked_leaves s in
+    let n = min (Array.length leaves) max_pos in
+    let tokens = Array.sub leaves 0 n in
+    let slot = min s.Sample.slot (n - 1) in
+    (* relation biases: adjacency and same-token occurrences *)
+    let rel_bias i j =
+      if i = j then 0.0
+      else if abs (i - j) = 1 then 0.5
+      else if String.equal tokens.(i) tokens.(j) then 1.0
+      else 0.0
+    in
+    let states =
+      ref
+        (Array.to_list
+           (Array.mapi
+              (fun i v ->
+                A.add tape (A.row tape t.embed (token_id v)) (A.row tape t.pos i))
+              tokens))
+    in
+    Array.iter
+      (fun (attn, ffn) ->
+        let attended = Layers.Attention.forward attn tape ~rel_bias !states in
+        states :=
+          List.map
+            (fun h -> A.add tape h (A.relu tape (Layers.Dense.forward ffn tape h)))
+            attended)
+      t.blocks;
+    let slot_state = List.nth !states slot in
+    candidate_scores tape ~embed:t.embed ~proj:t.proj slot_state s
+
+  let train_batch t batch = train_batch_with ~forward ~store:t.store t batch
+  let predict t s = predict_with ~forward t s
+end

@@ -1,0 +1,38 @@
+(** The §5.6 baselines at CPU scale: {!Ggnn} (typed message passing with GRU
+    updates over the statement's AST graph) and {!Great} (relation-biased
+    self-attention over the token sequence).  Both score the candidate set
+    for a masked variable slot. *)
+
+val vocab_size : int
+val dim : int
+val slot_token : string
+
+(** Stable hashed vocabulary id. *)
+val token_id : string -> int
+
+type prediction = { cand : int;  (** candidate index *) confidence : float }
+
+module Ggnn : sig
+  type t
+
+  val name : string
+  val n_edge_types : int
+  val n_steps : int
+  val create : prng:Namer_util.Prng.t -> t
+
+  (** Average loss over the batch; accumulates gradients and steps Adam. *)
+  val train_batch : t -> Sample.t list -> float
+
+  val predict : t -> Sample.t -> prediction
+end
+
+module Great : sig
+  type t
+
+  val name : string
+  val n_layers : int
+  val max_pos : int
+  val create : prng:Namer_util.Prng.t -> t
+  val train_batch : t -> Sample.t list -> float
+  val predict : t -> Sample.t -> prediction
+end

@@ -1,0 +1,146 @@
+(** Training and evaluation pipelines for the baselines (§5.6).
+
+    Mirrors the paper's protocol:
+    + train on synthetic data harvested from the corpus (mask-and-predict
+      over clean statements — the supervision synthetic misuse provides);
+    + measure synthetic-test accuracy (classification of perturbed vs clean,
+      and repair accuracy) to confirm the models learned the task;
+    + scan the *unmodified* corpus: every slot where the model prefers a
+      different candidate with enough confidence becomes a misuse report;
+    + grade reports with the oracle; confidence thresholds are tuned so the
+      baselines emit ~5× fewer reports than Namer (as the paper does). *)
+
+module Prng = Namer_util.Prng
+
+type trained = {
+  model_name : string;
+  predict : Sample.t -> Models.prediction;
+}
+
+type synthetic_accuracy = {
+  classification : float;  (** flagged ⇔ actually perturbed *)
+  repair : float;  (** correct candidate chosen on perturbed samples *)
+}
+
+let flag_threshold = 0.5
+
+(** Train a model (selected by [which]) on [samples]; returns the
+    prediction closure. *)
+let train ~(which : [ `Ggnn | `Great ]) ~prng ~(epochs : int)
+    (samples : Sample.t list) : trained =
+  let batched epoch_samples train_batch =
+    let arr = Array.of_list epoch_samples in
+    Prng.shuffle prng arr;
+    let batch = ref [] and losses = ref [] in
+    Array.iter
+      (fun s ->
+        batch := s :: !batch;
+        if List.length !batch = 8 then begin
+          losses := train_batch !batch :: !losses;
+          batch := []
+        end)
+      arr;
+    if !batch <> [] then losses := train_batch !batch :: !losses;
+    Namer_util.Stats.mean !losses
+  in
+  match which with
+  | `Ggnn ->
+      let m = Models.Ggnn.create ~prng in
+      for _ = 1 to epochs do
+        ignore (batched samples (Models.Ggnn.train_batch m))
+      done;
+      { model_name = Models.Ggnn.name; predict = Models.Ggnn.predict m }
+  | `Great ->
+      let m = Models.Great.create ~prng in
+      for _ = 1 to epochs do
+        ignore (batched samples (Models.Great.train_batch m))
+      done;
+      { model_name = Models.Great.name; predict = Models.Great.predict m }
+
+(** Accuracy on a held-out set, half of which gets a planted misuse. *)
+let synthetic_accuracy ~prng (t : trained) (held_out : Sample.t list) :
+    synthetic_accuracy =
+  let cls_ok = ref 0 and cls_n = ref 0 in
+  let rep_ok = ref 0 and rep_n = ref 0 in
+  List.iteri
+    (fun i s ->
+      let s', buggy =
+        if i mod 2 = 0 then (s, false)
+        else
+          match Sample.perturb ~prng s with
+          | Some p -> (p, true)
+          | None -> (s, false)
+      in
+      let p = t.predict s' in
+      (* the model flags a bug when it prefers a candidate different from
+         what is written, confidently *)
+      let flags =
+        (not (String.equal s'.Sample.candidates.(p.Models.cand) (Sample.current s')))
+        && p.Models.confidence > flag_threshold
+      in
+      incr cls_n;
+      if flags = buggy then incr cls_ok;
+      if buggy then begin
+        incr rep_n;
+        if p.Models.cand = s'.Sample.target then incr rep_ok
+      end)
+    held_out;
+  {
+    classification = float_of_int !cls_ok /. float_of_int (max 1 !cls_n);
+    repair = float_of_int !rep_ok /. float_of_int (max 1 !rep_n);
+  }
+
+(** One misuse report on unmodified code. *)
+type report = {
+  file : string;
+  line : int;
+  found : string;  (** the variable written in the code *)
+  suggested : string;  (** the model's preferred candidate *)
+  confidence : float;
+}
+
+(** Scan unmodified samples; returns reports sorted by descending
+    confidence (callers truncate to tune report volume). *)
+let scan (t : trained) (samples : Sample.t list) : report list =
+  List.filter_map
+    (fun (s : Sample.t) ->
+      let p = t.predict s in
+      let suggested = s.Sample.candidates.(p.Models.cand) in
+      let found = Sample.current s in
+      if (not (String.equal suggested found)) && p.Models.confidence > flag_threshold
+      then
+        Some
+          {
+            file = s.Sample.file;
+            line = s.Sample.line;
+            found;
+            suggested;
+            confidence = p.Models.confidence;
+          }
+      else None)
+    samples
+  |> List.sort (fun a b -> compare b.confidence a.confidence)
+
+(** Grade reports with the oracle (subtoken-level match, like Namer's). *)
+let grade_reports (oracle : Namer_corpus.Corpus.Oracle.t) (reports : report list) =
+  List.fold_left
+    (fun (sem, qual, fp) r ->
+      (* variable-level suggestion: compare on the differing subtoken *)
+      let found, suggested =
+        match
+          Namer_tree.Treediff.confusing_subtoken_pairs (Namer_tree.Tree.leaf r.found)
+            (Namer_tree.Tree.leaf r.suggested)
+        with
+        | [ (w1, w2) ] -> (w1, w2)
+        | _ -> (r.found, r.suggested)
+      in
+      match
+        Namer_corpus.Corpus.Oracle.grade oracle ~file:r.file ~line:r.line ~found
+          ~suggested ~symmetric:false
+      with
+      | Namer_corpus.Corpus.Oracle.True_issue Namer_corpus.Issue.Semantic_defect ->
+          (sem + 1, qual, fp)
+      | Namer_corpus.Corpus.Oracle.True_issue (Namer_corpus.Issue.Code_quality _) ->
+          (sem, qual + 1, fp)
+      | _ -> (sem, qual, fp + 1))
+    (0, 0, 0) reports

@@ -1,0 +1,36 @@
+(** Training and evaluation pipelines for the GGNN/Great baselines (§5.6):
+    train on mask-and-predict supervision, measure synthetic accuracy on
+    half-perturbed held-out sets, scan unmodified code for confident
+    disagreements, and grade the reports with the corpus oracle. *)
+
+type trained = { model_name : string; predict : Sample.t -> Models.prediction }
+
+type synthetic_accuracy = {
+  classification : float;  (** flagged ⇔ actually perturbed *)
+  repair : float;  (** correct candidate chosen on perturbed samples *)
+}
+
+val flag_threshold : float
+
+val train :
+  which:[ `Ggnn | `Great ] -> prng:Namer_util.Prng.t -> epochs:int ->
+  Sample.t list -> trained
+
+val synthetic_accuracy :
+  prng:Namer_util.Prng.t -> trained -> Sample.t list -> synthetic_accuracy
+
+(** One misuse report on unmodified code. *)
+type report = {
+  file : string;
+  line : int;
+  found : string;
+  suggested : string;
+  confidence : float;
+}
+
+(** Confident disagreements, sorted by descending confidence (truncate to
+    tune report volume, as the paper does). *)
+val scan : trained -> Sample.t list -> report list
+
+(** (semantic, quality, false positive) counts under the oracle. *)
+val grade_reports : Namer_corpus.Corpus.Oracle.t -> report list -> int * int * int

@@ -1,0 +1,141 @@
+(** Variable-misuse samples for the deep-learning baselines (§5.6).
+
+    GGNN [9] and Great [28] are trained on the *synthetic* variable-misuse
+    task: given a program fragment with one variable occurrence designated
+    as the slot, predict which in-scope variable belongs there.  Training
+    pairs come for free from clean code (mask the occurrence, the original
+    variable is the label); synthetic test bugs replace the occurrence with
+    a different in-scope variable.  At inference on unmodified code the
+    models report a misuse wherever their preferred candidate differs from
+    what is written with enough confidence — the protocol we replicate on
+    the same corpus Namer scans, so the precision comparison of Tables 10
+    and 11 is like-for-like. *)
+
+module Tree = Namer_tree.Tree
+module Prng = Namer_util.Prng
+
+type t = {
+  tree : Tree.t;  (** the statement tree (slot token *not* masked) *)
+  leaves : string array;  (** leaf values in order *)
+  slot : int;  (** leaf index of the variable occurrence under test *)
+  candidates : string array;  (** distinct in-scope variables, incl. target *)
+  target : int;  (** index into [candidates] of the correct variable *)
+  file : string;
+  line : int;
+}
+
+(** The variable currently written at the slot (= the correct one for clean
+    samples; the planted wrong one for synthetic bugs). *)
+let current s = s.leaves.(s.slot)
+
+let is_bug s = not (String.equal (current s) s.candidates.(s.target))
+
+(* Leaf positions that are variable usages: the single leaf child of a
+   NameLoad node.  Returns (leaf index, name) pairs. *)
+let variable_slots (tree : Tree.t) : (int * string) list =
+  let idx = ref (-1) in
+  let out = ref [] in
+  let rec go ~under_nameload (t : Tree.t) =
+    if Tree.is_leaf t then begin
+      incr idx;
+      if under_nameload then out := (!idx, t.Tree.value) :: !out
+    end
+    else
+      List.iter
+        (go ~under_nameload:(t.Tree.value = "NameLoad"))
+        t.Tree.children
+  in
+  go ~under_nameload:false tree;
+  List.rev !out
+
+(* Rewrite the [slot]-th leaf of [tree] to [value]. *)
+let replace_leaf (tree : Tree.t) ~slot ~value =
+  let idx = ref (-1) in
+  let rec go (t : Tree.t) =
+    if Tree.is_leaf t then begin
+      incr idx;
+      if !idx = slot then Tree.leaf value else t
+    end
+    else Tree.node t.Tree.value (List.map go t.Tree.children)
+  in
+  go tree
+
+let max_candidates = 8
+
+(** [harvest ~prng ~lang ~max_samples corpus] builds clean samples from the
+    corpus: one per eligible (statement, variable occurrence), with
+    candidate sets drawn from the variables of the enclosing file. *)
+let harvest ~prng ~(max_samples : int) (corpus : Namer_corpus.Corpus.t) : t list =
+  let lang = corpus.Namer_corpus.Corpus.lang in
+  let out = ref [] and n = ref 0 in
+  (try
+     List.iter
+       (fun (file : Namer_corpus.Corpus.file) ->
+         match
+           Namer_core.Frontend.parse_file_opt lang ~use_analysis:false
+             file.Namer_corpus.Corpus.source
+         with
+         | None -> ()
+         | Some parsed ->
+             (* file-level variable vocabulary *)
+             let file_vars = Hashtbl.create 32 in
+             List.iter
+               (fun (s : Namer_core.Frontend.stmt) ->
+                 List.iter
+                   (fun (_, v) -> Hashtbl.replace file_vars v ())
+                   (variable_slots s.tree))
+               parsed.Namer_core.Frontend.stmts;
+             let vocab =
+               Hashtbl.fold (fun v () acc -> v :: acc) file_vars []
+               |> List.sort compare
+             in
+             if List.length vocab >= 3 then
+               List.iter
+                 (fun (s : Namer_core.Frontend.stmt) ->
+                   let slots = variable_slots s.tree in
+                   List.iter
+                     (fun (slot, name) ->
+                       if !n < max_samples && Prng.bool prng ~p:0.5 then begin
+                         let others =
+                           List.filter (fun v -> v <> name) vocab
+                           |> fun l -> Prng.sample prng (max_candidates - 1) l
+                         in
+                         let candidates = Array.of_list (name :: others) in
+                         Prng.shuffle prng candidates;
+                         let target = ref 0 in
+                         Array.iteri (fun i c -> if c = name then target := i) candidates;
+                         let leaves = Array.of_list (Tree.leaves s.tree) in
+                         out :=
+                           {
+                             tree = s.tree;
+                             leaves;
+                             slot;
+                             candidates;
+                             target = !target;
+                             file = file.Namer_corpus.Corpus.path;
+                             line = s.line;
+                           }
+                           :: !out;
+                         incr n
+                       end)
+                     slots)
+                 parsed.Namer_core.Frontend.stmts;
+             if !n >= max_samples then raise Exit)
+       corpus.Namer_corpus.Corpus.files
+   with Exit -> ());
+  List.rev !out
+
+(** Plant a synthetic misuse: the slot now holds a *wrong* candidate.
+    Returns [None] if there is no alternative candidate. *)
+let perturb ~prng (s : t) : t option =
+  let wrong =
+    Array.to_list s.candidates
+    |> List.filter (fun c -> c <> s.candidates.(s.target))
+  in
+  match wrong with
+  | [] -> None
+  | _ ->
+      let v = Prng.choose prng wrong in
+      let leaves = Array.copy s.leaves in
+      leaves.(s.slot) <- v;
+      Some { s with tree = replace_leaf s.tree ~slot:s.slot ~value:v; leaves }

@@ -1,0 +1,33 @@
+(** Variable-misuse samples for the §5.6 deep-learning baselines: a
+    statement tree with one variable occurrence designated as the slot, a
+    candidate set from the enclosing file, and the correct candidate.
+    Clean samples come straight from the corpus (mask-and-predict);
+    [perturb] plants the synthetic misuse used for test sets. *)
+
+type t = {
+  tree : Namer_tree.Tree.t;
+  leaves : string array;
+  slot : int;  (** leaf index of the occurrence under test *)
+  candidates : string array;
+  target : int;  (** index of the correct candidate *)
+  file : string;
+  line : int;
+}
+
+(** The variable written at the slot. *)
+val current : t -> string
+
+(** Whether the written variable differs from the target (planted bug). *)
+val is_bug : t -> bool
+
+(** Leaf positions that are variable usages (NameLoad leaves). *)
+val variable_slots : Namer_tree.Tree.t -> (int * string) list
+
+val max_candidates : int
+
+(** Harvest clean samples from a corpus (deterministic given [prng]). *)
+val harvest :
+  prng:Namer_util.Prng.t -> max_samples:int -> Namer_corpus.Corpus.t -> t list
+
+(** Plant a synthetic misuse; [None] if no wrong candidate exists. *)
+val perturb : prng:Namer_util.Prng.t -> t -> t option

@@ -1,0 +1,1 @@
+lib/classifier/features.ml: Hashtbl List Namer_mining Namer_pattern Namer_util Option

@@ -1,0 +1,1 @@
+lib/classifier/features.mli: Hashtbl Namer_mining Namer_pattern

@@ -1,0 +1,139 @@
+(** The defect classifier's feature extraction — Table 1 of the paper.
+
+    Given a violation (statement s, violated pattern p), seventeen high-level
+    features are computed, most of them at three granularities (the file
+    containing s, the repository containing s, and the entire mining
+    dataset).  The aggregates needed by features 2–12 are accumulated in one
+    pass over the scanned corpus ({!Agg}) before any feature vector is
+    extracted. *)
+
+module Pattern = Namer_pattern.Pattern
+module Confusing_pairs = Namer_mining.Confusing_pairs
+
+(** What feature extraction needs to know about the violating statement. *)
+type stmt_ctx = {
+  file : string;
+  repo : string;
+  tree_hash : int;  (** structural hash of the parsed statement tree *)
+  n_paths : int;  (** number of extracted name paths (feature 1) *)
+}
+
+type counts = { mutable matches : int; mutable sats : int; mutable viols : int }
+
+let fresh_counts () = { matches = 0; sats = 0; viols = 0 }
+
+(** Corpus-level aggregates, accumulated during the scan pass. *)
+module Agg = struct
+  type t = {
+    identical_file : (string * int, int) Hashtbl.t;  (** (file, hash) → count *)
+    identical_repo : (string * int, int) Hashtbl.t;  (** (repo, hash) → count *)
+    per_file : (int * string, counts) Hashtbl.t;  (** (pattern, file) *)
+    per_repo : (int * string, counts) Hashtbl.t;  (** (pattern, repo) *)
+    dataset : (int, counts) Hashtbl.t;  (** pattern → corpus-wide *)
+  }
+
+  let create () =
+    {
+      identical_file = Hashtbl.create (1 lsl 12);
+      identical_repo = Hashtbl.create (1 lsl 12);
+      per_file = Hashtbl.create (1 lsl 12);
+      per_repo = Hashtbl.create (1 lsl 12);
+      dataset = Hashtbl.create (1 lsl 10);
+    }
+
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+  (** Record one scanned statement (for identical-statement counts). *)
+  let add_stmt t (s : stmt_ctx) =
+    bump t.identical_file (s.file, s.tree_hash);
+    bump t.identical_repo (s.repo, s.tree_hash)
+
+  let counts_of tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+        let c = fresh_counts () in
+        Hashtbl.replace tbl key c;
+        c
+
+  (** Record one pattern check outcome on a statement. *)
+  let add_outcome t (s : stmt_ctx) ~(pattern_id : int) (rel : Pattern.relation) =
+    match rel with
+    | Pattern.No_match -> ()
+    | _ ->
+        let update c =
+          c.matches <- c.matches + 1;
+          match rel with
+          | Pattern.Satisfied -> c.sats <- c.sats + 1
+          | Pattern.Violated _ -> c.viols <- c.viols + 1
+          | Pattern.No_match -> ()
+        in
+        update (counts_of t.per_file (pattern_id, s.file));
+        update (counts_of t.per_repo (pattern_id, s.repo));
+        update (counts_of t.dataset pattern_id)
+
+  let lookup tbl key =
+    Option.value (Hashtbl.find_opt tbl key) ~default:(fresh_counts ())
+end
+
+let n_features = 17
+
+(** Feature names (indexed as in Table 1), for the weight table. *)
+let names =
+  [|
+    "1:n_name_paths";
+    "2:identical_stmts_file";
+    "3:identical_stmts_repo";
+    "4:satisfaction_rate_file";
+    "5:satisfaction_rate_repo";
+    "6:satisfaction_rate_dataset";
+    "7:violations_file";
+    "8:violations_repo";
+    "9:violations_dataset";
+    "10:satisfactions_file";
+    "11:satisfactions_repo";
+    "12:satisfactions_dataset";
+    "13:targets_function_name";
+    "14:n_condition_paths";
+    "15:match_ratio";
+    "16:edit_distance";
+    "17:is_confusing_pair";
+  |]
+
+(** [extract agg pairs stmt pattern info] computes the 17-dimensional
+    feature vector for one violation. *)
+let extract (agg : Agg.t) (pairs : Confusing_pairs.t) (s : stmt_ctx)
+    (p : Pattern.t) (info : Pattern.violation_info) : float array =
+  let fi = float_of_int in
+  let file_c = Agg.lookup agg.Agg.per_file (p.id, s.file) in
+  let repo_c = Agg.lookup agg.Agg.per_repo (p.id, s.repo) in
+  let data_c = Agg.lookup agg.Agg.dataset p.id in
+  let rate (c : counts) = if c.matches = 0 then 0.0 else fi c.sats /. fi c.matches in
+  let n_cond = List.length p.condition in
+  let n_ded = List.length p.deduction in
+  let match_ratio =
+    let denom = s.n_paths - n_ded in
+    if denom <= 0 then 1.0 else min 1.0 (fi n_cond /. fi denom)
+  in
+  [|
+    (* 1 *) fi s.n_paths;
+    (* 2 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_file (s.file, s.tree_hash)) ~default:1);
+    (* 3 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_repo (s.repo, s.tree_hash)) ~default:1);
+    (* 4 *) rate file_c;
+    (* 5 *) rate repo_c;
+    (* 6 *) rate data_c;
+    (* 7 *) fi file_c.viols;
+    (* 8 *) fi repo_c.viols;
+    (* 9 *) fi data_c.viols;
+    (* 10 *) fi file_c.sats;
+    (* 11 *) fi repo_c.sats;
+    (* 12 *) fi data_c.sats;
+    (* 13 *) (if Pattern.targets_function_name p then 1.0 else 0.0);
+    (* 14 *) fi n_cond;
+    (* 15 *) match_ratio;
+    (* 16 *) fi (Namer_util.Edit_distance.damerau info.Pattern.found info.Pattern.suggested);
+    (* 17 *)
+    (if Confusing_pairs.mem pairs (info.Pattern.found, info.Pattern.suggested) then 1.0
+     else 0.0);
+  |]

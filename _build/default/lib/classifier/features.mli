@@ -1,0 +1,46 @@
+(** The defect classifier's feature extraction — Table 1 of the paper:
+    17 high-level features per violation, most computed at three
+    granularities (file / repository / entire dataset) from aggregates
+    accumulated in one scan pass. *)
+
+module Pattern = Namer_pattern.Pattern
+module Confusing_pairs = Namer_mining.Confusing_pairs
+
+(** Feature-relevant context of the violating statement. *)
+type stmt_ctx = {
+  file : string;
+  repo : string;
+  tree_hash : int;  (** structural hash of the parsed statement tree *)
+  n_paths : int;  (** number of extracted name paths (feature 1) *)
+}
+
+type counts = { mutable matches : int; mutable sats : int; mutable viols : int }
+
+(** Corpus-level aggregates, accumulated during the scan pass. *)
+module Agg : sig
+  type t = {
+    identical_file : (string * int, int) Hashtbl.t;
+    identical_repo : (string * int, int) Hashtbl.t;
+    per_file : (int * string, counts) Hashtbl.t;
+    per_repo : (int * string, counts) Hashtbl.t;
+    dataset : (int, counts) Hashtbl.t;
+  }
+
+  val create : unit -> t
+
+  (** Record one scanned statement (identical-statement counts, f2/f3). *)
+  val add_stmt : t -> stmt_ctx -> unit
+
+  (** Record one pattern-check outcome (f4–f12). *)
+  val add_outcome : t -> stmt_ctx -> pattern_id:int -> Pattern.relation -> unit
+end
+
+val n_features : int
+
+(** Feature names, indexed as in Table 1 (for the Table 9 weight listing). *)
+val names : string array
+
+(** The 17-dimensional feature vector of one violation. *)
+val extract :
+  Agg.t -> Confusing_pairs.t -> stmt_ctx -> Pattern.t -> Pattern.violation_info ->
+  float array

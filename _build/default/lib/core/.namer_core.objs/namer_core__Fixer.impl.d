@@ -1,0 +1,1 @@
+lib/core/fixer.ml: Array List Namer_util String

@@ -1,0 +1,1 @@
+lib/core/frontend.ml: List Namer_analysis Namer_corpus Namer_javalang Namer_namepath Namer_pylang Namer_tree Printf

@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Namer_corpus Namer_namepath Namer_tree

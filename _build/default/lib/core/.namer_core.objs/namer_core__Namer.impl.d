@@ -1,0 +1,1 @@
+lib/core/namer.ml: Array Frontend Hashtbl List Logs Namer_classifier Namer_corpus Namer_mining Namer_ml Namer_namepath Namer_pattern Namer_tree Namer_util Printf String

@@ -1,0 +1,1 @@
+lib/core/namer.mli: Hashtbl Namer_classifier Namer_corpus Namer_mining Namer_ml Namer_pattern

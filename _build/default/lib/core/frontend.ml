@@ -1,0 +1,97 @@
+(** Language dispatch: one interface over the Python and Java frontends and
+    their static analyses, so the rest of the pipeline is language-free. *)
+
+module Tree = Namer_tree.Tree
+module Origins = Namer_namepath.Origins
+
+(** One program statement, ready for AST+ transformation. *)
+type stmt = {
+  tree : Tree.t;
+  line : int;
+  cls : string option;
+  fn : string option;
+}
+
+type parsed_file = {
+  stmts : stmt list;
+  origins : cls:string option -> fn:string option -> Origins.t;
+      (** resolvers from the §4.1 analyses; the constant
+          {!Origins.none} when analysis is disabled *)
+}
+
+exception Frontend_error of string
+
+(** [parse_file lang ~use_analysis source] parses one source file and runs
+    its per-file analysis.  Raises {!Frontend_error} on syntax errors (the
+    corpus generator emits parseable code; real-world use would skip the
+    file, which is what {!parse_file_opt} does). *)
+let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string) :
+    parsed_file =
+  match lang with
+  | Namer_corpus.Corpus.Python ->
+      let m =
+        try Namer_pylang.Py_parser.parse_module source with
+        | Namer_pylang.Py_parser.Parse_error (msg, line) ->
+            raise (Frontend_error (Printf.sprintf "python parse error L%d: %s" line msg))
+        | Namer_pylang.Py_lexer.Lex_error (msg, line) ->
+            raise (Frontend_error (Printf.sprintf "python lex error L%d: %s" line msg))
+      in
+      let stmts =
+        Namer_pylang.Py_lower.lower_stmts m
+        |> List.map (fun (s : Namer_pylang.Py_lower.stmt_info) ->
+               {
+                 tree = s.tree;
+                 line = s.line;
+                 cls = s.enclosing_class;
+                 fn = s.enclosing_function;
+               })
+      in
+      let origins =
+        if use_analysis then begin
+          let analysis = Namer_analysis.Py_analysis.analyze m in
+          fun ~cls ~fn -> Namer_analysis.Py_analysis.origins_for analysis ~cls ~fn
+        end
+        else fun ~cls:_ ~fn:_ -> Origins.none
+      in
+      { stmts; origins }
+  | Namer_corpus.Corpus.Java ->
+      let u =
+        try Namer_javalang.Java_parser.parse_compilation_unit source with
+        | Namer_javalang.Java_parser.Parse_error (msg, line) ->
+            raise (Frontend_error (Printf.sprintf "java parse error L%d: %s" line msg))
+        | Namer_javalang.Java_lexer.Lex_error (msg, line) ->
+            raise (Frontend_error (Printf.sprintf "java lex error L%d: %s" line msg))
+      in
+      let stmts =
+        Namer_javalang.Java_lower.lower_unit u
+        |> List.map (fun (s : Namer_javalang.Java_lower.stmt_info) ->
+               {
+                 tree = s.tree;
+                 line = s.line;
+                 cls = s.enclosing_class;
+                 fn = s.enclosing_function;
+               })
+      in
+      let origins =
+        if use_analysis then begin
+          let analysis = Namer_analysis.Java_analysis.analyze u in
+          fun ~cls ~fn -> Namer_analysis.Java_analysis.origins_for analysis ~cls ~fn
+        end
+        else fun ~cls:_ ~fn:_ -> Origins.none
+      in
+      { stmts; origins }
+
+let parse_file_opt lang ~use_analysis source =
+  try Some (parse_file lang ~use_analysis source) with Frontend_error _ -> None
+
+(** Whole-file tree for commit diffing. *)
+let whole_tree (lang : Namer_corpus.Corpus.lang) (source : string) : Tree.t option =
+  try
+    match lang with
+    | Namer_corpus.Corpus.Python ->
+        Some (Namer_pylang.Py_lower.module_tree (Namer_pylang.Py_parser.parse_module source))
+    | Namer_corpus.Corpus.Java ->
+        Some
+          (Namer_javalang.Java_lower.unit_tree
+             (Namer_javalang.Java_parser.parse_compilation_unit source))
+  with _ -> None

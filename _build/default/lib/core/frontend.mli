@@ -1,0 +1,34 @@
+(** Language dispatch: one interface over the Python and Java frontends
+    and their §4.1 analyses, so everything downstream is language-free. *)
+
+module Tree = Namer_tree.Tree
+module Origins = Namer_namepath.Origins
+
+(** One program statement, ready for the AST+ transformation. *)
+type stmt = {
+  tree : Tree.t;
+  line : int;
+  cls : string option;  (** enclosing class *)
+  fn : string option;  (** enclosing function/method *)
+}
+
+type parsed_file = {
+  stmts : stmt list;
+  origins : cls:string option -> fn:string option -> Origins.t;
+      (** per-scope origin resolvers; the constant {!Origins.none} when
+          analysis is disabled *)
+}
+
+exception Frontend_error of string
+
+(** Parse one source file and run its per-file analysis.
+    @raise Frontend_error on lexical or syntax errors. *)
+val parse_file : Namer_corpus.Corpus.lang -> use_analysis:bool -> string -> parsed_file
+
+(** [parse_file_opt] is [parse_file] with errors mapped to [None]. *)
+val parse_file_opt :
+  Namer_corpus.Corpus.lang -> use_analysis:bool -> string -> parsed_file option
+
+(** Whole-file tree (bodies nested), for commit diffing; [None] on parse
+    errors. *)
+val whole_tree : Namer_corpus.Corpus.lang -> string -> Tree.t option

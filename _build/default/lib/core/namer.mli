@@ -1,0 +1,105 @@
+(** Namer — the end-to-end system (Figure 1 of the paper).
+
+    [build] turns a corpus into a trained system: parse and analyze every
+    file, transform statements to AST+, extract name paths, mine confusing
+    word pairs from commit history, mine consistency and confusing-word
+    name patterns, scan for violations, accumulate multi-level aggregates,
+    extract the Table 1 features, and train the defect classifier on a
+    small balanced labeled sample.  Inference and the paper's evaluation
+    protocol (Tables 2/5) are provided on top. *)
+
+module Pattern = Namer_pattern.Pattern
+module Features = Namer_classifier.Features
+module Corpus = Namer_corpus.Corpus
+module Confusing_pairs = Namer_mining.Confusing_pairs
+
+type config = {
+  use_analysis : bool;  (** the "A" of Tables 2/5: §4.1 origin decoration *)
+  use_classifier : bool;  (** the "C": without it, report every violation *)
+  miner : Namer_mining.Miner.config;
+  pair_min_count : int;  (** commit sightings required of a confusing pair *)
+  n_labeled : int;  (** labeled training violations (paper: 120) *)
+  label_noise : float;  (** training label flip rate (human labeling error) *)
+  ordering_vocab : (string * string) list;  (** seeds for ordering patterns *)
+  algo : Namer_ml.Pipeline.algo option;  (** [None] = cross-validated selection *)
+  seed : int;
+}
+
+val default_config : config
+
+(** One scanned statement: its digest plus feature/reporting context. *)
+type scanned_stmt = {
+  sctx : Features.stmt_ctx;
+  line : int;
+  digest : Pattern.Stmt_paths.t;
+}
+
+(** One pattern violation — a potential naming issue. *)
+type violation = {
+  v_stmt : scanned_stmt;
+  v_pattern : Pattern.t;
+  v_info : Pattern.violation_info;
+  mutable v_features : float array;
+}
+
+(** ["found -> suggested"], the rendered fix. *)
+val describe_fix : violation -> string
+
+type t = {
+  cfg : config;
+  lang : Corpus.lang;
+  pairs : Confusing_pairs.t;
+  store : Pattern.Store.t;
+  agg : Features.Agg.t;
+  violations : violation array;  (** deduplicated scan results *)
+  classifier : Namer_ml.Pipeline.t option;
+  cv_reports : (Namer_ml.Pipeline.algo * Namer_ml.Pipeline.cv_report) list;
+  training_set : (int, unit) Hashtbl.t;
+  oracle : Corpus.Oracle.t;
+  sources : (string, string) Hashtbl.t;
+  n_stmts : int;
+  n_files : int;
+  n_repos : int;
+  n_files_violating : int;
+  n_repos_violating : int;
+  n_candidates : int;
+}
+
+(** Confusing pairs used when a corpus has no commit history. *)
+val builtin_pairs : Corpus.lang -> (string * string) list
+
+(** [build ?patterns cfg corpus] runs the full training pipeline.
+    [patterns] short-circuits mining with a pre-mined store (the
+    mine-once / scan-many workflow of the CLI). *)
+val build : ?patterns:Pattern.Store.t -> config -> Corpus.t -> t
+
+(** Re-draw the labeled sample and re-train the classifier on the same
+    violations (variance reduction for evaluation; the paper averages its
+    CV over 30 splits similarly). *)
+val retrain : t -> seed:int -> t
+
+(** Classifier decision: [true] = report (always [true] without C). *)
+val classify : t -> violation -> bool
+
+(** Oracle verdict (evaluation only — stands in for manual inspection). *)
+val grade : t -> violation -> Corpus.Oracle.verdict
+
+(** Uniform sample of violations, excluding the classifier's training rows
+    (§5.1) and anything rejected by [filter]. *)
+val sample_violations :
+  ?filter:(violation -> bool) -> t -> n:int -> seed:int -> violation list
+
+(** Source text of the violating line, for report listings. *)
+val source_line : t -> violation -> string
+
+(** Graded outcome of a report set — one row of Table 2 / 5. *)
+type outcome = { n_reports : int; semantic : int; quality : int; false_pos : int }
+
+val precision : outcome -> float
+val grade_reports : t -> violation list -> outcome
+
+(** The paper's protocol: sample [n] violations, classify, grade. *)
+val evaluate : ?n:int -> ?seed:int -> t -> outcome
+
+(** Trained classifier weights per original feature (Table 9). *)
+val feature_weights : t -> float array

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Emitter Hashtbl Issue Java_gen List Namer_util Option Printf Py_gen String Vocab

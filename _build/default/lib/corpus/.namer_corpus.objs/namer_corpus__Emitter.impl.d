@@ -1,0 +1,1 @@
+lib/corpus/emitter.ml: Buffer Issue List Option Printf

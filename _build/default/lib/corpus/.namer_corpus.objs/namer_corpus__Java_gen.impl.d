@@ -1,0 +1,1 @@
+lib/corpus/java_gen.ml: Emitter Hashtbl Issue List Namer_util Printf Py_gen String Vocab

@@ -1,0 +1,1 @@
+lib/corpus/py_gen.ml: Emitter Issue List Namer_util Printf String Vocab

@@ -1,0 +1,1 @@
+lib/corpus/vocab.ml: Array Bytes Namer_util String

@@ -1,0 +1,43 @@
+(** Ground-truth taxonomy for injected naming issues.
+
+    The paper grades reports by manual inspection into semantic defects,
+    code-quality issues (with the five-way breakdown of Table 4) and false
+    positives.  Our corpus generator replaces the human inspectors with an
+    explicit injection log: every generated defect records where it is, what
+    the mistaken word is, and what fix a correct report must suggest; every
+    deliberately unusual-but-correct statement records that reporting it is
+    a false positive.  {!Oracle} (in {!Corpus}) grades reports against this
+    log mechanically. *)
+
+type quality_kind =
+  | Confusing_name
+  | Indescriptive_name
+  | Inconsistent_name
+  | Minor_issue
+  | Typo
+
+type category = Semantic_defect | Code_quality of quality_kind
+
+let category_name = function
+  | Semantic_defect -> "semantic defect"
+  | Code_quality Confusing_name -> "confusing name"
+  | Code_quality Indescriptive_name -> "indescriptive name"
+  | Code_quality Inconsistent_name -> "inconsistent name"
+  | Code_quality Minor_issue -> "minor issue"
+  | Code_quality Typo -> "typo"
+
+(** One injected naming issue. *)
+type injection = {
+  file : string;  (** repo-relative path, unique across the corpus *)
+  line : int;
+  wrong : string;  (** the mistaken subtoken, as it appears in the code *)
+  expected : string;  (** the subtoken a correct fix must suggest *)
+  wrong_ident : string;  (** full identifier containing [wrong], for diffs *)
+  fixed_ident : string;  (** full identifier after the fix *)
+  category : category;
+  description : string;  (** human-readable note, for report listings *)
+}
+
+(** One benign anomaly: unusual but correct code.  A report pointing at it
+    is a false positive by construction. *)
+type benign = { bfile : string; bline : int; bnote : string }

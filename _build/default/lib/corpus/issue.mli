@@ -1,0 +1,29 @@
+(** Ground-truth taxonomy for injected naming issues: categories follow the
+    paper's grading (semantic defect / code-quality issue with the Table 4
+    five-way breakdown); the injection log replaces manual inspection. *)
+
+type quality_kind =
+  | Confusing_name
+  | Indescriptive_name
+  | Inconsistent_name
+  | Minor_issue
+  | Typo
+
+type category = Semantic_defect | Code_quality of quality_kind
+
+val category_name : category -> string
+
+(** One injected naming issue. *)
+type injection = {
+  file : string;
+  line : int;
+  wrong : string;  (** the mistaken subtoken as it appears *)
+  expected : string;  (** the subtoken a correct fix must suggest *)
+  wrong_ident : string;  (** full identifier containing [wrong] *)
+  fixed_ident : string;  (** the identifier after the fix *)
+  category : category;
+  description : string;
+}
+
+(** One unusual-but-correct statement: reporting it is a false positive. *)
+type benign = { bfile : string; bline : int; bnote : string }

@@ -1,0 +1,410 @@
+(** Synthetic Java source generation — the Java counterpart of {!Py_gen},
+    modeled on the paper's Table 6 examples: exception-handling idioms
+    ([catch (Exception e)] / [e.printStackTrace()]), integer loop indices,
+    Android [Intent]/[ProgressDialog] conventions, constructor field
+    assignment, getters/setters, builders and loggers. *)
+
+module Prng = Namer_util.Prng
+
+type ctx = { em : Emitter.t; rng : Prng.t; v : Vocab.slice; rates : Py_gen.rates }
+
+type fate = Py_gen.fate = Clean | Issue | Benign
+
+let fate (ctx : ctx) =
+  if Prng.bool ctx.rng ~p:ctx.rates.issue then Issue
+  else if Prng.bool ctx.rng ~p:ctx.rates.benign then Benign
+  else Clean
+
+let cap = String.capitalize_ascii
+
+let java_keywords =
+  [ "default"; "final"; "new"; "int"; "char"; "byte"; "class"; "package"; "import" ]
+
+let safe w = if List.mem w java_keywords then w ^ "Value" else w
+
+let entity ctx = safe (ctx.v.entity ctx.rng)
+let attribute ctx = safe (ctx.v.attribute ctx.rng)
+let verb ctx = safe (ctx.v.verb ctx.rng)
+let num ctx = string_of_int (Prng.int ctx.rng 100 + 1)
+
+let camel a b = a ^ cap b
+
+(* ------------------------------------------------------------------ *)
+(* Member-level idioms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Constructor assigning parameters to same-named fields; issues mirror
+    Table 6's [this.publicKey = publickKey] typo and synonym confusions. *)
+let constructor ctx ~cls ~fields =
+  (* decide fates first: a typo'd parameter is misspelled in the signature
+     AND at its use, exactly like Table 6's [publickKey] *)
+  let fates = List.map (fun field -> (field, fate ctx)) fields in
+  let typo_of = Hashtbl.create 4 in
+  List.iter
+    (fun ((_, name), f) ->
+      if f = Issue && Prng.bool ctx.rng ~p:0.6 then begin
+        let first = List.hd (Namer_util.Subtoken.split name) in
+        let wrong_first = Vocab.typo ctx.rng first in
+        let wrong_ident =
+          Namer_util.Subtoken.replace_subtoken name ~index:0 ~with_:wrong_first
+        in
+        Hashtbl.replace typo_of name (first, wrong_first, wrong_ident)
+      end)
+    fates;
+  let params =
+    List.map
+      (fun (ty, name) ->
+        match Hashtbl.find_opt typo_of name with
+        | Some (_, _, wrong_ident) -> Printf.sprintf "%s %s" ty wrong_ident
+        | None -> Printf.sprintf "%s %s" ty name)
+      fields
+  in
+  Emitter.linef ctx.em "    public %s(%s) {" cls (String.concat ", " params);
+  List.iter
+    (fun ((_, name), f) ->
+      match (Hashtbl.find_opt typo_of name, f) with
+      | Some (first, wrong_first, wrong_ident), _ ->
+          Emitter.inject ctx.em ~wrong:wrong_first ~expected:first
+            ~wrong_ident ~fixed_ident:name
+            ~category:(Issue.Code_quality Issue.Typo)
+            ~description:(Printf.sprintf "typo %s for %s" wrong_ident name);
+          Emitter.linef ctx.em "        this.%s = %s;" name wrong_ident
+      | None, Issue ->
+          (* synonym-confused first subtoken: [this.sizeCount = lengthCount]
+             — keeps the subtoken count equal so consistency patterns pair *)
+          let first = List.hd (Namer_util.Subtoken.split name) in
+          let wrong_first, _ = Prng.choose_arr ctx.rng Py_gen.synonym_confusions in
+          let wrong_first = safe wrong_first in
+          let wrong_attr =
+            Namer_util.Subtoken.replace_subtoken name ~index:0 ~with_:wrong_first
+          in
+          if wrong_first = first then
+            Emitter.linef ctx.em "        this.%s = %s;" name name
+          else begin
+            Emitter.inject ctx.em ~wrong:wrong_first ~expected:first
+              ~wrong_ident:wrong_attr ~fixed_ident:name
+              ~category:(Issue.Code_quality Issue.Inconsistent_name)
+              ~description:
+                (Printf.sprintf "field %s inconsistent with value %s" wrong_attr name);
+            Emitter.linef ctx.em "        this.%s = %s;" wrong_attr name
+          end
+      | None, Benign when Prng.bool ctx.rng ~p:0.5 ->
+          (* recurring conventional mismatch in the first subtoken *)
+          let a, v = Prng.choose_arr ctx.rng Py_gen.legit_mismatches in
+          let attr = Namer_util.Subtoken.replace_subtoken name ~index:0 ~with_:(safe a) in
+          let value = Namer_util.Subtoken.replace_subtoken name ~index:0 ~with_:(safe v) in
+          Emitter.benign ctx.em ~note:"conventional field/value mismatch";
+          Emitter.linef ctx.em "        this.%s = %s;" attr value
+      | None, Benign ->
+          (* one-off legitimate mismatch — hard false positive *)
+          let w = attribute ctx in
+          let first = List.hd (Namer_util.Subtoken.split name) in
+          if w = first then Emitter.linef ctx.em "        this.%s = %s;" name name
+          else begin
+            let attr = Namer_util.Subtoken.replace_subtoken name ~index:0 ~with_:w in
+            Emitter.benign ctx.em ~note:"deliberate field/value mismatch";
+            Emitter.linef ctx.em "        this.%s = %s;" attr name
+          end
+      | None, Clean -> Emitter.linef ctx.em "        this.%s = %s;" name name)
+    fates;
+  Emitter.line ctx.em "    }"
+
+let getter_setter ctx ~ty ~name =
+  Emitter.linef ctx.em "    public %s get%s() {" ty (cap name);
+  Emitter.linef ctx.em "        return %s;" name;
+  Emitter.line ctx.em "    }";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "    public void set%s(%s %s) {" (cap name) ty name;
+  Emitter.linef ctx.em "        this.%s = %s;" name name;
+  Emitter.line ctx.em "    }"
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level idioms                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [try { … } catch (Exception e) { e.printStackTrace(); }] with the two
+    semantic issues of Table 6: catching [Throwable] and the no-op
+    [e.getStackTrace()]. *)
+let try_catch ctx ~ind ~action =
+  (* fates decided upfront: the Try statement's violations anchor at the
+     [try] line, so the oracle entry must live there too *)
+  let exn_fate = fate ctx in
+  let exn_type = if exn_fate = Issue then "Throwable" else "Exception" in
+  let binder =
+    if exn_fate = Clean && Prng.bool ctx.rng ~p:(0.5 *. ctx.rates.benign) then
+      Prng.choose ctx.rng [ "ex"; "err" ]
+    else "e"
+  in
+  let mark () =
+    if exn_fate = Issue then
+      Emitter.inject ctx.em ~wrong:"Throwable" ~expected:"Exception"
+        ~category:Issue.Semantic_defect
+        ~description:"catching Throwable also catches Error"
+    else if binder <> "e" then
+      Emitter.benign ctx.em ~note:"alternative catch binder name is fine"
+  in
+  mark ();
+  Emitter.linef ctx.em "%stry {" ind;
+  Emitter.linef ctx.em "%s    %s();" ind action;
+  mark ();
+  Emitter.linef ctx.em "%s} catch (%s %s) {" ind exn_type binder;
+  (match fate ctx with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"get" ~expected:"print"
+        ~wrong_ident:"getStackTrace" ~fixed_ident:"printStackTrace"
+        ~category:Issue.Semantic_defect
+        ~description:"getStackTrace result discarded; printStackTrace intended";
+      Emitter.linef ctx.em "%s    %s.getStackTrace();" ind binder
+  | _ -> Emitter.linef ctx.em "%s    %s.printStackTrace();" ind binder);
+  Emitter.linef ctx.em "%s}" ind
+
+(** [for (int i = 0; i < n; i++)] — the issue declares the index [double]
+    (Table 6, example 2). *)
+let index_loop ctx ~ind ~bound =
+  let ty = ref "int" and var = ref "i" in
+  (* damp the benign arm as in {!Py_gen.range_loop} *)
+  let f =
+    if Prng.bool ctx.rng ~p:ctx.rates.issue then Issue
+    else if Prng.bool ctx.rng ~p:(0.25 *. ctx.rates.benign) then Benign
+    else Clean
+  in
+  (match f with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"double" ~expected:"int"
+        ~category:Issue.Semantic_defect
+        ~description:"floating-point loop index";
+      ty := "double"
+  | Benign ->
+      (* [j] is a fine index name — statistically unusual, hard FP *)
+      Emitter.benign ctx.em ~note:"alternative index name is fine";
+      var := "j"
+  | Clean -> ());
+  Emitter.linef ctx.em "%sfor (%s %s = 0; %s < %s; %s++) {" ind !ty !var !var bound !var;
+  (if !var <> "i" then
+     Emitter.benign ctx.em ~note:"alternative index name is fine");
+  Emitter.linef ctx.em "%s    process(%s);" ind !var;
+  Emitter.linef ctx.em "%s}" ind
+
+(** Android activity-launch idiom; the issue names the intent variable [i]
+    (Table 6, example 5). *)
+let intent_start ctx ~ind ~target =
+  let buggy = fate ctx = Issue in
+  let var = if buggy then "i" else "intent" in
+  let mark () =
+    if buggy then
+      Emitter.inject ctx.em ~wrong:"i" ~expected:"intent" ~wrong_ident:"i"
+        ~fixed_ident:"intent"
+        ~category:(Issue.Code_quality Issue.Confusing_name)
+        ~description:"Intent variable named i"
+  in
+  mark ();
+  Emitter.linef ctx.em "%sIntent %s = new Intent(context, %s.class);" ind var target;
+  mark ();
+  Emitter.linef ctx.em "%scontext.startActivity(%s);" ind var
+
+(** Android progress-dialog idiom; the issue abbreviates [progressDialog]
+    to [progDialog] (Table 6, example 6). *)
+let progress_dialog ctx ~ind =
+  let f = fate ctx in
+  let var =
+    match f with
+    | Issue -> "progDialog"
+    | Benign -> Prng.choose ctx.rng [ "loadingDialog"; "busyDialog" ]
+    | Clean -> "progressDialog"
+  in
+  let mark () =
+    match f with
+    | Issue ->
+        Emitter.inject ctx.em ~wrong:"prog" ~expected:"progress"
+          ~wrong_ident:"progDialog" ~fixed_ident:"progressDialog"
+          ~category:(Issue.Code_quality Issue.Confusing_name)
+          ~description:"abbreviated dialog variable"
+    | Benign -> Emitter.benign ctx.em ~note:"purpose-named dialog is correct"
+    | Clean -> ()
+  in
+  mark ();
+  Emitter.linef ctx.em "%sProgressDialog %s = new ProgressDialog(context);" ind var;
+  mark ();
+  Emitter.linef ctx.em "%s%s.show();" ind var;
+  mark ();
+  Emitter.linef ctx.em "%s%s.dismiss();" ind var
+
+(** Writer idiom whose dominant form names the variable after its type;
+    the benign anomaly uses a purpose-based name (the paper's false
+    positive: [outputWriter] for a [StringWriter]). *)
+let string_writer ctx ~ind =
+  let unusual = fate ctx = Benign in
+  let var = if unusual then "outputWriter" else "stringWriter" in
+  let mark () =
+    if unusual then Emitter.benign ctx.em ~note:"purpose-named writer is correct"
+  in
+  mark ();
+  Emitter.linef ctx.em "%sStringWriter %s = new StringWriter();" ind var;
+  mark ();
+  Emitter.linef ctx.em "%s%s.write(data);" ind var
+
+let string_builder ctx ~ind =
+  let attr = attribute ctx in
+  let unusual = fate ctx = Benign in
+  let var = if unusual then Prng.choose ctx.rng [ "sb"; "output" ] else "builder" in
+  let mark () =
+    if unusual then Emitter.benign ctx.em ~note:"short builder name is fine"
+  in
+  mark ();
+  Emitter.linef ctx.em "%sStringBuilder %s = new StringBuilder();" ind var;
+  mark ();
+  Emitter.linef ctx.em "%s%s.append(%s);" ind var attr;
+  mark ();
+  Emitter.linef ctx.em "%sreturn %s.toString();" ind var
+
+(** Geometry idiom [canvas.resize(width, height)]; the issue swaps the
+    arguments (ordering-pattern extension). *)
+let resize_stmt ctx ~ind =
+  match fate ctx with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"height" ~expected:"width"
+        ~category:Issue.Semantic_defect
+        ~description:"swapped width/height arguments";
+      Emitter.linef ctx.em "%scanvas.resize(height, width);" ind
+  | _ -> Emitter.linef ctx.em "%scanvas.resize(width, height);" ind
+
+let null_check ctx ~ind ~var =
+  ignore ctx;
+  Emitter.linef ctx.em "%sif (%s == null) {" ind var;
+  Emitter.linef ctx.em "%s    return;" ind;
+  Emitter.linef ctx.em "%s}" ind
+
+(** Alert-dialog idiom: same [show()]/[dismiss()] call shapes as
+    {!progress_dialog} but on an [AlertDialog] — correct code that only the
+    receiver's origin separates from an abbreviated progress dialog.  This
+    is the Java side of the origin-dependent ambiguity that makes the
+    paper's "w/o A" ablation lose precision. *)
+let alert_dialog ctx ~ind =
+  let mark () =
+    Emitter.benign ctx.em ~note:"alertDialog correctly names an AlertDialog"
+  in
+  mark ();
+  Emitter.linef ctx.em "%sAlertDialog alertDialog = new AlertDialog(context);" ind;
+  mark ();
+  Emitter.linef ctx.em "%salertDialog.show();" ind;
+  mark ();
+  Emitter.linef ctx.em "%salertDialog.dismiss();" ind
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let field_type ctx =
+  Prng.choose ctx.rng [ "String"; "int"; "long"; "boolean"; "String"; "List" ]
+
+(** A plain domain class: fields, constructor, getters/setters. *)
+let gen_model_file ctx =
+  let e = entity ctx in
+  let cls = cap e in
+  Emitter.linef ctx.em "package com.example.%s;" e;
+  Emitter.blank ctx.em;
+  Emitter.line ctx.em "import java.util.List;";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "public class %s {" cls;
+  let n_fields = 2 + Prng.int ctx.rng 3 in
+  let fields =
+    List.init n_fields (fun _ -> (field_type ctx, camel (attribute ctx) (attribute ctx)))
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (ty, name) -> Emitter.linef ctx.em "    private %s %s;" ty name)
+    fields;
+  Emitter.blank ctx.em;
+  constructor ctx ~cls ~fields;
+  List.iteri
+    (fun i (ty, name) ->
+      Emitter.blank ctx.em;
+      if i mod 2 = 0 then getter_setter ctx ~ty ~name
+      else begin
+        Emitter.linef ctx.em "    public String %s%s() {" (verb ctx) (cap name);
+        string_builder ctx ~ind:"        ";
+        Emitter.line ctx.em "    }"
+      end)
+    fields;
+  Emitter.line ctx.em "}"
+
+(** An Android-flavored activity class exercising the Intent / dialog /
+    exception idioms. *)
+let gen_activity_file ctx =
+  let e = entity ctx in
+  let cls = cap e ^ "Activity" in
+  Emitter.linef ctx.em "package com.example.%s;" e;
+  Emitter.blank ctx.em;
+  Emitter.line ctx.em "import android.content.Intent;";
+  Emitter.line ctx.em "import android.app.ProgressDialog;";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "public class %s extends Activity {" cls;
+  let n_methods = 2 + Prng.int ctx.rng 3 in
+  for _ = 1 to n_methods do
+    Emitter.blank ctx.em;
+    let v = verb ctx in
+    Emitter.linef ctx.em "    public void %s%s(Context context) {" v (cap e);
+    null_check ctx ~ind:"        " ~var:"context";
+    (match Prng.int ctx.rng 12 with
+    | 0 | 1 -> intent_start ctx ~ind:"        " ~target:(cap (entity ctx) ^ "Activity")
+    (* progress : alert ≈ 6 : 1, so the shared dismiss/show idiom stays
+       above the mining satisfaction threshold even without origins *)
+    | 2 | 3 | 4 | 5 | 6 | 7 -> progress_dialog ctx ~ind:"        "
+    | 8 -> alert_dialog ctx ~ind:"        "
+    | 9 | 10 -> try_catch ctx ~ind:"        " ~action:(verb ctx)
+    | _ -> index_loop ctx ~ind:"        " ~bound:"context.size()");
+    Emitter.line ctx.em "    }"
+  done;
+  Emitter.line ctx.em "}"
+
+(** A service/utility class: loops, try/catch, builders, writers. *)
+let gen_service_file ctx =
+  let e = entity ctx in
+  let cls = cap e ^ "Service" in
+  Emitter.linef ctx.em "package com.example.%s;" e;
+  Emitter.blank ctx.em;
+  Emitter.line ctx.em "import java.io.StringWriter;";
+  Emitter.line ctx.em "import org.slf4j.Logger;";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "public class %s {" cls;
+  Emitter.linef ctx.em
+    "    private static final Logger logger = LoggerFactory.getLogger(%s.class);" cls;
+  let n_methods = 2 + Prng.int ctx.rng 3 in
+  for _ = 1 to n_methods do
+    Emitter.blank ctx.em;
+    let v = verb ctx and a = attribute ctx in
+    (match Prng.int ctx.rng 5 with
+    | 0 ->
+        Emitter.linef ctx.em "    public void %s%s(String data, int count) {" v (cap a);
+        index_loop ctx ~ind:"        " ~bound:"count";
+        Emitter.line ctx.em "    }"
+    | 4 ->
+        Emitter.linef ctx.em "    public void %s%s(int width, int height) {" v (cap a);
+        resize_stmt ctx ~ind:"        ";
+        Emitter.line ctx.em "    }"
+    | 1 ->
+        Emitter.linef ctx.em "    public void %s%s(String data) {" v (cap a);
+        try_catch ctx ~ind:"        " ~action:(verb ctx);
+        Emitter.line ctx.em "    }"
+    | 2 ->
+        Emitter.linef ctx.em "    public void %s%s(String data) {" v (cap a);
+        string_writer ctx ~ind:"        ";
+        Emitter.linef ctx.em "        logger.info(\"%s\");" v;
+        Emitter.line ctx.em "    }"
+    | _ ->
+        Emitter.linef ctx.em "    public String %s%s(String %s) {" v (cap a) a;
+        null_check ctx ~ind:"        " ~var:a;
+        string_builder ctx ~ind:"        ";
+        Emitter.line ctx.em "    }")
+  done;
+  Emitter.line ctx.em "}"
+
+(** Generate one Java file of a deterministic-random flavor. *)
+let gen_file ~rng ~vocab ~rates ~file =
+  let em = Emitter.create ~file in
+  let ctx = { em; rng; v = vocab; rates } in
+  (match Prng.int rng 3 with
+  | 0 -> gen_model_file ctx
+  | 1 -> gen_activity_file ctx
+  | _ -> gen_service_file ctx);
+  em

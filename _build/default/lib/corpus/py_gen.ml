@@ -1,0 +1,400 @@
+(** Synthetic Python source generation.
+
+    Each generator writes one file built from a catalog of naming idioms
+    modeled on the paper's Python examples (Tables 3, 4, 7): unittest
+    assertion style, [range] loops, numpy aliasing, constructor
+    self-assignment, [**kwargs] conventions, setter conventions, [*args]
+    conventions.  Every idiom instance is instantiated correctly except when
+    the dice decide to inject an issue (recorded with its expected fix) or a
+    benign anomaly (recorded as false-positive-if-reported).
+
+    Issue and benign rates are kept low enough that each idiom's dominant
+    form stays above the mining satisfaction threshold, mirroring real code
+    where mistakes are rare events against a consistent backdrop. *)
+
+module Prng = Namer_util.Prng
+
+type rates = { issue : float; benign : float }
+
+type ctx = { em : Emitter.t; rng : Prng.t; v : Vocab.slice; rates : rates }
+
+type fate = Clean | Issue | Benign
+
+let fate ctx =
+  if Prng.bool ctx.rng ~p:ctx.rates.issue then Issue
+  else if Prng.bool ctx.rng ~p:ctx.rates.benign then Benign
+  else Clean
+
+let cap s = String.capitalize_ascii s
+let num ctx = string_of_int (Prng.int ctx.rng 100 + 1)
+
+(* Legitimate attribute/value mismatches: recurring across the corpus, so
+   the classifier can learn that repeated inconsistencies are conventions,
+   not defects. *)
+let legit_mismatches =
+  [|
+    ("parent", "node"); ("logger", "log"); ("owner", "user");
+    ("handler", "callback"); ("data", "payload"); ("conn", "connection");
+  |]
+
+(* Synonym confusions for injected inconsistent names (wrong attr word used
+   for a value of a different name) — one-off, unlike the legit list. *)
+let synonym_confusions =
+  [|
+    ("help", "docstring"); ("amount", "total"); ("size", "length");
+    ("name", "title"); ("index", "position"); ("result", "status");
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level idioms (emitted inside a method body)               *)
+(* ------------------------------------------------------------------ *)
+
+(** [self.assertEqual(x.attr, N)] — Figure 2's idiom.  Issues: the
+    [assertTrue(x, N)] API misuse and the deprecated [assertEquals]. *)
+let assert_equal_stmt ctx ~ind ~obj =
+  let attr = ctx.v.attribute ctx.rng in
+  match fate ctx with
+  | Issue when Prng.bool ctx.rng ~p:0.6 ->
+      Emitter.inject ctx.em ~wrong:"True" ~expected:"Equal"
+        ~wrong_ident:"assertTrue" ~fixed_ident:"assertEqual"
+        ~category:Issue.Semantic_defect
+        ~description:"assertTrue used with two arguments instead of assertEqual";
+      Emitter.linef ctx.em "%sself.assertTrue(%s.%s, %s)" ind obj attr (num ctx)
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"Equals" ~expected:"Equal"
+        ~wrong_ident:"assertEquals" ~fixed_ident:"assertEqual"
+        ~category:Issue.Semantic_defect
+        ~description:"deprecated assertEquals instead of assertEqual";
+      Emitter.linef ctx.em "%sself.assertEquals(%s.%s, %s)" ind obj attr (num ctx)
+  | _ -> Emitter.linef ctx.em "%sself.assertEqual(%s.%s, %s)" ind obj attr (num ctx)
+
+(** [self.assertTrue(os.path.exists(p))] — dominant file-check assertion.
+    Benign anomalies use the rarer (but correct) [islink] / [isdir]. *)
+let assert_path_stmt ctx ~ind ~var =
+  match fate ctx with
+  | Benign ->
+      let check = Prng.choose ctx.rng [ "islink"; "isdir" ] in
+      let note = Printf.sprintf "os.path.%s is correct here" check in
+      (* half the anomalies repeat locally (easy for the classifier: high
+         identical-statement counts), half are one-offs (hard) *)
+      let n = if Prng.bool ctx.rng ~p:0.5 then 2 + Prng.int ctx.rng 2 else 1 in
+      for _ = 1 to n do
+        Emitter.benign ctx.em ~note;
+        Emitter.linef ctx.em "%sself.assertTrue(os.path.%s(%s))" ind check var
+      done
+  | _ -> Emitter.linef ctx.em "%sself.assertTrue(os.path.exists(%s))" ind var
+
+(** [for i in range(N):] accumulation loop; issue: Python-2 [xrange]. *)
+let range_loop ctx ~ind =
+  let acc = Prng.choose ctx.rng [ "total"; "count"; "acc" ] in
+  Emitter.linef ctx.em "%s%s = 0" ind acc;
+  let loop_var = ref "i" in
+  (* loops are very frequent, so damp the benign arm to keep the overall
+     false-positive mix diverse *)
+  let f =
+    if Prng.bool ctx.rng ~p:ctx.rates.issue then Issue
+    else if Prng.bool ctx.rng ~p:(0.4 *. ctx.rates.benign) then Benign
+    else Clean
+  in
+  (match f with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"xrange" ~expected:"range"
+        ~category:Issue.Semantic_defect
+        ~description:"xrange was removed in Python 3";
+      Emitter.linef ctx.em "%sfor i in xrange(%s):" ind (num ctx)
+  | Benign ->
+      (* a one-letter variant loop variable: statistically unusual, correct —
+         a hard false positive (the classifier sees a 1-edit "typo") *)
+      loop_var := Prng.choose ctx.rng [ "n"; "k" ];
+      Emitter.benign ctx.em ~note:"alternative loop variable name is fine";
+      Emitter.linef ctx.em "%sfor %s in range(%s):" ind !loop_var (num ctx)
+  | Clean -> Emitter.linef ctx.em "%sfor i in range(%s):" ind (num ctx));
+  if !loop_var <> "i" then
+    Emitter.benign ctx.em ~note:"alternative loop variable name is fine";
+  Emitter.linef ctx.em "%s    %s += %s" ind acc !loop_var
+
+(** numpy usage: [arr = np.array(xs)] etc. under the conventional [np]
+    alias; the issue aliases numpy as [N] (Table 3, example 6). *)
+let numpy_alias ctx =
+  (* the alias is a file-level choice, so boost the per-instance rates *)
+  if Prng.bool ctx.rng ~p:(min 0.25 (4.0 *. ctx.rates.issue)) then "N"
+  else if Prng.bool ctx.rng ~p:(min 0.25 (2.0 *. ctx.rates.benign)) then "numpy"
+  else "np"
+
+(* Mark one line that uses a nonstandard numpy alias: [N] is the injected
+   confusing name (Table 3, example 6); the unaliased [numpy] is correct but
+   unusual — a benign anomaly. *)
+let numpy_mark ctx ~alias =
+  if alias = "N" then
+    Emitter.inject ctx.em ~wrong:alias ~expected:"np" ~wrong_ident:alias
+      ~fixed_ident:"np"
+      ~category:(Issue.Code_quality Issue.Confusing_name)
+      ~description:"numpy conventionally aliased np"
+  else if alias = "numpy" then
+    Emitter.benign ctx.em ~note:"unaliased numpy import is fine"
+
+let numpy_import ctx ~alias =
+  if alias = "numpy" then Emitter.line ctx.em "import numpy"
+  else begin
+    numpy_mark ctx ~alias;
+    Emitter.linef ctx.em "import numpy as %s" alias
+  end
+
+let numpy_stmt ctx ~ind ~alias =
+  let var = ctx.v.entity ctx.rng in
+  let call =
+    Prng.choose ctx.rng [ "array"; "zeros"; "ones"; "arange"; "asarray" ]
+  in
+  numpy_mark ctx ~alias;
+  Emitter.linef ctx.em "%s%s = %s.%s(%s)" ind var alias call
+    (Prng.choose ctx.rng [ num ctx; "values"; "data" ])
+
+(** Constructor self-assignment [self.x = x] — the consistency idiom of
+    Example 3.8.  Issues: a typo'd value (Table 7's [self.port = por]) or a
+    synonym-confused attribute ([self.help = docstring]); benign: a
+    conventional mismatch from {!legit_mismatches}. *)
+let init_assign_stmt ctx ~ind ~param =
+  (* this idiom carries the corpus's hard false positives, so its benign
+     arm runs hotter than the global rate *)
+  let f =
+    if Prng.bool ctx.rng ~p:ctx.rates.issue then Issue
+    else if Prng.bool ctx.rng ~p:(min 0.12 (2.5 *. ctx.rates.benign)) then Benign
+    else Clean
+  in
+  match f with
+  | Issue when Prng.bool ctx.rng ~p:0.5 ->
+      let wrong = Vocab.typo ctx.rng param in
+      Emitter.inject ctx.em ~wrong ~expected:param
+        ~category:(Issue.Code_quality Issue.Typo)
+        ~description:(Printf.sprintf "typo %s for %s" wrong param);
+      Emitter.linef ctx.em "%sself.%s = %s" ind param wrong;
+      param
+  | Issue ->
+      let attr_wrong, _ = Prng.choose_arr ctx.rng synonym_confusions in
+      Emitter.inject ctx.em ~wrong:attr_wrong ~expected:param
+        ~category:(Issue.Code_quality Issue.Inconsistent_name)
+        ~description:
+          (Printf.sprintf "attribute %s inconsistent with value %s" attr_wrong param);
+      Emitter.linef ctx.em "%sself.%s = %s" ind attr_wrong param;
+      param
+  | Benign when Prng.bool ctx.rng ~p:0.35 ->
+      (* recurring conventional mismatch (easy to classify as benign) *)
+      let attr, value = Prng.choose_arr ctx.rng legit_mismatches in
+      Emitter.benign ctx.em ~note:"conventional attribute/value mismatch";
+      Emitter.linef ctx.em "%sself.%s = %s" ind attr value;
+      value
+  | Benign ->
+      (* one-off legitimate mismatch (hard: looks like an inconsistency) *)
+      let attr = ctx.v.attribute ctx.rng and value = ctx.v.entity ctx.rng in
+      if attr = value then begin
+        Emitter.linef ctx.em "%sself.%s = %s" ind param param;
+        param
+      end
+      else begin
+        Emitter.benign ctx.em ~note:"deliberate attribute/value mismatch";
+        Emitter.linef ctx.em "%sself.%s = %s" ind attr value;
+        value
+      end
+  | Clean ->
+      Emitter.linef ctx.em "%sself.%s = %s" ind param param;
+      param
+
+(** [def f(self, **kwargs)] convention; issue: [**args] (Table 3, ex. 5). *)
+let kwargs_method ctx ~name =
+  let f = fate ctx in
+  let buggy = f = Issue in
+  let star_name =
+    match f with Issue -> "args" | Benign -> "options" | Clean -> "kwargs"
+  in
+  let mark () =
+    if buggy then
+      Emitter.inject ctx.em ~wrong:"args" ~expected:"kwargs"
+        ~category:(Issue.Code_quality Issue.Confusing_name)
+        ~description:"keyworded varargs conventionally named kwargs"
+    else if f = Benign then
+      Emitter.benign ctx.em ~note:"options is a legitimate kwargs name"
+  in
+  mark ();
+  Emitter.linef ctx.em "    def %s(self, **%s):" name star_name;
+  let attr = ctx.v.attribute ctx.rng in
+  mark ();
+  Emitter.linef ctx.em "        %s = %s.get(\"%s\", None)" attr star_name attr;
+  Emitter.linef ctx.em "        return %s" attr
+
+(** Geometry idiom [image.resize(width, height)] — the canonical argument
+    order.  The issue swaps the arguments: a semantic defect of the
+    argument-swap class (detected by the ordering-pattern extension). *)
+let resize_stmt ctx ~ind =
+  let target = Prng.choose ctx.rng [ "image"; "canvas"; "frame"; "thumbnail" ] in
+  match fate ctx with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"height" ~expected:"width"
+        ~category:Issue.Semantic_defect
+        ~description:"swapped width/height arguments";
+      Emitter.linef ctx.em "%sresized = %s.resize(height, width)" ind target
+  | _ -> Emitter.linef ctx.em "%sresized = %s.resize(width, height)" ind target
+
+(** Setter convention [def x_set(self, x): self._x = x]; the minor issue
+    names the parameter [value] (Table 7). *)
+let setter_method ctx ~attr =
+  match fate ctx with
+  | Issue ->
+      Emitter.inject ctx.em ~wrong:"value" ~expected:attr
+        ~category:(Issue.Code_quality Issue.Minor_issue)
+        ~description:"parameter could carry the attribute's name";
+      Emitter.linef ctx.em "    def %s_set(self, value):" attr;
+      Emitter.inject ctx.em ~wrong:"value" ~expected:attr
+        ~category:(Issue.Code_quality Issue.Minor_issue)
+        ~description:"parameter could carry the attribute's name";
+      Emitter.linef ctx.em "        self._%s = value" attr
+  | _ ->
+      Emitter.linef ctx.em "    def %s_set(self, %s):" attr attr;
+      Emitter.linef ctx.em "        self._%s = %s" attr attr
+
+(** [def f(self, *args)] convention; the indescriptive issue names the
+    star parameter [e] (Table 7's [def reset(self, *e)]). *)
+let star_args_method ctx ~name =
+  let buggy = fate ctx = Issue in
+  let star_name = if buggy then "e" else "args" in
+  let mark () =
+    if buggy then
+      Emitter.inject ctx.em ~wrong:"e" ~expected:"args"
+        ~category:(Issue.Code_quality Issue.Indescriptive_name)
+        ~description:"indescriptive star-parameter name"
+  in
+  mark ();
+  Emitter.linef ctx.em "    def %s(self, *%s):" name star_name;
+  mark ();
+  Emitter.linef ctx.em "        for item in %s:" star_name;
+  Emitter.linef ctx.em "            self.items.append(item)"
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Tolerance-style assertion used by the [Validator] framework: a two-
+    argument [assertTrue(value, tolerance)] that is *correct* there.
+    Syntactically identical to the buggy TestCase usage — only the origin of
+    [self] (Validator vs TestCase) separates them, which is exactly why the
+    paper's static analyses matter (Tables 2/5, "w/o A"). *)
+let validator_assert_stmt ctx ~ind ~obj =
+  let attr = ctx.v.attribute ctx.rng in
+  Emitter.benign ctx.em ~note:"Validator.assertTrue legitimately takes a tolerance";
+  Emitter.linef ctx.em "%sself.assertTrue(%s.%s, %s)" ind obj attr (num ctx)
+
+(** A unittest test file: [class TestX(TestCase)] with test methods built
+    from the assertion and loop idioms.  About one file in eight is instead
+    a [Validator]-framework checker whose two-argument [assertTrue] calls
+    are correct — the origin-dependent ambiguity described above. *)
+let rec gen_test_file ctx =
+  let entity = ctx.v.entity ctx.rng in
+  if Prng.bool ctx.rng ~p:0.12 then begin
+    Emitter.line ctx.em "import os";
+    Emitter.line ctx.em "from validation import Validator";
+    Emitter.blank ctx.em;
+    Emitter.linef ctx.em "class %sChecker(Validator):" (cap entity);
+    Emitter.line ctx.em "    def setUp(self):";
+    Emitter.linef ctx.em "        self.%s = %s()" entity (cap entity);
+    let n_checks = 2 + Prng.int ctx.rng 3 in
+    for _ = 1 to n_checks do
+      Emitter.blank ctx.em;
+      Emitter.linef ctx.em "    def check_%s_%s(self):" (ctx.v.verb ctx.rng)
+        (ctx.v.attribute ctx.rng);
+      let obj = Printf.sprintf "self.%s" entity in
+      for _ = 1 to 1 + Prng.int ctx.rng 2 do
+        validator_assert_stmt ctx ~ind:"        " ~obj
+      done
+    done
+  end
+  else gen_testcase_file ctx entity
+
+and gen_testcase_file ctx entity =
+  Emitter.line ctx.em "import os";
+  Emitter.line ctx.em "from unittest import TestCase";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "class Test%s(TestCase):" (cap entity);
+  Emitter.line ctx.em "    def setUp(self):";
+  Emitter.linef ctx.em "        self.%s = %s()" entity (cap entity);
+  Emitter.linef ctx.em "        self.%s_path = \"%s.dat\"" entity entity;
+  let n_tests = 2 + Prng.int ctx.rng 4 in
+  for _ = 1 to n_tests do
+    Emitter.blank ctx.em;
+    let verb = ctx.v.verb ctx.rng and attr = ctx.v.attribute ctx.rng in
+    Emitter.linef ctx.em "    def test_%s_%s(self):" verb attr;
+    let obj = Printf.sprintf "self.%s" entity in
+    let n_stmts = 1 + Prng.int ctx.rng 3 in
+    for _ = 1 to n_stmts do
+      match Prng.int ctx.rng 4 with
+      | 0 -> assert_path_stmt ctx ~ind:"        " ~var:(Printf.sprintf "self.%s_path" entity)
+      | 1 -> range_loop ctx ~ind:"        "
+      | 2 ->
+          let var = ctx.v.attribute ctx.rng in
+          Emitter.linef ctx.em "        %s = %s.%s" var obj (ctx.v.attribute ctx.rng)
+      | _ -> assert_equal_stmt ctx ~ind:"        " ~obj
+    done;
+    assert_equal_stmt ctx ~ind:"        " ~obj
+  done
+
+(** A model/domain class file: constructor self-assignments, setters,
+    kwargs/args conventions, simple getters. *)
+let gen_model_file ctx =
+  let entity = ctx.v.entity ctx.rng in
+  Emitter.line ctx.em "import logging";
+  Emitter.blank ctx.em;
+  Emitter.linef ctx.em "class %s(object):" (cap entity);
+  let n_params = 2 + Prng.int ctx.rng 3 in
+  let params =
+    List.init n_params (fun _ -> ctx.v.attribute ctx.rng) |> List.sort_uniq compare
+  in
+  Emitter.linef ctx.em "    def __init__(self, %s):" (String.concat ", " params);
+  Emitter.line ctx.em "        self.items = []";
+  List.iter (fun p -> ignore (init_assign_stmt ctx ~ind:"        " ~param:p)) params;
+  List.iteri
+    (fun i p ->
+      Emitter.blank ctx.em;
+      match i mod 4 with
+      | 0 -> setter_method ctx ~attr:p
+      | 1 -> kwargs_method ctx ~name:(ctx.v.verb ctx.rng)
+      | 2 -> star_args_method ctx ~name:(ctx.v.verb ctx.rng)
+      | _ ->
+          Emitter.linef ctx.em "    def get_%s(self):" p;
+          Emitter.linef ctx.em "        return self.%s" p)
+    params
+
+(** A utility module: numpy idioms, file handling, loops, logging. *)
+let gen_util_file ctx =
+  let alias = numpy_alias ctx in
+  numpy_import ctx ~alias;
+  Emitter.line ctx.em "import logging";
+  Emitter.blank ctx.em;
+  Emitter.line ctx.em "logger = logging.getLogger(__name__)";
+  let n_funcs = 2 + Prng.int ctx.rng 3 in
+  for _ = 1 to n_funcs do
+    Emitter.blank ctx.em;
+    let verb = ctx.v.verb ctx.rng and entity = ctx.v.entity ctx.rng in
+    Emitter.linef ctx.em "def %s_%s(path, values, width, height):" verb entity;
+    let n_stmts = 1 + Prng.int ctx.rng 3 in
+    for _ = 1 to n_stmts do
+      match Prng.int ctx.rng 5 with
+      | 0 ->
+          Emitter.line ctx.em "    with open(path) as f:";
+          Emitter.line ctx.em "        data = f.read()"
+      | 1 -> range_loop ctx ~ind:"    "
+      | 2 -> numpy_stmt ctx ~ind:"    " ~alias
+      | 3 -> resize_stmt ctx ~ind:"    "
+      | _ ->
+          Emitter.linef ctx.em "    logger.info(\"%s %s\")" verb entity
+    done;
+    numpy_stmt ctx ~ind:"    " ~alias;
+    Emitter.linef ctx.em "    return %s" entity
+  done
+
+(** Generate one Python file of a deterministic-random flavor. *)
+let gen_file ~rng ~vocab ~rates ~file =
+  let em = Emitter.create ~file in
+  let ctx = { em; rng; v = vocab; rates } in
+  (match Prng.int rng 3 with
+  | 0 -> gen_test_file ctx
+  | 1 -> gen_model_file ctx
+  | _ -> gen_util_file ctx);
+  em

@@ -1,0 +1,126 @@
+(** Naming vocabulary for the synthetic Big Code generator.
+
+    Repositories draw entity/attribute/verb words from these pools (biased
+    per repo, so each repo has its own flavor while the global distribution
+    has the heavy head + long tail that pattern mining needs). *)
+
+let entities =
+  [|
+    "user"; "account"; "order"; "item"; "product"; "customer"; "invoice";
+    "payment"; "session"; "token"; "message"; "event"; "task"; "job";
+    "worker"; "node"; "edge"; "graph"; "record"; "entry"; "document"; "page";
+    "image"; "picture"; "video"; "file"; "folder"; "bucket"; "queue";
+    "stream"; "buffer"; "packet"; "request"; "response"; "server"; "client";
+    "channel"; "topic"; "group"; "member"; "profile"; "address"; "contact";
+    "ticket"; "report"; "metric"; "sample"; "batch"; "model"; "layer";
+    "widget"; "button"; "panel"; "dialog"; "window"; "frame"; "slide";
+    "shape"; "color"; "style"; "theme"; "config"; "setting"; "option";
+    "result"; "status"; "state"; "context"; "handler"; "listener"; "parser";
+    "lexer"; "scanner"; "matcher"; "filter"; "mapper"; "reducer"; "builder";
+    "factory"; "manager"; "service"; "provider"; "adapter"; "wrapper";
+    "helper"; "util"; "cache"; "store"; "index"; "table"; "row"; "column";
+    "schema"; "field"; "value"; "key"; "name"; "label"; "tag"; "flag";
+  |]
+
+let attributes =
+  [|
+    "id"; "name"; "title"; "description"; "count"; "size"; "length";
+    "width"; "height"; "weight"; "price"; "amount"; "total"; "offset";
+    "limit"; "index"; "position"; "angle"; "scale"; "ratio"; "rate";
+    "score"; "rank"; "level"; "depth"; "version"; "timestamp"; "created";
+    "updated"; "deleted"; "enabled"; "visible"; "active"; "valid"; "dirty";
+    "path"; "url"; "host"; "port"; "timeout"; "retries"; "capacity";
+    "threshold"; "priority"; "weight"; "color"; "format"; "encoding";
+    "charset"; "locale"; "owner"; "parent"; "child"; "source"; "target";
+    "origin"; "destination"; "prefix"; "suffix"; "header"; "footer"; "body";
+  |]
+
+let verbs =
+  [|
+    "get"; "set"; "load"; "save"; "store"; "fetch"; "send"; "receive";
+    "open"; "close"; "start"; "stop"; "pause"; "resume"; "reset"; "clear";
+    "add"; "remove"; "insert"; "delete"; "update"; "create"; "destroy";
+    "build"; "parse"; "render"; "draw"; "paint"; "compute"; "calculate";
+    "process"; "handle"; "dispatch"; "emit"; "notify"; "register";
+    "subscribe"; "publish"; "validate"; "verify"; "check"; "find"; "search";
+    "filter"; "sort"; "merge"; "split"; "join"; "copy"; "move"; "resize";
+    "rotate"; "flip"; "encode"; "decode"; "compress"; "extract"; "convert";
+  |]
+
+let adjectives =
+  [|
+    "new"; "old"; "last"; "first"; "next"; "prev"; "current"; "default";
+    "custom"; "local"; "remote"; "global"; "public"; "private"; "internal";
+    "external"; "temp"; "raw"; "parsed"; "cached"; "pending"; "active";
+    "final"; "initial"; "primary"; "secondary"; "main"; "base"; "extra";
+  |]
+
+(** Per-repo vocabulary slice: a deterministic biased subset, so different
+    repos favor different words. *)
+type slice = {
+  entity : Namer_util.Prng.t -> string;
+  attribute : Namer_util.Prng.t -> string;
+  verb : Namer_util.Prng.t -> string;
+  adjective : Namer_util.Prng.t -> string;
+}
+
+let slice_of_pool pool prng_seed =
+  let prng = Namer_util.Prng.create prng_seed in
+  let n = Array.length pool in
+  let k = max 8 (n / 4) in
+  let chosen = Array.init k (fun _ -> pool.(Namer_util.Prng.int prng n)) in
+  fun rng ->
+    (* 80 % from the repo's slice, 20 % from the global pool: local flavor
+       with global overlap. *)
+    if Namer_util.Prng.bool rng ~p:0.8 then Namer_util.Prng.choose_arr rng chosen
+    else Namer_util.Prng.choose_arr rng pool
+
+let make_slice ~seed =
+  {
+    entity = slice_of_pool entities (seed * 4 + 1);
+    attribute = slice_of_pool attributes (seed * 4 + 2);
+    verb = slice_of_pool verbs (seed * 4 + 3);
+    adjective = slice_of_pool adjectives (seed * 4 + 4);
+  }
+
+(** Introduce a realistic typo into [word]: transposition, deletion,
+    duplication or vowel substitution — always at least one edit, never the
+    identity. *)
+let typo rng word =
+  let n = String.length word in
+  if n < 3 then word ^ word
+  else
+    let b = Bytes.of_string word in
+    match Namer_util.Prng.int rng 4 with
+    | 0 ->
+        (* transpose two adjacent characters *)
+        let i = 1 + Namer_util.Prng.int rng (n - 2) in
+        let c = Bytes.get b i in
+        Bytes.set b i (Bytes.get b (i - 1));
+        Bytes.set b (i - 1) c;
+        let s = Bytes.to_string b in
+        if s = word then word ^ "e" else s
+    | 1 ->
+        (* drop one inner character *)
+        let i = 1 + Namer_util.Prng.int rng (n - 2) in
+        String.sub word 0 i ^ String.sub word (i + 1) (n - i - 1)
+    | 2 ->
+        (* duplicate one character *)
+        let i = Namer_util.Prng.int rng n in
+        String.sub word 0 (i + 1) ^ String.sub word i (n - i)
+    | _ ->
+        (* substitute a vowel *)
+        let vowels = "aeiou" in
+        let rec subst i =
+          if i >= n then word ^ "s"
+          else if String.contains vowels (Bytes.get b i) then begin
+            let v = vowels.[Namer_util.Prng.int rng 5] in
+            if v = Bytes.get b i then subst (i + 1)
+            else begin
+              Bytes.set b i v;
+              Bytes.to_string b
+            end
+          end
+          else subst (i + 1)
+        in
+        subst 0

@@ -1,0 +1,1 @@
+lib/datalog/datalog.mli:

@@ -1,0 +1,252 @@
+(** A small bottom-up Datalog engine.
+
+    The paper implements its points-to analysis in Datalog (§4.1, citing
+    Smaragdakis & Balatsouras [44]); this module is the solver substrate for
+    {!Namer_analysis}.  It supports positive Horn rules with inequality
+    guards, evaluated by stratum-free semi-naive iteration to a least
+    fixpoint.  Constants are integers — callers intern strings with
+    {!Namer_util.Interner} — and relations are sets of integer tuples.
+
+    The engine is deliberately simple: per-file programs in this project
+    yield databases of at most a few thousand tuples, so nested-loop joins
+    with a first-column index are entirely adequate.  The interface is
+    imperative ([add_fact] / [add_rule] / [solve]) matching how the analysis
+    incrementally translates a program into EDB facts. *)
+
+type term =
+  | Var of int  (** rule-local variable, numbered from 0 *)
+  | Const of int  (** interned constant *)
+
+type atom = { pred : int; args : term array }
+
+(** Side conditions evaluated once all their variables are bound. *)
+type guard =
+  | Neq of term * term  (** arguments must differ *)
+  | Eq of term * term  (** arguments must coincide *)
+
+type rule = { head : atom; body : atom list; guards : guard list }
+
+(** Tuple storage for one predicate: the set of tuples plus an index from the
+    value of the first column to the tuples carrying it, which accelerates
+    the very common join shape [p(X, ...)] with [X] already bound. *)
+type relation = {
+  tuples : (int array, unit) Hashtbl.t;
+  by_first : (int, int array list ref) Hashtbl.t;
+}
+
+type t = {
+  relations : (int, relation) Hashtbl.t;
+  mutable rules : rule list;
+}
+
+let create () = { relations = Hashtbl.create 32; rules = [] }
+
+let relation t pred =
+  match Hashtbl.find_opt t.relations pred with
+  | Some r -> r
+  | None ->
+      let r = { tuples = Hashtbl.create 64; by_first = Hashtbl.create 64 } in
+      Hashtbl.replace t.relations pred r;
+      r
+
+let mem_tuple rel tup = Hashtbl.mem rel.tuples tup
+
+let insert_tuple rel tup =
+  if mem_tuple rel tup then false
+  else begin
+    Hashtbl.replace rel.tuples tup ();
+    if Array.length tup > 0 then begin
+      let key = tup.(0) in
+      match Hashtbl.find_opt rel.by_first key with
+      | Some l -> l := tup :: !l
+      | None -> Hashtbl.replace rel.by_first key (ref [ tup ])
+    end;
+    true
+  end
+
+(** [add_fact t ~pred tuple] asserts an EDB fact. *)
+let add_fact t ~pred tuple = ignore (insert_tuple (relation t pred) tuple)
+
+(** [add_rule t rule] registers an IDB rule. Head variables must appear in
+    the body (range restriction); violations raise [Invalid_argument]. *)
+let add_rule t rule =
+  let body_vars = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      Array.iter (function Var v -> Hashtbl.replace body_vars v () | Const _ -> ()) a.args)
+    rule.body;
+  Array.iter
+    (function
+      | Var v when not (Hashtbl.mem body_vars v) ->
+          invalid_arg "Datalog.add_rule: head variable not bound in body"
+      | _ -> ())
+    rule.head.args;
+  t.rules <- rule :: t.rules
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A substitution maps rule variables to constants.  Rules are small (≤ 5
+   variables in the points-to encoding) so a plain int array indexed by the
+   variable number is the fastest representation. [-1] marks unbound. *)
+
+let max_var rule =
+  let m = ref (-1) in
+  let scan a =
+    Array.iter (function Var v -> if v > !m then m := v | Const _ -> ()) a.args
+  in
+  scan rule.head;
+  List.iter scan rule.body;
+  List.iter
+    (function
+      | Neq (x, y) | Eq (x, y) ->
+          List.iter
+            (function Var v -> if v > !m then m := v | Const _ -> ())
+            [ x; y ])
+    rule.guards;
+  !m
+
+let term_value env = function Const c -> Some c | Var v -> if env.(v) >= 0 then Some env.(v) else None
+
+let check_guards env guards =
+  List.for_all
+    (fun g ->
+      match g with
+      | Neq (x, y) -> (
+          match (term_value env x, term_value env y) with
+          | Some a, Some b -> a <> b
+          | _ -> true (* unbound guards pass; they re-check when bound *))
+      | Eq (x, y) -> (
+          match (term_value env x, term_value env y) with
+          | Some a, Some b -> a = b
+          | _ -> true))
+    guards
+
+(* Attempt to unify atom [a] against concrete [tuple] under [env]; returns
+   the list of variables newly bound (for undo) or None on mismatch. *)
+let unify env a tuple =
+  let n = Array.length a.args in
+  if n <> Array.length tuple then None
+  else begin
+    let bound = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match a.args.(!i) with
+      | Const c -> if c <> tuple.(!i) then ok := false
+      | Var v ->
+          if env.(v) < 0 then begin
+            env.(v) <- tuple.(!i);
+            bound := v :: !bound
+          end
+          else if env.(v) <> tuple.(!i) then ok := false);
+      incr i
+    done;
+    if !ok then Some !bound
+    else begin
+      List.iter (fun v -> env.(v) <- -1) !bound;
+      None
+    end
+  end
+
+let candidates t atom env =
+  let rel = relation t atom.pred in
+  (* Use the first-column index when the first argument is already ground. *)
+  let first_key =
+    if Array.length atom.args = 0 then None
+    else term_value env atom.args.(0)
+  in
+  match first_key with
+  | Some k -> (
+      match Hashtbl.find_opt rel.by_first k with Some l -> !l | None -> [])
+  | None -> Hashtbl.fold (fun tup () acc -> tup :: acc) rel.tuples []
+
+let instantiate_head env head =
+  Array.map
+    (fun tm ->
+      match tm with
+      | Const c -> c
+      | Var v ->
+          assert (env.(v) >= 0);
+          env.(v))
+    head.args
+
+(* Evaluate [rule] with the [delta_idx]-th body atom restricted to the
+   [delta] tuple list; emit derived head tuples via [emit]. *)
+let eval_rule t rule ~delta_idx ~delta ~emit =
+  let nvars = max_var rule + 1 in
+  let env = Array.make (max nvars 1) (-1) in
+  let body = Array.of_list rule.body in
+  let rec go i =
+    if i = Array.length body then begin
+      if check_guards env rule.guards then emit (instantiate_head env rule.head)
+    end
+    else begin
+      let atom = body.(i) in
+      let tuples = if i = delta_idx then delta else candidates t atom env in
+      List.iter
+        (fun tup ->
+          match unify env atom tup with
+          | Some bound ->
+              if check_guards env rule.guards then go (i + 1);
+              List.iter (fun v -> env.(v) <- -1) bound
+          | None -> ())
+        tuples
+    end
+  in
+  go 0
+
+(** [solve t] runs semi-naive evaluation to the least fixpoint.  Idempotent:
+    calling it again after adding more facts/rules resumes from the current
+    database. *)
+let solve t =
+  (* Seed: treat every existing tuple as delta once. *)
+  let all_tuples pred =
+    let rel = relation t pred in
+    Hashtbl.fold (fun tup () acc -> tup :: acc) rel.tuples []
+  in
+  let delta : (int, int array list) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun pred _ -> Hashtbl.replace delta pred (all_tuples pred)) t.relations;
+  let continue_ = ref true in
+  while !continue_ do
+    let next_delta : (int, int array list) Hashtbl.t = Hashtbl.create 32 in
+    let emit pred tup =
+      if insert_tuple (relation t pred) tup then
+        Hashtbl.replace next_delta pred
+          (tup :: Option.value (Hashtbl.find_opt next_delta pred) ~default:[])
+    in
+    List.iter
+      (fun rule ->
+        List.iteri
+          (fun i atom ->
+            match Hashtbl.find_opt delta atom.pred with
+            | Some d when d <> [] ->
+                eval_rule t rule ~delta_idx:i ~delta:d
+                  ~emit:(fun tup -> emit rule.head.pred tup)
+            | _ -> ())
+          rule.body)
+      t.rules;
+    Hashtbl.reset delta;
+    Hashtbl.iter (fun p d -> Hashtbl.replace delta p d) next_delta;
+    continue_ := Hashtbl.length next_delta > 0
+  done
+
+(** All tuples currently in [pred]'s relation, in unspecified order. *)
+let query t ~pred =
+  let rel = relation t pred in
+  Hashtbl.fold (fun tup () acc -> tup :: acc) rel.tuples []
+
+(** Tuples of [pred] whose first column equals [key]. *)
+let query_first t ~pred ~key =
+  let rel = relation t pred in
+  match Hashtbl.find_opt rel.by_first key with Some l -> !l | None -> []
+
+let count t ~pred = Hashtbl.length (relation t pred).tuples
+
+(* Convenience constructors for building rules in OCaml. *)
+let v i = Var i
+let c x = Const x
+let atom pred args = { pred; args = Array.of_list args }
+let rule head body = { head; body; guards = [] }
+let rule_g head body guards = { head; body; guards }

@@ -1,0 +1,45 @@
+(** A small bottom-up Datalog engine: positive Horn rules with
+    (in)equality guards, semi-naive evaluation to a least fixpoint.
+    Constants are integers (intern strings with {!Namer_util.Interner});
+    relations are sets of integer tuples with a first-column index.
+    The solver substrate for the §4.1 points-to analyses. *)
+
+type term = Var of int  (** rule-local variable *) | Const of int
+
+type atom = { pred : int; args : term array }
+
+(** Side conditions evaluated once their variables are bound. *)
+type guard = Neq of term * term | Eq of term * term
+
+type rule = { head : atom; body : atom list; guards : guard list }
+
+type t
+
+val create : unit -> t
+
+(** Assert an EDB fact. *)
+val add_fact : t -> pred:int -> int array -> unit
+
+(** Register an IDB rule.
+    @raise Invalid_argument if a head variable is unbound in the body. *)
+val add_rule : t -> rule -> unit
+
+(** Run semi-naive evaluation to the least fixpoint.  Idempotent; resumes
+    from the current database after new facts/rules. *)
+val solve : t -> unit
+
+(** All tuples of [pred], unspecified order. *)
+val query : t -> pred:int -> int array list
+
+(** Tuples of [pred] whose first column equals [key]. *)
+val query_first : t -> pred:int -> key:int -> int array list
+
+val count : t -> pred:int -> int
+
+(** Convenience constructors: [rule (atom p [v 0; c 7]) [...]]. *)
+val v : int -> term
+
+val c : int -> term
+val atom : int -> term list -> atom
+val rule : atom -> atom list -> rule
+val rule_g : atom -> atom list -> guard list -> rule

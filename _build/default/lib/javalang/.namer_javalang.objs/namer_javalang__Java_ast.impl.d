@@ -1,0 +1,1 @@
+lib/javalang/java_ast.ml: List

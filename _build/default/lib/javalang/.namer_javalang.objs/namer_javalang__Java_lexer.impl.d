@@ -1,0 +1,1 @@
+lib/javalang/java_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/javalang/java_lower.ml: Java_ast List Namer_tree String

@@ -1,0 +1,1 @@
+lib/javalang/java_parser.ml: Array Java_ast Java_lexer List Printf String

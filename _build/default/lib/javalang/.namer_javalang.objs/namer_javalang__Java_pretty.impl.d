@@ -1,0 +1,1 @@
+lib/javalang/java_pretty.ml: Buffer Java_ast List String

@@ -1,0 +1,124 @@
+(** Surface abstract syntax for the Java subset.
+
+    Covers the constructs the synthetic corpus and the paper's Java examples
+    (Table 6) exercise: classes with [extends]/[implements], fields, methods
+    and constructors, local variable declarations with initializers, classic
+    and enhanced [for] loops, [try]/[catch]/[finally], [throw], the
+    expression grammar including [new], casts, [instanceof], ternary, and
+    assignment expressions. Generics are parsed and recorded on types. *)
+
+type typ = {
+  base : string;  (** possibly dotted, e.g. ["java.util.List"] *)
+  targs : typ list;  (** generic arguments *)
+  dims : int;  (** array dimensions *)
+}
+
+let simple_typ base = { base; targs = []; dims = 0 }
+
+type expr =
+  | Name of string
+  | Lit_int of string
+  | Lit_float of string
+  | Lit_str of string
+  | Lit_char of string
+  | Lit_bool of bool
+  | Lit_null
+  | Field of expr * string  (** [e.f] *)
+  | Index of expr * expr  (** [e[i]] *)
+  | Call of { recv : expr option; meth : string; args : expr list }
+  | New of typ * expr list
+  | New_array of typ * expr list  (** dimensions' length expressions *)
+  | Array_init of expr list  (** [{a, b, c}] *)
+  | Bin of expr * string * expr
+  | Un of string * expr
+  | Postfix of expr * string  (** [e++], [e--] *)
+  | Assign_e of expr * string * expr  (** assignment as expression *)
+  | Ternary of expr * expr * expr
+  | Cast of typ * expr
+  | Instanceof of expr * typ
+  | Class_lit of typ  (** [T.class] *)
+  | This
+  | Super_call of string * expr list  (** [super.m(args)] *)
+  | Lambda_e of string list * lambda_body  (** [x -> e] / [(a,b) -> { .. }] *)
+
+and lambda_body = L_expr of expr | L_block of stmt list
+
+and stmt = { line : int; kind : stmt_kind }
+
+and stmt_kind =
+  | Local of typ * (string * expr option) list
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | For of for_init * expr option * expr list * stmt list
+  | Foreach of typ * string * expr * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | Return of expr option
+  | Throw of expr
+  | Try of stmt list * catch list * stmt list
+  | Break
+  | Continue
+  | Block of stmt list
+  | Synchronized of expr * stmt list
+  | Empty
+
+and catch = { ctype : typ; cbind : string; cbody : stmt list }
+
+and for_init =
+  | Fi_local of typ * (string * expr option) list
+  | Fi_expr of expr list
+  | Fi_none
+
+type member =
+  | Field_m of {
+      fmods : string list;
+      ftype : typ;
+      fname : string;
+      finit : expr option;
+      fline : int;
+    }
+  | Method_m of {
+      mmods : string list;
+      rtype : typ option;  (** [None] for constructors *)
+      mname : string;
+      params : (typ * string) list;
+      mbody : stmt list option;  (** [None] for abstract methods *)
+      mline : int;
+    }
+  | Init_m of stmt list  (** static / instance initializer block *)
+  | Class_m of cls  (** nested class *)
+
+and cls = {
+  cmods : string list;
+  ckind : [ `Class | `Interface | `Enum ];
+  cname : string;
+  cextends : typ option;
+  cimplements : typ list;
+  members : member list;
+  cline : int;
+}
+
+type compilation_unit = {
+  package : string option;
+  imports : string list;
+  classes : cls list;
+}
+
+(** [iter_stmts f stmts] visits every statement, descending into bodies. *)
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s.kind with
+      | If (_, a, b) ->
+          iter_stmts f a;
+          iter_stmts f b
+      | For (_, _, _, b) | Foreach (_, _, _, b) | While (_, b) | Do_while (b, _)
+      | Block b | Synchronized (_, b) ->
+          iter_stmts f b
+      | Try (b, catches, fin) ->
+          iter_stmts f b;
+          List.iter (fun c -> iter_stmts f c.cbody) catches;
+          iter_stmts f fin
+      | _ -> ())
+    stmts

@@ -1,0 +1,179 @@
+(** Lexer for the Java subset.  Free-form (no layout tokens); line and block
+    comments are skipped; string/char literals keep their unquoted content. *)
+
+type token =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of string
+  | Float_lit of string
+  | Str_lit of string
+  | Char_lit of string
+  | Op of string
+  | Eof
+
+type loc_token = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "abstract"; "assert"; "boolean"; "break"; "byte"; "case"; "catch"; "char";
+    "class"; "const"; "continue"; "default"; "do"; "double"; "else"; "enum";
+    "extends"; "final"; "finally"; "float"; "for"; "if"; "implements";
+    "import"; "instanceof"; "int"; "interface"; "long"; "native"; "new";
+    "package"; "private"; "protected"; "public"; "return"; "short"; "static";
+    "strictfp"; "super"; "switch"; "synchronized"; "this"; "throw"; "throws";
+    "transient"; "try"; "void"; "volatile"; "while"; "true"; "false"; "null";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let operators =
+  [
+    ">>>="; "<<="; ">>="; ">>>"; "..."; "->"; "::"; "=="; "!="; "<="; ">=";
+    "&&"; "||"; "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^=";
+    "<<"; ">>"; "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "~"; "&"; "|";
+    "^"; "?"; ":"; "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "."; "@";
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let cur () = if !pos < n then Some src.[!pos] else None in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () = incr pos in
+  let read_escaped quote =
+    advance ();
+    let buf = Buffer.create 8 in
+    let rec go () =
+      match cur () with
+      | None -> raise (Lex_error ("unterminated literal", !line))
+      | Some '\\' -> (
+          advance ();
+          match cur () with
+          | None -> raise (Lex_error ("unterminated escape", !line))
+          | Some c ->
+              Buffer.add_char buf
+                (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+              advance ();
+              go ())
+      | Some c when c = quote -> advance ()
+      | Some '\n' -> raise (Lex_error ("newline in literal", !line))
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec loop () =
+    match cur () with
+    | None -> ()
+    | Some '\n' ->
+        incr line;
+        advance ();
+        loop ()
+    | Some (' ' | '\t' | '\r') ->
+        advance ();
+        loop ()
+    | Some '/' when peek 1 = Some '/' ->
+        while cur () <> Some '\n' && cur () <> None do
+          advance ()
+        done;
+        loop ()
+    | Some '/' when peek 1 = Some '*' ->
+        advance ();
+        advance ();
+        let rec skip () =
+          match (cur (), peek 1) with
+          | Some '*', Some '/' ->
+              advance ();
+              advance ()
+          | Some '\n', _ ->
+              incr line;
+              advance ();
+              skip ()
+          | Some _, _ ->
+              advance ();
+              skip ()
+          | None, _ -> raise (Lex_error ("unterminated comment", !line))
+        in
+        skip ();
+        loop ()
+    | Some '"' ->
+        emit (Str_lit (read_escaped '"'));
+        loop ()
+    | Some '\'' ->
+        emit (Char_lit (read_escaped '\''));
+        loop ()
+    | Some c when is_digit c ->
+        let start = !pos in
+        let is_float = ref false in
+        let scanning = ref true in
+        while !scanning do
+          match cur () with
+          | Some c when is_digit c || c = '_' -> advance ()
+          | Some ('x' | 'X' | 'b' | 'B') when !pos = start + 1 -> advance ()
+          | Some ('a' .. 'f' | 'A' .. 'F')
+            when String.length src > start + 1
+                 && (src.[start + 1] = 'x' || src.[start + 1] = 'X') ->
+              advance ()
+          | Some '.' when (match peek 1 with Some d -> is_digit d | None -> false) ->
+              is_float := true;
+              advance ()
+          | Some ('e' | 'E')
+            when (not
+                    (String.length src > start + 1
+                    && (src.[start + 1] = 'x' || src.[start + 1] = 'X')))
+                 && (match peek 1 with
+                    | Some d -> is_digit d || d = '-' || d = '+'
+                    | None -> false) ->
+              is_float := true;
+              advance ();
+              advance ()
+          | Some ('f' | 'F' | 'd' | 'D') ->
+              is_float := true;
+              advance ();
+              scanning := false
+          | Some ('l' | 'L') ->
+              advance ();
+              scanning := false
+          | _ -> scanning := false
+        done;
+        let text = String.sub src start (!pos - start) in
+        emit (if !is_float then Float_lit text else Int_lit text);
+        loop ()
+    | Some c when is_ident_start c ->
+        let start = !pos in
+        while (match cur () with Some c -> is_ident_char c | None -> false) do
+          advance ()
+        done;
+        let s = String.sub src start (!pos - start) in
+        emit (if is_keyword s then Keyword s else Ident s);
+        loop ()
+    | Some _ -> (
+        let matches op =
+          let l = String.length op in
+          !pos + l <= n && String.sub src !pos l = op
+        in
+        match List.find_opt matches operators with
+        | Some op ->
+            pos := !pos + String.length op;
+            emit (Op op);
+            loop ()
+        | None ->
+            raise
+              (Lex_error (Printf.sprintf "unexpected character %C" src.[!pos], !line)))
+  in
+  loop ();
+  emit Eof;
+  List.rev !out

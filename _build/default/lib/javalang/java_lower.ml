@@ -1,0 +1,266 @@
+(** Lowering Java surface syntax to generic trees.
+
+    Shares the node vocabulary of {!Namer_pylang.Py_lower} wherever the
+    construct is common ([Call], [AttributeLoad], [Attr], [NameLoad],
+    [NameStore], [Num], [Str], [Bool], [Assign]) so name patterns and the
+    rest of the pipeline are language-independent, and adds Java-specific
+    kinds: [TypeRef], [LocalVar], [FieldDef], [MethodDef], [New], [Catch],
+    [Throw], [ForEach].  Example — Table 6's [} catch (Throwable e) {]
+    becomes [(Catch (TypeRef Throwable) (NameStore e))]. *)
+
+open Java_ast
+module Tree = Namer_tree.Tree
+
+(** Strip the package qualifier: patterns generalize over simple names. *)
+let simple_name base =
+  match String.rindex_opt base '.' with
+  | Some i -> String.sub base (i + 1) (String.length base - i - 1)
+  | None -> base
+
+let type_tree (t : typ) : Tree.t =
+  let name = simple_name t.base ^ String.concat "" (List.init t.dims (fun _ -> "[]")) in
+  Tree.node "TypeRef" [ Tree.leaf name ]
+
+let rec lower_expr (e : expr) : Tree.t =
+  match e with
+  | Name n -> Tree.node "NameLoad" [ Tree.leaf n ]
+  | This -> Tree.node "NameLoad" [ Tree.leaf "this" ]
+  | Lit_int v -> Tree.node "Num" [ Tree.leaf v ]
+  | Lit_float v -> Tree.node "Num" [ Tree.leaf v ]
+  | Lit_str v -> Tree.node "Str" [ Tree.leaf v ]
+  | Lit_char v -> Tree.node "Str" [ Tree.leaf v ]
+  | Lit_bool b -> Tree.node "Bool" [ Tree.leaf (if b then "true" else "false") ]
+  | Lit_null -> Tree.node "NoneLit" [ Tree.leaf "null" ]
+  | Field (obj, f) ->
+      Tree.node "AttributeLoad" [ lower_expr obj; Tree.node "Attr" [ Tree.leaf f ] ]
+  | Index (obj, idx) -> Tree.node "SubscriptLoad" [ lower_expr obj; lower_expr idx ]
+  | Call { recv; meth; args } ->
+      let func =
+        match recv with
+        | Some r ->
+            Tree.node "AttributeLoad" [ lower_expr r; Tree.node "Attr" [ Tree.leaf meth ] ]
+        | None -> Tree.node "NameLoad" [ Tree.leaf meth ]
+      in
+      Tree.node "Call" (func :: List.map lower_expr args)
+  | New (t, args) -> Tree.node "New" (type_tree t :: List.map lower_expr args)
+  | New_array (t, dims) -> Tree.node "NewArray" (type_tree t :: List.map lower_expr dims)
+  | Array_init es -> Tree.node "List" (List.map lower_expr es)
+  | Bin (a, op, b) -> Tree.node "BinOp" [ lower_expr a; Tree.leaf op; lower_expr b ]
+  | Un (op, a) -> Tree.node "UnaryOp" [ Tree.leaf op; lower_expr a ]
+  | Postfix (a, op) -> Tree.node "UnaryOp" [ Tree.leaf op; lower_expr a ]
+  | Assign_e (t, op, v) ->
+      if op = "=" then Tree.node "Assign" [ lower_store t; lower_expr v ]
+      else Tree.node "AugAssign" [ lower_store t; Tree.leaf op; lower_expr v ]
+  | Ternary (c, a, b) ->
+      Tree.node "BoolOp" [ Tree.leaf "ifexp"; lower_expr a; lower_expr c; lower_expr b ]
+  | Cast (t, e) -> Tree.node "Cast" [ type_tree t; lower_expr e ]
+  | Instanceof (e, t) -> Tree.node "Compare" [ lower_expr e; Tree.leaf "instanceof"; type_tree t ]
+  | Class_lit t -> Tree.node "ClassLit" [ type_tree t ]
+  | Super_call (m, args) ->
+      Tree.node "Call"
+        (Tree.node "AttributeLoad"
+           [ Tree.node "NameLoad" [ Tree.leaf "super" ]; Tree.node "Attr" [ Tree.leaf m ] ]
+        :: List.map lower_expr args)
+  | Lambda_e (params, body) ->
+      Tree.node "Lambda"
+        (List.map (fun p -> Tree.node "NameParam" [ Tree.leaf p ]) params
+        @
+        match body with
+        | L_expr e -> [ lower_expr e ]
+        | L_block _ -> [ Tree.node "Body" [] ])
+
+and lower_store (e : expr) : Tree.t =
+  match e with
+  | Name n -> Tree.node "NameStore" [ Tree.leaf n ]
+  | This -> Tree.node "NameStore" [ Tree.leaf "this" ]
+  | Field (obj, f) ->
+      Tree.node "AttributeStore" [ lower_expr obj; Tree.node "Attr" [ Tree.leaf f ] ]
+  | Index (obj, idx) -> Tree.node "SubscriptStore" [ lower_expr obj; lower_expr idx ]
+  | e -> lower_expr e
+
+let local_tree (t : typ) (decls : (string * expr option) list) : Tree.t =
+  Tree.node "LocalVar"
+    (type_tree t
+    :: List.concat_map
+         (fun (name, init) ->
+           Tree.node "NameStore" [ Tree.leaf name ]
+           :: (match init with Some e -> [ lower_expr e ] | None -> []))
+         decls)
+
+(** Header tree of a statement (bodies excluded, as in the Python lowering).
+    Classic [for] headers include init/condition/update — Table 6 Example 2
+    reports [for (double i = 1; i < n; i++)] as one statement. *)
+let header_tree (s : stmt) : Tree.t =
+  match s.kind with
+  | Local (t, decls) -> local_tree t decls
+  | Expr_stmt e -> lower_expr e
+  | If (c, _, _) -> Tree.node "If" [ lower_expr c ]
+  | For (init, cond, update, _) ->
+      let init_t =
+        match init with
+        | Fi_local (t, decls) -> [ local_tree t decls ]
+        | Fi_expr es -> List.map lower_expr es
+        | Fi_none -> []
+      in
+      Tree.node "For"
+        (init_t
+        @ (match cond with Some c -> [ lower_expr c ] | None -> [])
+        @ List.map lower_expr update)
+  | Foreach (t, name, iter, _) ->
+      Tree.node "ForEach"
+        [ type_tree t; Tree.node "NameStore" [ Tree.leaf name ]; lower_expr iter ]
+  | While (c, _) -> Tree.node "While" [ lower_expr c ]
+  | Do_while (_, c) -> Tree.node "DoWhile" [ lower_expr c ]
+  | Return (Some e) -> Tree.node "Return" [ lower_expr e ]
+  | Return None -> Tree.node "Return" []
+  | Throw e -> Tree.node "Throw" [ lower_expr e ]
+  | Try (_, catches, _) ->
+      Tree.node "Try"
+        (List.map
+           (fun c ->
+             Tree.node "Catch"
+               [ type_tree c.ctype; Tree.node "NameStore" [ Tree.leaf c.cbind ] ])
+           catches)
+  | Break -> Tree.node "Break" []
+  | Continue -> Tree.node "Continue" []
+  | Block _ -> Tree.node "Block" []
+  | Synchronized (e, _) -> Tree.node "Synchronized" [ lower_expr e ]
+  | Empty -> Tree.node "Empty" []
+
+let param_trees params =
+  List.map
+    (fun (t, name) ->
+      Tree.node "Param" [ type_tree t; Tree.node "NameParam" [ Tree.leaf name ] ])
+    params
+
+(** One program statement with its context, mirroring
+    {!Namer_pylang.Py_lower.stmt_info}. *)
+type stmt_info = {
+  tree : Tree.t;
+  line : int;
+  enclosing_class : string option;
+  enclosing_function : string option;
+  surface : stmt option;  (** [None] for field/method-header pseudo-statements *)
+}
+
+(** Enumerate every program statement in a compilation unit: field
+    declarations, method headers, and every statement in method bodies. *)
+let lower_unit (u : compilation_unit) : stmt_info list =
+  let out = ref [] in
+  let emit tree line cls fn surface =
+    out :=
+      { tree; line; enclosing_class = cls; enclosing_function = fn; surface }
+      :: !out
+  in
+  let rec walk_stmts ~cls ~fn stmts =
+    List.iter
+      (fun s ->
+        emit (header_tree s) s.line cls fn (Some s);
+        match s.kind with
+        | If (_, a, b) ->
+            walk_stmts ~cls ~fn a;
+            walk_stmts ~cls ~fn b
+        | For (_, _, _, b)
+        | Foreach (_, _, _, b)
+        | While (_, b)
+        | Do_while (b, _)
+        | Block b
+        | Synchronized (_, b) ->
+            walk_stmts ~cls ~fn b
+        | Try (b, catches, fin) ->
+            walk_stmts ~cls ~fn b;
+            List.iter (fun c -> walk_stmts ~cls ~fn c.cbody) catches;
+            walk_stmts ~cls ~fn fin
+        | _ -> ())
+      stmts
+  in
+  let rec walk_class (c : cls) =
+    let cls = Some c.cname in
+    emit
+      (Tree.node "ClassDef"
+         (Tree.node "ClassName" [ Tree.leaf c.cname ]
+         :: ((match c.cextends with Some t -> [ type_tree t ] | None -> [])
+            @ List.map type_tree c.cimplements)))
+      c.cline cls None None;
+    List.iter
+      (fun m ->
+        match m with
+        | Field_m { ftype; fname; finit; fline; _ } ->
+            emit
+              (Tree.node "FieldDef"
+                 (type_tree ftype
+                 :: Tree.node "NameStore" [ Tree.leaf fname ]
+                 :: (match finit with Some e -> [ lower_expr e ] | None -> [])))
+              fline cls None None
+        | Method_m { rtype; mname; params; mbody; mline; _ } ->
+            let fn = Some mname in
+            emit
+              (Tree.node "MethodDef"
+                 ((match rtype with Some t -> [ type_tree t ] | None -> [])
+                 @ (Tree.node "FuncName" [ Tree.leaf mname ] :: param_trees params)))
+              mline cls fn None;
+            (match mbody with Some body -> walk_stmts ~cls ~fn body | None -> ())
+        | Init_m body -> walk_stmts ~cls ~fn:(Some "<clinit>") body
+        | Class_m nested -> walk_class nested)
+      c.members
+  in
+  List.iter walk_class u.classes;
+  List.rev !out
+
+(** Whole-unit tree (bodies nested) for commit diffing. *)
+let unit_tree (u : compilation_unit) : Tree.t =
+  let rec stmt_tree (s : stmt) : Tree.t =
+    match s.kind with
+    | If (c, a, b) ->
+        Tree.node "If"
+          ([ lower_expr c; Tree.node "Body" (List.map stmt_tree a) ]
+          @ match b with [] -> [] | b -> [ Tree.node "Else" (List.map stmt_tree b) ])
+    | For (_, _, _, body) | Foreach (_, _, _, body) | While (_, body)
+    | Do_while (body, _) | Block body | Synchronized (_, body) ->
+        Tree.node (match s.kind with For _ -> "For" | Foreach _ -> "ForEach"
+                   | While _ -> "While" | Do_while _ -> "DoWhile"
+                   | Synchronized _ -> "Synchronized" | _ -> "Block")
+          (header_tree s :: [ Tree.node "Body" (List.map stmt_tree body) ])
+    | Try (body, catches, fin) ->
+        Tree.node "Try"
+          (Tree.node "Body" (List.map stmt_tree body)
+           :: List.map
+                (fun c ->
+                  Tree.node "Catch"
+                    [
+                      type_tree c.ctype;
+                      Tree.node "NameStore" [ Tree.leaf c.cbind ];
+                      Tree.node "Body" (List.map stmt_tree c.cbody);
+                    ])
+                catches
+          @ match fin with [] -> [] | b -> [ Tree.node "Finally" (List.map stmt_tree b) ])
+    | _ -> header_tree s
+  in
+  let rec class_tree (c : cls) : Tree.t =
+    Tree.node "ClassDef"
+      (Tree.node "ClassName" [ Tree.leaf c.cname ]
+      :: ((match c.cextends with Some t -> [ type_tree t ] | None -> [])
+         @ List.map type_tree c.cimplements
+         @ List.map
+             (fun m ->
+               match m with
+               | Field_m { ftype; fname; finit; _ } ->
+                   Tree.node "FieldDef"
+                     (type_tree ftype
+                     :: Tree.node "NameStore" [ Tree.leaf fname ]
+                     :: (match finit with Some e -> [ lower_expr e ] | None -> []))
+               | Method_m { rtype; mname; params; mbody; _ } ->
+                   Tree.node "MethodDef"
+                     ((match rtype with Some t -> [ type_tree t ] | None -> [])
+                     @ (Tree.node "FuncName" [ Tree.leaf mname ] :: param_trees params)
+                     @ [
+                         Tree.node "Body"
+                           (match mbody with
+                           | Some body -> List.map stmt_tree body
+                           | None -> []);
+                       ])
+               | Init_m body -> Tree.node "Initializer" (List.map stmt_tree body)
+               | Class_m nested -> class_tree nested)
+             c.members))
+  in
+  Tree.node "CompilationUnit" (List.map class_tree u.classes)

@@ -1,0 +1,195 @@
+(** Pretty-printing the Java surface AST back to source.
+
+    Testing tool, like {!Namer_pylang.Py_pretty}: the property
+    [parse (print (parse src)) ≃ parse src] (compared on lowered trees)
+    exercises the lexer, the parser's backtracking disambiguations and the
+    AST from both directions. *)
+
+open Java_ast
+
+let rec typ (t : typ) =
+  t.base
+  ^ (match t.targs with
+    | [] -> ""
+    | args -> "<" ^ String.concat ", " (List.map typ args) ^ ">")
+  ^ String.concat "" (List.init t.dims (fun _ -> "[]"))
+
+let prec_of_binop = function
+  | "||" -> 1
+  | "&&" -> 2
+  | "|" -> 3
+  | "^" -> 4
+  | "&" -> 5
+  | "==" | "!=" -> 6
+  | "<" | ">" | "<=" | ">=" -> 7
+  | "<<" | ">>" | ">>>" -> 8
+  | "+" | "-" -> 9
+  | "*" | "/" | "%" -> 10
+  | _ -> 10
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr ?(ctx = 0) (e : expr) : string =
+  let wrap p s = if p < ctx then "(" ^ s ^ ")" else s in
+  match e with
+  | Name n -> n
+  | This -> "this"
+  | Lit_int v | Lit_float v -> v
+  | Lit_str v -> "\"" ^ escape_string v ^ "\""
+  | Lit_char v -> "'" ^ escape_string v ^ "'"
+  | Lit_bool b -> string_of_bool b
+  | Lit_null -> "null"
+  | Field (o, f) -> expr ~ctx:13 o ^ "." ^ f
+  | Index (o, i) -> expr ~ctx:13 o ^ "[" ^ expr i ^ "]"
+  | Call { recv; meth; args } ->
+      let prefix = match recv with Some r -> expr ~ctx:13 r ^ "." | None -> "" in
+      prefix ^ meth ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | New (t, args) -> "new " ^ typ t ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | New_array (t, dims) ->
+      "new " ^ t.base
+      ^ String.concat "" (List.map (fun d -> "[" ^ expr d ^ "]") dims)
+      ^ String.concat "" (List.init t.dims (fun _ -> "[]"))
+  | Array_init es -> "{" ^ String.concat ", " (List.map expr es) ^ "}"
+  | Bin (a, op, b) ->
+      let p = prec_of_binop op in
+      wrap p (expr ~ctx:p a ^ " " ^ op ^ " " ^ expr ~ctx:(p + 1) b)
+  | Un (op, a) -> wrap 11 (op ^ expr ~ctx:11 a)
+  | Postfix (a, op) -> wrap 12 (expr ~ctx:12 a ^ op)
+  | Assign_e (t, op, v) -> wrap 0 (expr ~ctx:1 t ^ " " ^ op ^ " " ^ expr v)
+  | Ternary (c, a, b) ->
+      wrap 1 (expr ~ctx:2 c ^ " ? " ^ expr ~ctx:1 a ^ " : " ^ expr ~ctx:1 b)
+  | Cast (t, e) -> wrap 11 ("(" ^ typ t ^ ") " ^ expr ~ctx:11 e)
+  | Instanceof (e, t) -> wrap 7 (expr ~ctx:8 e ^ " instanceof " ^ typ t)
+  | Class_lit t -> typ t ^ ".class"
+  | Super_call (m, args) ->
+      (if m = "<init>" then "super" else "super." ^ m)
+      ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | Lambda_e (params, body) ->
+      let ps =
+        match params with [ p ] -> p | ps -> "(" ^ String.concat ", " ps ^ ")"
+      in
+      ps ^ " -> "
+      ^ (match body with
+        | L_expr e -> expr ~ctx:1 e
+        | L_block _ -> "{ }")
+
+let local (t : typ) decls =
+  typ t ^ " "
+  ^ String.concat ", "
+      (List.map
+         (fun (name, init) ->
+           name ^ match init with Some e -> " = " ^ expr e | None -> "")
+         decls)
+
+let rec stmt ~indent (s : stmt) : string list =
+  let pad = String.make indent ' ' in
+  let line s = [ pad ^ s ] in
+  let block body =
+    (pad ^ "{") :: List.concat_map (stmt ~indent:(indent + 4)) body @ [ pad ^ "}" ]
+  in
+  match s.kind with
+  | Local (t, decls) -> line (local t decls ^ ";")
+  | Expr_stmt e -> line (expr e ^ ";")
+  | If (c, a, b) ->
+      (pad ^ "if (" ^ expr c ^ ")")
+      :: (block a @ match b with [] -> [] | b -> (pad ^ "else") :: block b)
+  | For (init, cond, update, body) ->
+      let init_s =
+        match init with
+        | Fi_local (t, decls) -> local t decls
+        | Fi_expr es -> String.concat ", " (List.map expr es)
+        | Fi_none -> ""
+      in
+      (pad ^ "for (" ^ init_s ^ "; "
+      ^ (match cond with Some c -> expr c | None -> "")
+      ^ "; "
+      ^ String.concat ", " (List.map expr update)
+      ^ ")")
+      :: block body
+  | Foreach (t, name, iter, body) ->
+      (pad ^ "for (" ^ typ t ^ " " ^ name ^ " : " ^ expr iter ^ ")") :: block body
+  | While (c, body) -> (pad ^ "while (" ^ expr c ^ ")") :: block body
+  | Do_while (body, c) ->
+      (pad ^ "do") :: (block body @ [ pad ^ "while (" ^ expr c ^ ");" ])
+  | Return (Some e) -> line ("return " ^ expr e ^ ";")
+  | Return None -> line "return;"
+  | Throw e -> line ("throw " ^ expr e ^ ";")
+  | Try (body, catches, fin) ->
+      (pad ^ "try")
+      :: (block body
+         @ List.concat_map
+             (fun (c : catch) ->
+               (pad ^ "catch (" ^ typ c.ctype ^ " " ^ c.cbind ^ ")") :: block c.cbody)
+             catches
+         @ match fin with [] -> [] | b -> (pad ^ "finally") :: block b)
+  | Break -> line "break;"
+  | Continue -> line "continue;"
+  | Block body -> block body
+  | Synchronized (e, body) -> (pad ^ "synchronized (" ^ expr e ^ ")") :: block body
+  | Empty -> line ";"
+
+let rec member ~indent (cname : string) (m : member) : string list =
+  let pad = String.make indent ' ' in
+  let mods ms = match ms with [] -> "" | ms -> String.concat " " ms ^ " " in
+  match m with
+  | Field_m { fmods; ftype; fname; finit; _ } ->
+      [
+        pad ^ mods fmods ^ typ ftype ^ " " ^ fname
+        ^ (match finit with Some e -> " = " ^ expr e | None -> "")
+        ^ ";";
+      ]
+  | Method_m { mmods; rtype; mname; params; mbody; _ } ->
+      let name = if mname = "<init>" then cname else mname in
+      let head =
+        pad ^ mods mmods
+        ^ (match rtype with Some t -> typ t ^ " " | None -> "")
+        ^ name ^ "("
+        ^ String.concat ", " (List.map (fun (t, n) -> typ t ^ " " ^ n) params)
+        ^ ")"
+      in
+      (match mbody with
+      | Some body ->
+          (head ^ " {")
+          :: (List.concat_map (stmt ~indent:(indent + 4)) body @ [ pad ^ "}" ])
+      | None -> [ head ^ ";" ])
+  | Init_m body ->
+      (pad ^ "{") :: (List.concat_map (stmt ~indent:(indent + 4)) body @ [ pad ^ "}" ])
+  | Class_m c -> cls ~indent c
+
+and cls ~indent (c : cls) : string list =
+  let pad = String.make indent ' ' in
+  let mods = match c.cmods with [] -> "" | ms -> String.concat " " ms ^ " " in
+  let kw =
+    match c.ckind with `Class -> "class" | `Interface -> "interface" | `Enum -> "enum"
+  in
+  let head =
+    pad ^ mods ^ kw ^ " " ^ c.cname
+    ^ (match c.cextends with Some t -> " extends " ^ typ t | None -> "")
+    ^ (match c.cimplements with
+      | [] -> ""
+      | ts -> " implements " ^ String.concat ", " (List.map typ ts))
+    ^ " {"
+  in
+  head
+  :: (List.concat_map (member ~indent:(indent + 4) c.cname) c.members @ [ pad ^ "}" ])
+
+(** Render a whole compilation unit. *)
+let compilation_unit (u : compilation_unit) : string =
+  let package =
+    match u.package with Some p -> [ "package " ^ p ^ ";"; "" ] | None -> []
+  in
+  let imports = List.map (fun i -> "import " ^ i ^ ";") u.imports in
+  let imports = if imports = [] then [] else imports @ [ "" ] in
+  String.concat "\n" (package @ imports @ List.concat_map (cls ~indent:0) u.classes)
+  ^ "\n"

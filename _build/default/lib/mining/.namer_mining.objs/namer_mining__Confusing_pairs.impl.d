@@ -1,0 +1,1 @@
+lib/mining/confusing_pairs.ml: Hashtbl List Namer_tree Namer_util String

@@ -1,0 +1,1 @@
+lib/mining/confusing_pairs.mli: Namer_tree

@@ -1,0 +1,1 @@
+lib/mining/fptree.ml: Hashtbl List Namer_util

@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Array Confusing_pairs Fptree Hashtbl List Namer_namepath Namer_pattern Namer_util String

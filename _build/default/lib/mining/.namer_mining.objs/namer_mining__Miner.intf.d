@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Confusing_pairs Hashtbl Namer_namepath Namer_pattern

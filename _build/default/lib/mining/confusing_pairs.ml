@@ -1,0 +1,63 @@
+(** Confusing word pairs ⟨mistaken, correct⟩ mined from commit histories
+    (§3.2).
+
+    For every commit in the corpus, the ASTs of the file before and after the
+    change are matched with {!Namer_tree.Treediff}; each pair of matched
+    terminals whose subtoken sequences differ in exactly one position yields
+    one pair.  The paper extracted 950K pairs for Java and 150K for Python —
+    examples: ⟨name, key⟩, ⟨value, key⟩, ⟨x, y⟩, ⟨min, max⟩, ⟨True, Equal⟩. *)
+
+type t = {
+  counts : (string * string) Namer_util.Counter.t;  (** original-case pairs *)
+  folded : (string * string) Namer_util.Counter.t;  (** lowercased, for {!mem} *)
+  correct_words : (string, unit) Hashtbl.t;
+}
+
+(* Pair membership is case-insensitive: renames like outputWriter →
+   stringWriter yield the pair ⟨output, string⟩, which must also back a
+   suggestion rendered from a TypeRef's capitalized subtoken (String). *)
+let norm (a, b) = (String.lowercase_ascii a, String.lowercase_ascii b)
+
+let create () =
+  {
+    counts = Namer_util.Counter.create ();
+    folded = Namer_util.Counter.create ();
+    correct_words = Hashtbl.create 256;
+  }
+
+(** Record the pairs extracted from one commit's (before, after) trees. *)
+let add_commit t ~before ~after =
+  Namer_tree.Treediff.confusing_subtoken_pairs before after
+  |> List.iter (fun ((w1, w2) as pair) ->
+         if w1 <> w2 then begin
+           Namer_util.Counter.add t.counts pair;
+           Namer_util.Counter.add t.folded (norm pair);
+           Hashtbl.replace t.correct_words w2 ()
+         end)
+
+let add_pair ?(count = 1) t ((w1, w2) as pair) =
+  if w1 <> w2 then begin
+    Namer_util.Counter.add ~by:count t.counts pair;
+    Namer_util.Counter.add ~by:count t.folded (norm pair);
+    Hashtbl.replace t.correct_words w2 ()
+  end
+
+(** Whether ⟨w1, w2⟩ was mined (in this orientation, case-insensitively)
+    — feature 17. *)
+let mem t pair = Namer_util.Counter.count t.folded (norm pair) > 0
+
+(** Whether [w] ever appears as the *correct* side of a pair; such words are
+    eligible deduction ends for confusing-word patterns. *)
+let is_correct_word t w = Hashtbl.mem t.correct_words w
+
+let total_pairs t = Namer_util.Counter.distinct t.counts
+let top n t = Namer_util.Counter.top n t.counts
+
+(** Keep only pairs seen at least [min_count] times (pruning one-off
+    renames that do not indicate systematic confusion). *)
+let prune t ~min_count =
+  let kept = create () in
+  Namer_util.Counter.iter
+    (fun pair c -> if c >= min_count then add_pair ~count:c kept pair)
+    t.counts;
+  kept

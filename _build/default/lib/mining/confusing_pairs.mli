@@ -1,0 +1,30 @@
+(** Confusing word pairs ⟨mistaken, correct⟩ mined from commit histories
+    (§3.2): the vocabulary from which confusing-word pattern deductions are
+    drawn, and classifier feature 17. *)
+
+type t
+
+val create : unit -> t
+
+(** Record the subtoken pairs extracted from one commit's (before, after)
+    whole-file trees via {!Namer_tree.Treediff}. *)
+val add_commit : t -> before:Namer_tree.Tree.t -> after:Namer_tree.Tree.t -> unit
+
+(** Record a pair directly (tests, built-in catalogs).  Identity pairs are
+    ignored. *)
+val add_pair : ?count:int -> t -> string * string -> unit
+
+(** Whether ⟨w₁, w₂⟩ was mined, in this orientation — feature 17. *)
+val mem : t -> string * string -> bool
+
+(** Whether [w] appears as the *correct* side of any pair (and is thus an
+    eligible confusing-word deduction end). *)
+val is_correct_word : t -> string -> bool
+
+val total_pairs : t -> int
+
+(** The [n] most frequent pairs with their commit counts. *)
+val top : int -> t -> ((string * string) * int) list
+
+(** Keep only pairs seen at least [min_count] times. *)
+val prune : t -> min_count:int -> t

@@ -1,0 +1,290 @@
+(** Mining name patterns from Big Code — Algorithms 1 and 2 (§3.3).
+
+    [minePatterns] grows an FP-tree from the name paths of every statement
+    in the corpus and then traverses it to generate candidate patterns,
+    which are pruned by their satisfaction ratio over the same corpus
+    ([pruneUncommon]).  The regularizations of §5.1 are all implemented and
+    configurable:
+
+    - at most [max_stmt_paths] name paths per statement (paper: 10, applied
+      at extraction time);
+    - only *frequent* name paths (> [min_path_freq] occurrences, paper: 10)
+      participate in patterns — this is Algorithm 1's line-5 filter and
+      removes over 99 % of path shapes, which are file-specific identifiers;
+    - conditions use at most [max_condition_paths] paths (paper: 10);
+    - [combinations] (Algorithm 2, line 7) enumerates the full condition set
+      plus all subsets up to [max_subset_size], so patterns generalize
+      beyond exact statement shapes without an exponential blow-up;
+    - kept patterns need match support ≥ [min_support] (paper: 100 Python /
+      500 Java at GitHub scale) and satisfaction ratio ≥
+      [min_satisfaction_ratio] (paper: 0.8). *)
+
+module Namepath = Namer_namepath.Namepath
+module Pattern = Namer_pattern.Pattern
+
+type config = {
+  min_path_freq : int;
+  max_stmt_paths : int;
+  max_condition_paths : int;
+  max_subset_size : int;
+  min_support : int;
+  min_satisfaction_ratio : float;
+}
+
+let default_config =
+  {
+    min_path_freq = 10;
+    max_stmt_paths = 10;
+    max_condition_paths = 10;
+    max_subset_size = 2;
+    min_support = 25;
+    min_satisfaction_ratio = 0.8;
+  }
+
+(** Per-pattern occurrence statistics over the mining dataset — these become
+    the "entire dataset" level features (6, 9, 12) of the classifier. *)
+type pattern_stats = { mutable matches : int; mutable sats : int; mutable viols : int }
+
+type result = {
+  store : Pattern.Store.t;
+  dataset_stats : (int, pattern_stats) Hashtbl.t;  (** pattern id → stats *)
+  n_candidates : int;  (** patterns generated before pruning *)
+}
+
+(* Ends that cannot take part in a consistency deduction: literal
+   abstractions and operator tokens are not names. *)
+let is_name_end e =
+  String.length e > 0
+  && (match e.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && not (List.mem e [ "NUM"; "STR"; "BOOL"; "NONE" ])
+
+(* ------------------------------------------------------------------ *)
+(* splitPaths (Algorithm 1, line 6)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** All (condition, deduction) splits of one statement's frequent paths.
+    Confusing-word splits single out each path ending in a correct word of a
+    mined pair; consistency splits single out each pair of paths with equal
+    name ends, symbolized. *)
+let split_paths ~kind ~(pairs : Confusing_pairs.t) (paths : Namepath.t list) :
+    (Namepath.t list * Namepath.t list) list =
+  match kind with
+  | `Ordering vocab ->
+      (* ordered word pairs appearing at two distinct *call-argument*
+         prefixes, in canonical order, become a two-path concrete deduction.
+         Argument-swap patterns only make sense at call sites: parameter
+         declaration order, field order etc. are free. *)
+      let is_call_argument (np : Namepath.t) =
+        let rec scan = function
+          | { Namepath.value = "Call"; index } :: _ when index > 0 -> true
+          | _ :: rest -> scan rest
+          | [] -> false
+        in
+        scan np.Namepath.prefix
+      in
+      let arr = Array.of_list paths in
+      let n = Array.length arr in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && is_call_argument arr.(i) && is_call_argument arr.(j) then
+            match (arr.(i).Namepath.end_node, arr.(j).Namepath.end_node) with
+            | Some e1, Some e2 when List.mem (e1, e2) vocab ->
+                let cond = List.filter (fun a -> a != arr.(i) && a != arr.(j)) paths in
+                out := (cond, [ arr.(i); arr.(j) ]) :: !out
+            | _ -> ()
+        done
+      done;
+      List.rev !out
+  | `Confusing ->
+      List.filter_map
+        (fun (d : Namepath.t) ->
+          match d.Namepath.end_node with
+          | Some e when Confusing_pairs.is_correct_word pairs e ->
+              let cond = List.filter (fun a -> a != d) paths in
+              Some (cond, [ d ])
+          | _ -> None)
+        paths
+  | `Consistency ->
+      let arr = Array.of_list paths in
+      let n = Array.length arr in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match (arr.(i).Namepath.end_node, arr.(j).Namepath.end_node) with
+          (* case-insensitive, matching the satisfaction check *)
+          | Some e1, Some e2
+            when String.equal (String.lowercase_ascii e1) (String.lowercase_ascii e2)
+                 && is_name_end e1 ->
+              let cond =
+                List.filter (fun a -> a != arr.(i) && a != arr.(j)) paths
+              in
+              out :=
+                (cond, [ Namepath.to_symbolic arr.(i); Namepath.to_symbolic arr.(j) ])
+                :: !out
+          | _ -> ()
+        done
+      done;
+      List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* combinations (Algorithm 2, line 7)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The condition sets generated from the visited paths: the full set plus
+    every subset of size ≤ [max_subset_size], including the empty condition
+    (a pattern that fires wherever its deduction prefix appears — kept only
+    if [pruneUncommon] finds it satisfied almost everywhere). *)
+let combinations ~max_subset_size (conds : 'a list) : 'a list list =
+  let n = List.length conds in
+  let full = if n > 0 then [ conds ] else [ [] ] in
+  let rec subsets k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> [ [] ]
+      | x :: rest ->
+          let with_x = List.map (fun s -> x :: s) (subsets (k - 1) rest) in
+          with_x @ subsets k rest
+  in
+  let small =
+    subsets (min max_subset_size n) conds
+    |> List.filter (fun s -> List.length s < n)
+    |> List.sort_uniq compare
+  in
+  full @ List.filter (fun s -> s <> conds) small
+
+(* ------------------------------------------------------------------ *)
+(* minePatterns (Algorithm 1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serialize = Namepath.to_string
+
+(** [mine ~config ~kind ~pairs stmts] runs the full pipeline:
+    frequency filter → FP-tree growth → pattern generation → pruning.
+    [stmts] are the digests of every statement in the mining corpus. *)
+let mine ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
+    (stmts : Pattern.Stmt_paths.t list) : result =
+  (* Line 5 regularization: global path frequencies (concrete form, and the
+     symbolic form used by consistency deductions). *)
+  let freq = Namer_util.Counter.create ~size:(1 lsl 16) () in
+  List.iter
+    (fun (s : Pattern.Stmt_paths.t) ->
+      List.iter
+        (fun np ->
+          Namer_util.Counter.add freq (serialize np);
+          Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
+        s.Pattern.Stmt_paths.paths)
+    stmts;
+  let frequent np = Namer_util.Counter.count freq (serialize np) > config.min_path_freq in
+  (* Grow the FP-tree (lines 4–7).  The line-5 frequency filter applies to
+     condition paths in their concrete form; deduction paths are checked in
+     the form they take inside the pattern (symbolic for consistency
+     deductions, whose *prefix* must be a common shape even when the
+     concrete name at its end is file-specific). *)
+  let tree = Fptree.create () in
+  List.iter
+    (fun (s : Pattern.Stmt_paths.t) ->
+      let paths =
+        List.filteri (fun i _ -> i < config.max_stmt_paths) s.Pattern.Stmt_paths.paths
+      in
+      split_paths ~kind ~pairs paths
+      |> List.iter (fun (cond, deduct) ->
+             if List.for_all frequent deduct then begin
+               let cond =
+                 List.filter frequent cond
+                 |> List.sort Namepath.compare_canonical
+                 |> List.filteri (fun i _ -> i < config.max_condition_paths)
+               in
+               let deduct = List.sort Namepath.compare_canonical deduct in
+               let items = List.map serialize (cond @ deduct) in
+               Fptree.insert tree items
+             end))
+    stmts;
+  (* genPatterns (line 8 / Algorithm 2). *)
+  let n_deduct = match kind with `Confusing -> 1 | `Consistency | `Ordering _ -> 2 in
+  let candidates : (string, Pattern.t) Hashtbl.t = Hashtbl.create (1 lsl 14) in
+  Fptree.fold_last_nodes tree
+    ~f:(fun () ~path_items ~support ->
+      ignore support;
+      let n = List.length path_items in
+      if n >= n_deduct then begin
+        let rec split_at k xs =
+          if k = 0 then ([], xs)
+          else
+            match xs with
+            | [] -> ([], [])
+            | x :: rest ->
+                let a, b = split_at (k - 1) rest in
+                (x :: a, b)
+        in
+        let conds_s, deduct_s = split_at (n - n_deduct) path_items in
+        let deduction = List.map Namepath.of_string deduct_s in
+        let kind_v =
+          match (kind, deduction) with
+          | `Consistency, _ -> Pattern.Consistency
+          | `Confusing, [ d ] -> (
+              match d.Namepath.end_node with
+              | Some w -> Pattern.Confusing_word { correct = w }
+              | None -> Pattern.Consistency (* unreachable *))
+          | `Ordering _, [ d1; d2 ] -> (
+              match (d1.Namepath.end_node, d2.Namepath.end_node) with
+              | Some first, Some second -> Pattern.Ordering { first; second }
+              | _ -> Pattern.Consistency (* unreachable *))
+          | _ -> Pattern.Consistency (* unreachable *)
+        in
+        combinations ~max_subset_size:config.max_subset_size conds_s
+        |> List.iter (fun cond_s ->
+               let p =
+                 Pattern.make ~kind:kind_v
+                   ~condition:(List.map Namepath.of_string cond_s)
+                   ~deduction
+               in
+               let key = Pattern.canonical p in
+               if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key p)
+      end)
+    ();
+  (* pruneUncommon (line 9): count matches and satisfactions over the
+     corpus, keep patterns with enough support and a high enough
+     satisfaction ratio. *)
+  let candidate_store = Pattern.Store.create () in
+  Hashtbl.iter (fun _ p -> ignore (Pattern.Store.add candidate_store p)) candidates;
+  let counts : (int, pattern_stats) Hashtbl.t = Hashtbl.create (1 lsl 14) in
+  let stat id =
+    match Hashtbl.find_opt counts id with
+    | Some s -> s
+    | None ->
+        let s = { matches = 0; sats = 0; viols = 0 } in
+        Hashtbl.replace counts id s;
+        s
+  in
+  List.iter
+    (fun s ->
+      Pattern.Store.candidates candidate_store s
+      |> List.iter (fun (p : Pattern.t) ->
+             match Pattern.check p s with
+             | Pattern.No_match -> ()
+             | Pattern.Satisfied ->
+                 let st = stat p.id in
+                 st.matches <- st.matches + 1;
+                 st.sats <- st.sats + 1
+             | Pattern.Violated _ ->
+                 let st = stat p.id in
+                 st.matches <- st.matches + 1;
+                 st.viols <- st.viols + 1))
+    stmts;
+  let store = Pattern.Store.create () in
+  let dataset_stats = Hashtbl.create (1 lsl 12) in
+  Pattern.Store.iter
+    (fun p ->
+      match Hashtbl.find_opt counts p.id with
+      | Some st
+        when st.matches >= config.min_support
+             && float_of_int st.sats /. float_of_int st.matches
+                >= config.min_satisfaction_ratio ->
+          let new_id = Pattern.Store.add store { p with id = -1 } in
+          Hashtbl.replace dataset_stats new_id
+            { matches = st.matches; sats = st.sats; viols = st.viols }
+      | _ -> ())
+    candidate_store;
+  { store; dataset_stats; n_candidates = Hashtbl.length candidates }

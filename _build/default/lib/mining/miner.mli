@@ -1,0 +1,49 @@
+(** Mining name patterns from Big Code — Algorithms 1 and 2 of §3.3, with
+    the regularizations of §5.1 (path-frequency filter, statement path
+    limit, condition-size limit, support and satisfaction-ratio pruning). *)
+
+module Namepath = Namer_namepath.Namepath
+module Pattern = Namer_pattern.Pattern
+
+type config = {
+  min_path_freq : int;  (** paper: 10 — Algorithm 1 line-5 filter *)
+  max_stmt_paths : int;  (** paper: 10 *)
+  max_condition_paths : int;  (** paper: 10 *)
+  max_subset_size : int;  (** bound on enumerated condition subsets *)
+  min_support : int;  (** paper: 100 (Python) / 500 (Java) at GitHub scale *)
+  min_satisfaction_ratio : float;  (** paper: 0.8 *)
+}
+
+val default_config : config
+
+(** Per-pattern occurrence statistics over the mining dataset (the
+    "entire dataset" level of classifier features 6/9/12). *)
+type pattern_stats = { mutable matches : int; mutable sats : int; mutable viols : int }
+
+type result = {
+  store : Pattern.Store.t;  (** patterns surviving [pruneUncommon] *)
+  dataset_stats : (int, pattern_stats) Hashtbl.t;  (** pattern id → stats *)
+  n_candidates : int;  (** patterns generated before pruning *)
+}
+
+(** All (condition, deduction) splits of one statement's paths
+    (Algorithm 1, line 6).  Exposed for tests. *)
+val split_paths :
+  kind:[ `Confusing | `Consistency | `Ordering of (string * string) list ] ->
+  pairs:Confusing_pairs.t ->
+  Namepath.t list ->
+  (Namepath.t list * Namepath.t list) list
+
+(** Condition sets generated from the visited paths (Algorithm 2, line 7):
+    the full set, the empty set, and every subset of bounded size.
+    Exposed for tests. *)
+val combinations : max_subset_size:int -> 'a list -> 'a list list
+
+(** [mine ~config ~kind ~pairs stmts] runs the full mining pipeline over
+    the digests of every statement in the corpus. *)
+val mine :
+  config:config ->
+  kind:[ `Confusing | `Consistency | `Ordering of (string * string) list ] ->
+  pairs:Confusing_pairs.t ->
+  Pattern.Stmt_paths.t list ->
+  result

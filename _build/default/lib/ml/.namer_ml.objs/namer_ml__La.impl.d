@@ -1,0 +1,1 @@
+lib/ml/la.ml: Array

@@ -1,0 +1,1 @@
+lib/ml/linear_models.ml: Array La Namer_util

@@ -1,0 +1,1 @@
+lib/ml/pipeline.ml: Array La Linear_models List Namer_util Preprocess

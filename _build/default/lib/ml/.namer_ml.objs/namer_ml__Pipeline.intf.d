@@ -1,0 +1,1 @@
+lib/ml/pipeline.mli: Namer_util

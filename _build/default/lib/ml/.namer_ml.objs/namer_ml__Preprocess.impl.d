@@ -1,0 +1,1 @@
+lib/ml/preprocess.ml: Array La

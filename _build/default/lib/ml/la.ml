@@ -1,0 +1,138 @@
+(** Dense linear algebra for the classical-ML substrate.
+
+    Vectors are [float array], matrices are row-major [float array array].
+    Sized for the defect classifier's needs (tens of features, hundreds of
+    samples): clarity over blocking/vectorization. *)
+
+let dot a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "La.dot: dimension mismatch";
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let scale c a = Array.map (fun x -> c *. x) a
+let add a b = Array.mapi (fun i x -> x +. b.(i)) a
+let sub a b = Array.mapi (fun i x -> x -. b.(i)) a
+let norm a = sqrt (dot a a)
+
+let mat_vec m v = Array.map (fun row -> dot row v) m
+
+let transpose m =
+  let rows = Array.length m in
+  if rows = 0 then [||]
+  else
+    let cols = Array.length m.(0) in
+    Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let mat_mul a b =
+  let bt = transpose b in
+  Array.map (fun row -> Array.map (fun col -> dot row col) bt) a
+
+(** Column means of a sample matrix (rows = samples). *)
+let col_means x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else
+    let d = Array.length x.(0) in
+    let mu = Array.make d 0.0 in
+    Array.iter (fun row -> Array.iteri (fun j v -> mu.(j) <- mu.(j) +. v) row) x;
+    Array.map (fun s -> s /. float_of_int n) mu
+
+(** Sample covariance matrix (rows of [x] are samples). *)
+let covariance x =
+  let n = Array.length x in
+  let mu = col_means x in
+  let d = Array.length mu in
+  let c = Array.make_matrix d d 0.0 in
+  Array.iter
+    (fun row ->
+      let centered = sub row mu in
+      for i = 0 to d - 1 do
+        for j = 0 to d - 1 do
+          c.(i).(j) <- c.(i).(j) +. (centered.(i) *. centered.(j))
+        done
+      done)
+    x;
+  let denom = float_of_int (max 1 (n - 1)) in
+  Array.map (fun row -> Array.map (fun v -> v /. denom) row) c
+
+(** Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+    Returns (eigenvalues, eigenvectors-as-columns), sorted by decreasing
+    eigenvalue. *)
+let jacobi_eigen ?(max_sweeps = 64) ?(tol = 1e-12) (m : float array array) =
+  let n = Array.length m in
+  let a = Array.map Array.copy m in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let off_diag () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    !s
+  in
+  let sweep = ref 0 in
+  while off_diag () > tol && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if abs_float a.(p).(q) > 1e-15 then begin
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (abs_float theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let eigs = Array.init n (fun i -> (a.(i).(i), Array.init n (fun k -> v.(k).(i)))) in
+  Array.sort (fun (x, _) (y, _) -> compare y x) eigs;
+  (Array.map fst eigs, Array.map snd eigs)
+
+(** Solve [a · x = b] by Gaussian elimination with partial pivoting.
+    [a] is copied.  Raises [Failure] on a (near-)singular system. *)
+let solve_linear (a : float array array) (b : float array) =
+  let n = Array.length a in
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let best = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!best).(col) then best := r
+    done;
+    let tmp = m.(col) in
+    m.(col) <- m.(!best);
+    m.(!best) <- tmp;
+    if abs_float m.(col).(col) < 1e-12 then failwith "La.solve_linear: singular matrix";
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = m.(r).(col) /. m.(col).(col) in
+        for c = col to n do
+          m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i -> m.(i).(n) /. m.(i).(i))

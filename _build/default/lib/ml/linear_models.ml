@@ -1,0 +1,105 @@
+(** The three linear classifiers the paper cross-validates (§5.1): a linear
+    support vector machine (selected), logistic regression, and linear
+    discriminant analysis.  All expose the same shape — a weight vector and
+    bias over the input features, predicting [score ≥ 0] — so model
+    selection and weight introspection (Table 9) are uniform.
+
+    Labels are booleans ([true] = real naming issue). *)
+
+type t = { weights : float array; bias : float }
+
+let score m x = La.dot m.weights x +. m.bias
+let predict m x = score m x >= 0.0
+
+let sign b = if b then 1.0 else -1.0
+
+(** Linear SVM trained with Pegasos (primal stochastic sub-gradient,
+    Shalev-Shwartz et al. 2011) — deterministic given the PRNG. *)
+module Svm = struct
+  let train ?(lambda = 0.01) ?(epochs = 200) ~prng (x : float array array)
+      (y : bool array) : t =
+    let n = Array.length x in
+    if n = 0 then invalid_arg "Svm.train: empty dataset";
+    let d = Array.length x.(0) in
+    let w = Array.make d 0.0 in
+    let b = ref 0.0 in
+    let t_step = ref 0 in
+    let order = Array.init n (fun i -> i) in
+    for _epoch = 1 to epochs do
+      Namer_util.Prng.shuffle prng order;
+      Array.iter
+        (fun i ->
+          incr t_step;
+          let eta = 1.0 /. (lambda *. float_of_int !t_step) in
+          let yi = sign y.(i) in
+          let margin = yi *. (La.dot w x.(i) +. !b) in
+          (* regularization shrink *)
+          let shrink = 1.0 -. (eta *. lambda) in
+          for j = 0 to d - 1 do
+            w.(j) <- w.(j) *. shrink
+          done;
+          if margin < 1.0 then begin
+            for j = 0 to d - 1 do
+              w.(j) <- w.(j) +. (eta *. yi *. x.(i).(j))
+            done;
+            b := !b +. (eta *. yi)
+          end)
+        order
+    done;
+    { weights = w; bias = !b }
+end
+
+(** L2-regularized logistic regression by full-batch gradient descent. *)
+module Logreg = struct
+  let sigmoid z = 1.0 /. (1.0 +. exp (-.z))
+
+  let train ?(lr = 0.1) ?(lambda = 0.001) ?(epochs = 500) (x : float array array)
+      (y : bool array) : t =
+    let n = Array.length x in
+    if n = 0 then invalid_arg "Logreg.train: empty dataset";
+    let d = Array.length x.(0) in
+    let w = Array.make d 0.0 in
+    let b = ref 0.0 in
+    let fn = float_of_int n in
+    for _ = 1 to epochs do
+      let gw = Array.make d 0.0 and gb = ref 0.0 in
+      for i = 0 to n - 1 do
+        let p = sigmoid (La.dot w x.(i) +. !b) in
+        let err = p -. (if y.(i) then 1.0 else 0.0) in
+        for j = 0 to d - 1 do
+          gw.(j) <- gw.(j) +. (err *. x.(i).(j))
+        done;
+        gb := !gb +. err
+      done;
+      for j = 0 to d - 1 do
+        w.(j) <- w.(j) -. (lr *. ((gw.(j) /. fn) +. (lambda *. w.(j))))
+      done;
+      b := !b -. (lr *. !gb /. fn)
+    done;
+    { weights = w; bias = !b }
+end
+
+(** Two-class LDA: w = Σ⁻¹ (μ₊ − μ₋) with the threshold at the projected
+    midpoint, Σ the (ridge-regularized) pooled within-class covariance. *)
+module Lda = struct
+  let train ?(ridge = 1e-3) (x : float array array) (y : bool array) : t =
+    let pos = ref [] and neg = ref [] in
+    Array.iteri (fun i row -> if y.(i) then pos := row :: !pos else neg := row :: !neg) x;
+    let pos = Array.of_list !pos and neg = Array.of_list !neg in
+    if Array.length pos = 0 || Array.length neg = 0 then
+      invalid_arg "Lda.train: need both classes";
+    let mu_p = La.col_means pos and mu_n = La.col_means neg in
+    let d = Array.length mu_p in
+    let cov_p = La.covariance pos and cov_n = La.covariance neg in
+    let np = float_of_int (Array.length pos) and nn = float_of_int (Array.length neg) in
+    let pooled =
+      Array.init d (fun i ->
+          Array.init d (fun j ->
+              (((np -. 1.0) *. cov_p.(i).(j)) +. ((nn -. 1.0) *. cov_n.(i).(j)))
+              /. (np +. nn -. 2.0)
+              +. (if i = j then ridge else 0.0)))
+    in
+    let w = La.solve_linear pooled (La.sub mu_p mu_n) in
+    let midpoint = La.scale 0.5 (La.add mu_p mu_n) in
+    { weights = w; bias = -.La.dot w midpoint }
+end

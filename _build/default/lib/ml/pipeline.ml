@@ -1,0 +1,104 @@
+(** The training pipeline of §5.1: standardize → PCA → linear classifier,
+    with cross-validated model selection among SVM / logistic regression /
+    LDA, and weight introspection in the *original* feature space for
+    Table 9.
+
+    The composition is linear end to end:
+    score(x) = w · P((x − μ)/σ − m) + b, so the effective weight of original
+    feature i is (Pᵀw)ᵢ / σᵢ — what {!effective_weights} reports. *)
+
+type algo = Svm | Logreg | Lda
+
+let algo_name = function Svm -> "SVM" | Logreg -> "LogReg" | Lda -> "LDA"
+
+type t = {
+  standardize : Preprocess.Standardize.t;
+  pca : Preprocess.Pca.t;
+  model : Linear_models.t;
+  algo : algo;
+}
+
+let train ?(algo = Svm) ?(pca_variance = 0.99) ~prng (x : float array array)
+    (y : bool array) : t =
+  let standardize = Preprocess.Standardize.fit x in
+  let xs = Preprocess.Standardize.transform_all standardize x in
+  let pca = Preprocess.Pca.fit ~variance:pca_variance xs in
+  let xp = Preprocess.Pca.transform_all pca xs in
+  let model =
+    match algo with
+    | Svm -> Linear_models.Svm.train ~prng xp y
+    | Logreg -> Linear_models.Logreg.train xp y
+    | Lda -> Linear_models.Lda.train xp y
+  in
+  { standardize; pca; model; algo }
+
+let score t x =
+  x
+  |> Preprocess.Standardize.transform t.standardize
+  |> Preprocess.Pca.transform t.pca
+  |> Linear_models.score t.model
+
+let predict t x = score t x >= 0.0
+
+(** Classifier weights mapped back to the original features (Table 9). *)
+let effective_weights t =
+  let back = La.mat_vec (La.transpose t.pca.Preprocess.Pca.components) t.model.weights in
+  Array.mapi (fun i w -> w /. t.standardize.Preprocess.Standardize.sigma.(i)) back
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation and model selection                                *)
+(* ------------------------------------------------------------------ *)
+
+type cv_report = {
+  accuracy : float;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+(** [cross_validate ~prng ~repeats ~train_fraction ~algo x y] repeats a
+    random 80/20 split (the paper: 30 repetitions) and averages the four
+    metrics. *)
+let cross_validate ?(repeats = 30) ?(train_fraction = 0.8) ~prng ~algo x y :
+    cv_report =
+  let n = Array.length x in
+  let accs = ref [] and precs = ref [] and recs = ref [] and f1s = ref [] in
+  for _ = 1 to repeats do
+    let order = Array.init n (fun i -> i) in
+    Namer_util.Prng.shuffle prng order;
+    let n_train = int_of_float (train_fraction *. float_of_int n) in
+    let take lo hi = Array.init (hi - lo) (fun i -> order.(lo + i)) in
+    let train_idx = take 0 n_train and test_idx = take n_train n in
+    let sub idxs a = Array.map (fun i -> a.(i)) idxs in
+    let model = train ~algo ~prng (sub train_idx x) (sub train_idx y) in
+    let predicted = Array.to_list (Array.map (fun i -> predict model x.(i)) test_idx) in
+    let actual = Array.to_list (sub test_idx y) in
+    let c = Namer_util.Stats.confusion ~predicted ~actual in
+    accs := Namer_util.Stats.accuracy c :: !accs;
+    precs := Namer_util.Stats.precision c :: !precs;
+    recs := Namer_util.Stats.recall c :: !recs;
+    f1s := Namer_util.Stats.f1 c :: !f1s
+  done;
+  {
+    accuracy = Namer_util.Stats.mean !accs;
+    precision = Namer_util.Stats.mean !precs;
+    recall = Namer_util.Stats.mean !recs;
+    f1 = Namer_util.Stats.mean !f1s;
+  }
+
+(** Model selection as in §5.1: cross-validate each algorithm, pick the best
+    by accuracy.  Returns the per-algorithm reports as well, printed by the
+    stats bench. *)
+let select_model ~prng x y : algo * (algo * cv_report) list =
+  let reports =
+    List.map
+      (fun algo -> (algo, cross_validate ~prng ~algo x y))
+      [ Svm; Logreg; Lda ]
+  in
+  let best =
+    List.fold_left
+      (fun (ba, br) (a, r) -> if r.accuracy > br.accuracy then (a, r) else (ba, br))
+      (List.hd reports |> fun (a, r) -> (a, r))
+      (List.tl reports)
+  in
+  (fst best, reports)

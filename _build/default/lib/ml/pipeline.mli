@@ -1,0 +1,34 @@
+(** The §5.1 training pipeline: standardize → PCA → linear classifier, with
+    cross-validated model selection (SVM / logistic regression / LDA) and
+    weight introspection in the original feature space (Table 9). *)
+
+type algo = Svm | Logreg | Lda
+
+val algo_name : algo -> string
+
+type t
+
+val train :
+  ?algo:algo -> ?pca_variance:float -> prng:Namer_util.Prng.t ->
+  float array array -> bool array -> t
+
+val score : t -> float array -> float
+val predict : t -> float array -> bool
+
+(** Classifier weights mapped back to the original features: the
+    composition is linear end to end, so the effective weight of original
+    feature i is (Pᵀw)ᵢ / σᵢ. *)
+val effective_weights : t -> float array
+
+type cv_report = { accuracy : float; precision : float; recall : float; f1 : float }
+
+(** Repeated random 80/20 splits (the paper: 30 repetitions), averaged. *)
+val cross_validate :
+  ?repeats:int -> ?train_fraction:float -> prng:Namer_util.Prng.t -> algo:algo ->
+  float array array -> bool array -> cv_report
+
+(** Cross-validate all three algorithms; returns the accuracy winner and
+    every report. *)
+val select_model :
+  prng:Namer_util.Prng.t -> float array array -> bool array ->
+  algo * (algo * cv_report) list

@@ -1,0 +1,66 @@
+(** Feature preprocessing: standardization and principal component analysis.
+
+    §5.1: "We used feature standardization and principal component analysis
+    as a preprocessing step for the features."  Both transforms are linear,
+    so the trained classifier's weights can be mapped back to the original
+    feature space for interpretation (Table 9) — see {!Pipeline}. *)
+
+(** Z-score standardization fitted on training data. *)
+module Standardize = struct
+  type t = { mu : float array; sigma : float array }
+
+  let fit (x : float array array) =
+    let mu = La.col_means x in
+    let d = Array.length mu in
+    let n = float_of_int (max 1 (Array.length x)) in
+    let var = Array.make d 0.0 in
+    Array.iter
+      (fun row ->
+        Array.iteri (fun j v -> var.(j) <- var.(j) +. (((v -. mu.(j)) ** 2.0) /. n)) row)
+      x;
+    (* Guard constant features: unit σ leaves them centered at zero. *)
+    let sigma = Array.map (fun v -> if v < 1e-12 then 1.0 else sqrt v) var in
+    { mu; sigma }
+
+  let transform t row = Array.mapi (fun j v -> (v -. t.mu.(j)) /. t.sigma.(j)) row
+  let transform_all t x = Array.map (transform t) x
+end
+
+(** PCA fitted by eigendecomposition of the covariance matrix. *)
+module Pca = struct
+  type t = {
+    components : float array array;  (** rows = principal directions *)
+    mean : float array;
+    explained : float array;  (** eigenvalues of kept components *)
+  }
+
+  (** [fit ?variance x] keeps the smallest number of components explaining
+      at least [variance] (default 0.99) of the total. *)
+  let fit ?(variance = 0.99) (x : float array array) =
+    let mean = La.col_means x in
+    let cov = La.covariance x in
+    let eigenvalues, eigenvectors = La.jacobi_eigen cov in
+    let total = Array.fold_left (fun a v -> a +. max v 0.0) 0.0 eigenvalues in
+    let k = ref 0 and acc = ref 0.0 in
+    while
+      !k < Array.length eigenvalues
+      && (total <= 0.0 || !acc /. total < variance)
+    do
+      acc := !acc +. max eigenvalues.(!k) 0.0;
+      incr k
+    done;
+    let k = max 1 !k in
+    {
+      components = Array.sub eigenvectors 0 k;
+      mean;
+      explained = Array.sub eigenvalues 0 k;
+    }
+
+  let n_components t = Array.length t.components
+
+  let transform t row =
+    let centered = La.sub row t.mean in
+    Array.map (fun comp -> La.dot comp centered) t.components
+
+  let transform_all t x = Array.map (transform t) x
+end

@@ -1,0 +1,1 @@
+lib/namepath/astplus.ml: List Namer_tree Namer_util Origins Printf

@@ -1,0 +1,1 @@
+lib/namepath/astplus.mli: Namer_tree Origins

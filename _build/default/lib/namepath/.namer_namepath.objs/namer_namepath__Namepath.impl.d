@@ -1,0 +1,1 @@
+lib/namepath/namepath.ml: Format Hashtbl List Namer_tree Printf String

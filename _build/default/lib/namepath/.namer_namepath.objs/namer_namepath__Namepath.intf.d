@@ -1,0 +1,1 @@
+lib/namepath/namepath.mli: Format Namer_tree

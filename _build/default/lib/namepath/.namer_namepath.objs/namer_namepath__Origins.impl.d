@@ -1,0 +1,1 @@
+lib/namepath/origins.ml: List

@@ -1,0 +1,22 @@
+(** The AST → AST+ transformation (§3.1): literal abstraction
+    ([NUM]/[STR]/[BOOL]/[NONE]), argument-arity parents ([NumArgs(k)]),
+    subtoken splitting ([NumST(k)]), and origin decoration from the static
+    analyses.  Language-independent: operates on the shared node vocabulary
+    of both frontends. *)
+
+module Tree = Namer_tree.Tree
+
+(** The simple name of a lowered call's callee ([Attr] of a receiver call or
+    bare [NameLoad]). *)
+val callee_name : Tree.t -> string option
+
+(** Origin of a lowered expression's value under the given resolvers:
+    variables via [var_origin], literals via their category, [self]/[this]
+    attributes via [attr_origin], calls via [call_origin], [New]/[Cast] via
+    their type. *)
+val expr_origin : Origins.t -> Tree.t -> string option
+
+(** [transform ~origins t] produces the AST+ of statement tree [t]
+    (Figure 2(b) → Figure 2(c)).  Pass {!Origins.none} for the "w/o A"
+    ablation. *)
+val transform : origins:Origins.t -> Tree.t -> Tree.t

@@ -1,0 +1,100 @@
+(** Name paths (Definition 3.2) and their relational operators.
+
+    A name path is the paper's program abstraction for one identifier-name
+    usage: the prefix [S] — the (node value, child index) steps from the root
+    of a transformed AST to the parent of a terminal — plus the end node,
+    which is either the concrete leaf subtoken or the symbolic node ϵ.
+
+    [extract] enumerates the concrete name paths of a statement's AST+ in
+    leaf order, enforcing the two properties of §3.1: all extracted paths
+    are concrete and their prefixes are pairwise distinct (duplicate
+    prefixes keep the first occurrence; statements whose abstraction would
+    conflate distinct leaves under one prefix are simply represented by the
+    leftmost one, matching the "keep the first 10 paths" regularization
+    spirit of §5.1). *)
+
+module Tree = Namer_tree.Tree
+
+type step = { value : string; index : int }
+
+type t = {
+  prefix : step list;
+  end_node : string option;  (** [None] is the symbolic node ϵ *)
+}
+
+let is_symbolic p = p.end_node = None
+
+(** [np1 ∼ np2]: equal prefixes (Definition 3.4). *)
+let same_prefix a b =
+  List.length a.prefix = List.length b.prefix
+  && List.for_all2
+       (fun s1 s2 -> s1.index = s2.index && String.equal s1.value s2.value)
+       a.prefix b.prefix
+
+(** [np1 = np2]: equal prefixes, and end nodes equal or either ϵ. *)
+let equal a b =
+  same_prefix a b
+  &&
+  match (a.end_node, b.end_node) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> String.equal x y
+
+(** Forget the end node: the symbolic version of a concrete path. *)
+let to_symbolic p = { p with end_node = None }
+
+(** Canonical text of the prefix, e.g.
+    ["NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase"].
+    Used as the interning key for prefixes. *)
+let prefix_key p =
+  String.concat " "
+    (List.map (fun s -> Printf.sprintf "%s %d" s.value s.index) p.prefix)
+
+let to_string p =
+  prefix_key p ^ " " ^ (match p.end_node with Some e -> e | None -> "ϵ")
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+(** Compare by canonical text — the [sort] used when inserting into the
+    FP-tree (Algorithm 1, line 7). *)
+let compare_canonical a b = compare (to_string a) (to_string b)
+
+(** [extract ?limit t] returns the concrete name paths of AST+ [t], in leaf
+    order, at most [limit] of them (the paper keeps the first 10). *)
+let extract ?(limit = 10) (t : Tree.t) : t list =
+  let out = ref [] and count = ref 0 in
+  let seen_prefix = Hashtbl.create 16 in
+  let rec go rev_prefix (node : Tree.t) =
+    if !count < limit then
+      if Tree.is_leaf node then begin
+        let p = { prefix = List.rev rev_prefix; end_node = Some node.Tree.value } in
+        let key = prefix_key p in
+        if not (Hashtbl.mem seen_prefix key) then begin
+          Hashtbl.replace seen_prefix key ();
+          out := p :: !out;
+          incr count
+        end
+      end
+      else
+        List.iteri
+          (fun i child ->
+            go ({ value = node.Tree.value; index = i } :: rev_prefix) child)
+          node.Tree.children
+  in
+  go [] t;
+  List.rev !out
+
+(** Parse the canonical text back to a name path — the inverse of
+    {!to_string}, used by tests and the pattern store. *)
+let of_string s =
+  let parts = String.split_on_char ' ' s in
+  let rec go acc = function
+    | [ end_ ] ->
+        {
+          prefix = List.rev acc;
+          end_node = (if end_ = "ϵ" then None else Some end_);
+        }
+    | value :: index :: rest ->
+        go ({ value; index = int_of_string index } :: acc) rest
+    | [] -> invalid_arg "Namepath.of_string: empty"
+  in
+  go [] parts

@@ -1,0 +1,50 @@
+(** Name paths (Definition 3.2) — the program abstraction for one
+    identifier-name usage — and their relational operators (Definition 3.4).
+
+    See the implementation comments for the extraction invariants (§3.1 of
+    the paper): extracted paths are concrete and have pairwise-distinct
+    prefixes. *)
+
+(** One step of a prefix: a non-terminal's value and the index of the child
+    taken. *)
+type step = { value : string; index : int }
+
+type t = {
+  prefix : step list;  (** S — the root-to-parent steps *)
+  end_node : string option;  (** the terminal subtoken; [None] is ϵ *)
+}
+
+(** Whether the end node is the symbolic ϵ. *)
+val is_symbolic : t -> bool
+
+(** [same_prefix a b] is the paper's [a ∼ b]: equal prefixes. *)
+val same_prefix : t -> t -> bool
+
+(** [equal a b] is the paper's [a = b]: equal prefixes, and equal end nodes
+    or either ϵ. *)
+val equal : t -> t -> bool
+
+(** Forget the end node (make the path symbolic). *)
+val to_symbolic : t -> t
+
+(** Canonical text of the prefix alone — the interning key used by the
+    pattern store's index. *)
+val prefix_key : t -> string
+
+(** Canonical text of the whole path, e.g.
+    ["NumArgs(2) 0 Call 0 … NumST(2) 1 TestCase 0 True"]; ϵ renders as
+    ["ϵ"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Ordering by canonical text — the [sort] of Algorithm 1, line 7. *)
+val compare_canonical : t -> t -> int
+
+(** [extract ?limit t] enumerates the concrete name paths of AST+ [t] in
+    leaf order, keeping at most [limit] (default 10, the paper's
+    regularization) and the first path per distinct prefix. *)
+val extract : ?limit:int -> Namer_tree.Tree.t -> t list
+
+(** Inverse of {!to_string}.  @raise Invalid_argument on malformed input. *)
+val of_string : string -> t

@@ -1,0 +1,24 @@
+(** Origin resolvers — the interface between the §4.1 static analyses and
+    the AST+ transformation.  [None] encodes ⊤ (no decoration), exactly as
+    the paper adds origin nodes only "when the origin sites are precisely
+    computed". *)
+
+type t = {
+  var_origin : string -> string option;
+      (** origin of a variable in the current scope (incl. [self]/[this]) *)
+  attr_origin : string -> string option;
+      (** origin of attribute/field [a] of the current class *)
+  call_origin : string -> string option;
+      (** origin of the value returned by calling [f] (simple name) *)
+}
+
+(** Every origin ⊤ — the "w/o A" ablation of Tables 2 and 5. *)
+val none : t
+
+(** Resolver from association lists (tests). *)
+val of_alists :
+  ?vars:(string * string) list ->
+  ?attrs:(string * string) list ->
+  ?calls:(string * string) list ->
+  unit ->
+  t

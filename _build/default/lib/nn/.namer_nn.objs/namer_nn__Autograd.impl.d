@@ -1,0 +1,1 @@
+lib/nn/autograd.ml: Array Lazy List Params

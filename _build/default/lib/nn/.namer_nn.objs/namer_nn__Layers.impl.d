@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Array Autograd List Params

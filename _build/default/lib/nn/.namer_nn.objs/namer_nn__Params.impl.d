@@ -1,0 +1,1 @@
+lib/nn/params.ml: Array List Namer_util

@@ -1,0 +1,1 @@
+lib/nn/params.mli: Namer_util

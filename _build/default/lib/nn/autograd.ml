@@ -1,0 +1,219 @@
+(** Tape-based reverse-mode automatic differentiation over vectors.
+
+    Small and explicit: each op appends a node with a backward closure to a
+    tape; [backward] seeds the loss gradient and replays the tape in
+    reverse.  Vector-valued (no batching — samples are processed one at a
+    time), which is plenty for the GGNN / Great baseline models: a forward
+    pass is a few hundred ops of dimension ≤ 64.
+
+    Typical use:
+    {[
+      let tape = Autograd.tape () in
+      let h = Autograd.(tanh_ tape (matvec tape w x)) in
+      let loss = Autograd.softmax_cross_entropy tape logits ~target in
+      Autograd.backward tape loss;
+      Params.adam_step store
+    ]} *)
+
+type v = { data : float array; grad : float array; back : unit -> unit }
+
+type tape = { mutable nodes : v list }
+
+let tape () = { nodes = [] }
+
+let push t node =
+  t.nodes <- node :: t.nodes;
+  node
+
+let mk t data back = push t { data; grad = Array.make (Array.length data) 0.0; back }
+
+(** Constant leaf (no gradient flows into it). *)
+let const t data = mk t data (fun () -> ())
+
+(** Row [i] of parameter matrix [p] — an embedding lookup. *)
+let row t (p : Params.mat) i =
+  let data = Array.init p.cols (fun j -> p.w.((i * p.cols) + j)) in
+  let rec node =
+    lazy
+      (mk t data (fun () ->
+           let n = Lazy.force node in
+           for j = 0 to p.cols - 1 do
+             p.g.((i * p.cols) + j) <- p.g.((i * p.cols) + j) +. n.grad.(j)
+           done))
+  in
+  Lazy.force node
+
+(** Bias vector as a differentiable leaf. *)
+let bias t (p : Params.mat) = row t p 0
+
+(** [matvec t w x] is the matrix-vector product W·x (W : rows×cols, x : cols). *)
+let matvec t (p : Params.mat) (x : v) =
+  let data =
+    Array.init p.rows (fun i ->
+        let s = ref 0.0 in
+        for j = 0 to p.cols - 1 do
+          s := !s +. (p.w.((i * p.cols) + j) *. x.data.(j))
+        done;
+        !s)
+  in
+  let rec node =
+    lazy
+      (mk t data (fun () ->
+           let n = Lazy.force node in
+           for i = 0 to p.rows - 1 do
+             let gi = n.grad.(i) in
+             if gi <> 0.0 then
+               for j = 0 to p.cols - 1 do
+                 p.g.((i * p.cols) + j) <- p.g.((i * p.cols) + j) +. (gi *. x.data.(j));
+                 x.grad.(j) <- x.grad.(j) +. (gi *. p.w.((i * p.cols) + j))
+               done
+           done))
+  in
+  Lazy.force node
+
+let binary t a b f dfa dfb =
+  let data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) in
+  let rec node =
+    lazy
+      (mk t data (fun () ->
+           let n = Lazy.force node in
+           for i = 0 to Array.length data - 1 do
+             a.grad.(i) <- a.grad.(i) +. (n.grad.(i) *. dfa a.data.(i) b.data.(i));
+             b.grad.(i) <- b.grad.(i) +. (n.grad.(i) *. dfb a.data.(i) b.data.(i))
+           done))
+  in
+  Lazy.force node
+
+let unary t a f df =
+  let data = Array.map f a.data in
+  let rec node =
+    lazy
+      (mk t data (fun () ->
+           let n = Lazy.force node in
+           for i = 0 to Array.length data - 1 do
+             a.grad.(i) <- a.grad.(i) +. (n.grad.(i) *. df a.data.(i) data.(i))
+           done))
+  in
+  Lazy.force node
+
+let add t a b = binary t a b ( +. ) (fun _ _ -> 1.0) (fun _ _ -> 1.0)
+let mul t a b = binary t a b ( *. ) (fun _ y -> y) (fun x _ -> x)
+let sub t a b = binary t a b ( -. ) (fun _ _ -> 1.0) (fun _ _ -> -1.0)
+let tanh_ t a = unary t a tanh (fun _ y -> 1.0 -. (y *. y))
+
+let sigmoid t a =
+  unary t a (fun x -> 1.0 /. (1.0 +. exp (-.x))) (fun _ y -> y *. (1.0 -. y))
+
+let relu t a = unary t a (fun x -> max x 0.0) (fun x _ -> if x > 0.0 then 1.0 else 0.0)
+let scale t c a = unary t a (fun x -> c *. x) (fun _ _ -> c)
+
+(** Dot product as a 1-element vector. *)
+let dot t a b =
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. (x *. b.data.(i))) a.data;
+  let rec node =
+    lazy
+      (mk t [| !s |] (fun () ->
+           let n = Lazy.force node in
+           let g = n.grad.(0) in
+           for i = 0 to Array.length a.data - 1 do
+             a.grad.(i) <- a.grad.(i) +. (g *. b.data.(i));
+             b.grad.(i) <- b.grad.(i) +. (g *. a.data.(i))
+           done))
+  in
+  Lazy.force node
+
+(** Sum of vectors (all the same length). *)
+let sum_vecs t (vs : v list) =
+  match vs with
+  | [] -> invalid_arg "Autograd.sum_vecs: empty"
+  | first :: _ ->
+      let n = Array.length first.data in
+      let data = Array.make n 0.0 in
+      List.iter (fun v -> Array.iteri (fun i x -> data.(i) <- data.(i) +. x) v.data) vs;
+      let rec node =
+        lazy
+          (mk t data (fun () ->
+               let nd = Lazy.force node in
+               List.iter
+                 (fun v ->
+                   for i = 0 to n - 1 do
+                     v.grad.(i) <- v.grad.(i) +. nd.grad.(i)
+                   done)
+                 vs))
+      in
+      Lazy.force node
+
+(** Weighted sum Σ wᵢ·vᵢ with differentiable scalar weights (each a
+    1-element vector) — the attention combine step. *)
+let weighted_sum t (weights : v list) (vs : v list) =
+  let n = Array.length (List.hd vs).data in
+  let data = Array.make n 0.0 in
+  List.iter2
+    (fun w v -> Array.iteri (fun i x -> data.(i) <- data.(i) +. (w.data.(0) *. x)) v.data)
+    weights vs;
+  let rec node =
+    lazy
+      (mk t data (fun () ->
+           let nd = Lazy.force node in
+           List.iter2
+             (fun w v ->
+               let s = ref 0.0 in
+               for i = 0 to n - 1 do
+                 v.grad.(i) <- v.grad.(i) +. (nd.grad.(i) *. w.data.(0));
+                 s := !s +. (nd.grad.(i) *. v.data.(i))
+               done;
+               w.grad.(0) <- w.grad.(0) +. !s)
+             weights vs))
+  in
+  Lazy.force node
+
+(** Cross-entropy of a softmax over scalar scores against [target]
+    (index into the list).  Returns the scalar loss node; predicted argmax
+    available via {!argmax_scores}. *)
+let softmax_cross_entropy t (scores : v list) ~target =
+  let arr = Array.of_list scores in
+  let xs = Array.map (fun s -> s.data.(0)) arr in
+  let mx = Array.fold_left max neg_infinity xs in
+  let exps = Array.map (fun x -> exp (x -. mx)) xs in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  let probs = Array.map (fun e -> e /. z) exps in
+  let loss = -.log (max probs.(target) 1e-12) in
+  let rec node =
+    lazy
+      (mk t [| loss |] (fun () ->
+           let nd = Lazy.force node in
+           let g = nd.grad.(0) in
+           Array.iteri
+             (fun i s ->
+               let delta = if i = target then 1.0 else 0.0 in
+               s.grad.(0) <- s.grad.(0) +. (g *. (probs.(i) -. delta)))
+             arr))
+  in
+  Lazy.force node
+
+let argmax_scores (scores : v list) =
+  let best = ref 0 and best_v = ref neg_infinity in
+  List.iteri
+    (fun i s ->
+      if s.data.(0) > !best_v then begin
+        best := i;
+        best_v := s.data.(0)
+      end)
+    scores;
+  !best
+
+(** Softmax probabilities of scalar scores (plain floats, for confidence
+    thresholds at inference time). *)
+let softmax_probs (scores : v list) =
+  let xs = List.map (fun s -> s.data.(0)) scores in
+  let mx = List.fold_left max neg_infinity xs in
+  let exps = List.map (fun x -> exp (x -. mx)) xs in
+  let z = List.fold_left ( +. ) 0.0 exps in
+  List.map (fun e -> e /. z) exps
+
+(** Backpropagate from scalar node [loss] through the tape. *)
+let backward t (loss : v) =
+  loss.grad.(0) <- 1.0;
+  List.iter (fun n -> n.back ()) t.nodes;
+  t.nodes <- []

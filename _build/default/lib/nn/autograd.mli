@@ -1,0 +1,55 @@
+(** Tape-based reverse-mode automatic differentiation over vectors — the
+    training substrate for the §5.6 baseline models.  Ops append nodes with
+    backward closures to a tape; [backward] seeds the loss gradient and
+    replays in reverse.  Gradient-checked in the test suite. *)
+
+type v = { data : float array; grad : float array; back : unit -> unit }
+
+type tape
+
+val tape : unit -> tape
+
+(** Constant leaf (no gradient flows into it). *)
+val const : tape -> float array -> v
+
+(** Row [i] of a parameter matrix — an embedding lookup. *)
+val row : tape -> Params.mat -> int -> v
+
+(** Bias vector as a differentiable leaf. *)
+val bias : tape -> Params.mat -> v
+
+(** Matrix–vector product W·x. *)
+val matvec : tape -> Params.mat -> v -> v
+
+val add : tape -> v -> v -> v
+val sub : tape -> v -> v -> v
+val mul : tape -> v -> v -> v  (** pointwise *)
+
+val tanh_ : tape -> v -> v
+val sigmoid : tape -> v -> v
+val relu : tape -> v -> v
+val scale : tape -> float -> v -> v
+
+(** Custom pointwise op: [unary t a f df] with [df x y] the derivative at
+    input [x], output [y]. *)
+val unary : tape -> v -> (float -> float) -> (float -> float -> float) -> v
+
+(** Dot product, as a 1-element vector. *)
+val dot : tape -> v -> v -> v
+
+(** Sum of same-length vectors (message aggregation). *)
+val sum_vecs : tape -> v list -> v
+
+(** Σ wᵢ·vᵢ with differentiable scalar weights (attention combine). *)
+val weighted_sum : tape -> v list -> v list -> v
+
+(** Cross-entropy of a softmax over scalar scores vs. the target index. *)
+val softmax_cross_entropy : tape -> v list -> target:int -> v
+
+val argmax_scores : v list -> int
+
+(** Softmax probabilities as plain floats (inference confidence). *)
+val softmax_probs : v list -> float list
+
+(** Backpropagate from scalar [loss]; consumes the tape. *)
+val backward : tape -> v -> unit

@@ -1,0 +1,31 @@
+(** Neural layers over {!Autograd}: dense affine maps, the GRU cell used by
+    gated message passing, and relation-biased single-head attention (the
+    Great-style block). *)
+
+module A := Autograd
+
+module Dense : sig
+  type t
+
+  val create : Params.store -> input:int -> output:int -> t
+  val forward : t -> A.tape -> A.v -> A.v
+end
+
+module Gru : sig
+  type t
+
+  val create : Params.store -> dim:int -> t
+
+  (** h′ = (1−z)⊙h + z⊙h̃ — fold [input] into [state]. *)
+  val step : t -> A.tape -> input:A.v -> state:A.v -> A.v
+end
+
+module Attention : sig
+  type t
+
+  val create : Params.store -> dim:int -> t
+
+  (** score(i,j) = qᵢ·kⱼ/√d + [rel_bias i j]; returns attended states with
+      residual and output projection. *)
+  val forward : t -> A.tape -> rel_bias:(int -> int -> float) -> A.v list -> A.v list
+end

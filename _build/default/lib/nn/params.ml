@@ -1,0 +1,69 @@
+(** Trainable parameters and the Adam optimizer.
+
+    A {!store} owns every parameter of a model: matrices (weights,
+    embedding tables) and vectors (biases), each carrying its gradient
+    accumulator and Adam moment estimates.  Initialization is Glorot-uniform
+    from an explicit PRNG, keeping training bit-reproducible. *)
+
+type mat = {
+  rows : int;
+  cols : int;
+  w : float array;  (** row-major data *)
+  g : float array;  (** gradient accumulator *)
+  m : float array;  (** Adam first moment *)
+  v : float array;  (** Adam second moment *)
+}
+
+type store = { mutable mats : mat list; prng : Namer_util.Prng.t; mutable step : int }
+
+let create ~prng = { mats = []; prng; step = 0 }
+
+(** Fresh [rows × cols] matrix, Glorot-uniform initialized. *)
+let mat store ~rows ~cols =
+  let n = rows * cols in
+  let scale = sqrt (6.0 /. float_of_int (rows + cols)) in
+  let w =
+    Array.init n (fun _ -> Namer_util.Prng.float_range store.prng (-.scale) scale)
+  in
+  let m =
+    { rows; cols; w; g = Array.make n 0.0; m = Array.make n 0.0; v = Array.make n 0.0 }
+  in
+  store.mats <- m :: store.mats;
+  m
+
+(** Fresh zero-initialized bias vector (a 1 × n matrix). *)
+let bias store ~n =
+  let m =
+    {
+      rows = 1;
+      cols = n;
+      w = Array.make n 0.0;
+      g = Array.make n 0.0;
+      m = Array.make n 0.0;
+      v = Array.make n 0.0;
+    }
+  in
+  store.mats <- m :: store.mats;
+  m
+
+let zero_grads store = List.iter (fun m -> Array.fill m.g 0 (Array.length m.g) 0.0) store.mats
+
+(** One Adam step over every parameter; clears gradients afterwards. *)
+let adam_step ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) store =
+  store.step <- store.step + 1;
+  let t = float_of_int store.step in
+  let bc1 = 1.0 -. (beta1 ** t) and bc2 = 1.0 -. (beta2 ** t) in
+  List.iter
+    (fun p ->
+      for i = 0 to Array.length p.w - 1 do
+        let g = p.g.(i) in
+        p.m.(i) <- (beta1 *. p.m.(i)) +. ((1.0 -. beta1) *. g);
+        p.v.(i) <- (beta2 *. p.v.(i)) +. ((1.0 -. beta2) *. g *. g);
+        let mh = p.m.(i) /. bc1 and vh = p.v.(i) /. bc2 in
+        p.w.(i) <- p.w.(i) -. (lr *. mh /. (sqrt vh +. eps))
+      done)
+    store.mats;
+  zero_grads store
+
+let n_parameters store =
+  List.fold_left (fun acc m -> acc + Array.length m.w) 0 store.mats

@@ -1,0 +1,29 @@
+(** Trainable parameters (matrices/biases with gradient and Adam moment
+    buffers) and the Adam optimizer.  Glorot-uniform initialization from an
+    explicit PRNG keeps training bit-reproducible. *)
+
+type mat = {
+  rows : int;
+  cols : int;
+  w : float array;  (** row-major data *)
+  g : float array;  (** gradient accumulator *)
+  m : float array;  (** Adam first moment *)
+  v : float array;  (** Adam second moment *)
+}
+
+type store = { mutable mats : mat list; prng : Namer_util.Prng.t; mutable step : int }
+
+val create : prng:Namer_util.Prng.t -> store
+
+(** Fresh Glorot-initialized matrix, registered in the store. *)
+val mat : store -> rows:int -> cols:int -> mat
+
+(** Fresh zero bias (a 1×n matrix). *)
+val bias : store -> n:int -> mat
+
+val zero_grads : store -> unit
+
+(** One Adam step over every parameter; clears gradients. *)
+val adam_step : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> store -> unit
+
+val n_parameters : store -> int

@@ -1,0 +1,1 @@
+lib/pattern/pattern_io.ml: Buffer List Namer_namepath Pattern String

@@ -1,0 +1,267 @@
+(** Name patterns (Definitions 3.6–3.9) and their match / satisfaction /
+    violation relationships against program statements.
+
+    A name pattern is a pair of name-path sets: the *condition* C (concrete
+    paths that must all occur in the statement) and the *deduction* D
+    (prefixes that must occur, whose end nodes the pattern constrains).  Two
+    pattern types are implemented, as in the paper:
+
+    - {e consistency} patterns — D = two symbolic paths; the statement
+      satisfies the pattern when the subtokens at both prefixes are equal
+      (Example 3.8: [self.<n> = <n>]);
+    - {e confusing-word} patterns — D = one concrete path whose end is the
+      *correct* word of a mined confusing word pair; any other subtoken at
+      that prefix violates the pattern (Figure 2(e): second subtoken of the
+      assert callee must be [Equal]).
+
+    Statements are pre-digested into {!Stmt_paths.t} — a prefix-keyed map of
+    the statement's concrete name paths — making every relationship check a
+    handful of hash lookups. *)
+
+module Namepath = Namer_namepath.Namepath
+
+type kind =
+  | Consistency
+  | Confusing_word of { correct : string }
+      (** the deduced word w₂ of a mined confusing pair ⟨w₁, w₂⟩; whether a
+          violation's found word actually forms a mined pair with w₂ is
+          feature 17, checked against {!Namer_mining.Confusing_pairs} *)
+  | Ordering of { first : string; second : string }
+      (** extension (the paper's "addition of more patterns" future work):
+          two sibling positions must carry the word pair in its canonical
+          order — [resize(width, height)], [range(min, max)]; the exact swap
+          is the violation (the argument-swap defect class of Rice et al.
+          and DeepBugs, both discussed in the paper's related work) *)
+
+type t = {
+  kind : kind;
+  condition : Namepath.t list;  (** concrete paths *)
+  deduction : Namepath.t list;
+      (** symbolic ×2 for consistency; concrete ×1 for confusing word *)
+  id : int;  (** dense id assigned by the store; -1 before registration *)
+}
+
+let make ~kind ~condition ~deduction = { kind; condition; deduction; id = -1 }
+
+(** Canonical text: condition and deduction in canonical order, separated by
+    ["=>"]; stable across runs, used for de-duplication and persistence. *)
+let canonical p =
+  let paths ps =
+    ps
+    |> List.map Namepath.to_string
+    |> List.sort compare
+    |> String.concat " ; "
+  in
+  let kind_tag =
+    match p.kind with
+    | Consistency -> "CONSISTENCY"
+    | Confusing_word { correct } -> Printf.sprintf "CONFUSING(->%s)" correct
+    | Ordering { first; second } -> Printf.sprintf "ORDERING(%s<%s)" first second
+  in
+  Printf.sprintf "%s : %s => %s" kind_tag (paths p.condition) (paths p.deduction)
+
+let pp fmt p = Format.pp_print_string fmt (canonical p)
+
+(** Whether the pattern constrains a function/method name (callee subtoken)
+    rather than an object/variable name — feature 13 of the classifier.
+    Determined from the deduction prefix: callee names live under the [Attr]
+    of a call's [AttributeLoad], or under a bare [NameLoad] directly below
+    [Call]. *)
+let targets_function_name p =
+  let prefix_has_call_attr (np : Namepath.t) =
+    let rec scan = function
+      | { Namepath.value = "Call"; _ } :: { Namepath.value = "AttributeLoad"; index = 1 }
+        :: { Namepath.value = "Attr"; _ } :: _ ->
+          true
+      | { Namepath.value = "Call"; index = 0 } :: { Namepath.value = "NameLoad"; _ } :: _ ->
+          true
+      | _ :: rest -> scan rest
+      | [] -> false
+    in
+    scan np.Namepath.prefix
+  in
+  List.exists prefix_has_call_attr p.deduction
+
+(* ------------------------------------------------------------------ *)
+(* Statement digests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Stmt_paths = struct
+  (** A statement digested for pattern checking: its concrete name paths
+      indexed by prefix key. *)
+  type t = {
+    by_prefix : (string, string) Hashtbl.t;  (** prefix key → end subtoken *)
+    paths : Namepath.t list;
+    n_paths : int;
+  }
+
+  let of_paths (paths : Namepath.t list) =
+    let by_prefix = Hashtbl.create (List.length paths * 2) in
+    List.iter
+      (fun (np : Namepath.t) ->
+        match np.Namepath.end_node with
+        | Some e ->
+            let key = Namepath.prefix_key np in
+            if not (Hashtbl.mem by_prefix key) then Hashtbl.add by_prefix key e
+        | None -> ())
+      paths;
+    { by_prefix; paths; n_paths = List.length paths }
+
+  let of_tree ?limit tree = of_paths (Namepath.extract ?limit tree)
+  let end_at t ~prefix_key = Hashtbl.find_opt t.by_prefix prefix_key
+  let prefix_keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_prefix []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Relationships                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Details of one violated pattern occurrence: what was found at the
+    deduction prefix and what the pattern deduces it should be — the
+    suggested fix (§3.2: "modify the statement so that the violated pattern
+    becomes satisfied"). *)
+type violation_info = {
+  offending_prefix : string;  (** prefix key of the offending name path *)
+  found : string;  (** subtoken present in the statement *)
+  suggested : string;  (** subtoken the pattern deduces *)
+}
+
+type relation = No_match | Satisfied | Violated of violation_info
+
+(** [check p s] classifies statement digest [s] against pattern [p]. *)
+let check (p : t) (s : Stmt_paths.t) : relation =
+  let condition_holds =
+    List.for_all
+      (fun (c : Namepath.t) ->
+        match
+          (c.Namepath.end_node, Stmt_paths.end_at s ~prefix_key:(Namepath.prefix_key c))
+        with
+        | Some want, Some got -> String.equal want got
+        | None, Some _ -> true (* ϵ in a condition matches any end *)
+        | _, None -> false)
+      p.condition
+  in
+  if not condition_holds then No_match
+  else
+    let deduction_prefixes_present =
+      List.for_all
+        (fun (d : Namepath.t) ->
+          Stmt_paths.end_at s ~prefix_key:(Namepath.prefix_key d) <> None)
+        p.deduction
+    in
+    if not deduction_prefixes_present then No_match
+    else
+      match (p.kind, p.deduction) with
+      | Consistency, [ d1; d2 ] -> (
+          let k1 = Namepath.prefix_key d1 and k2 = Namepath.prefix_key d2 in
+          match (Stmt_paths.end_at s ~prefix_key:k1, Stmt_paths.end_at s ~prefix_key:k2) with
+          (* Case-insensitive: [stringWriter] is consistent with its
+             [StringWriter] type; [camelCase] with [snake_case] renderings. *)
+          | Some e1, Some e2
+            when String.equal (String.lowercase_ascii e1) (String.lowercase_ascii e2)
+            ->
+              Satisfied
+          | Some e1, Some e2 ->
+              Violated { offending_prefix = k2; found = e2; suggested = e1 }
+          | _ -> No_match)
+      | Confusing_word { correct; _ }, [ d ] -> (
+          let k = Namepath.prefix_key d in
+          match Stmt_paths.end_at s ~prefix_key:k with
+          | Some e when String.equal e correct -> Satisfied
+          | Some e -> Violated { offending_prefix = k; found = e; suggested = correct }
+          | None -> No_match)
+      | Ordering { first; second }, [ d1; d2 ] -> (
+          let k1 = Namepath.prefix_key d1 and k2 = Namepath.prefix_key d2 in
+          match (Stmt_paths.end_at s ~prefix_key:k1, Stmt_paths.end_at s ~prefix_key:k2) with
+          | Some e1, Some e2 when String.equal e1 first && String.equal e2 second ->
+              Satisfied
+          (* only the exact swap is a violation; unrelated words at these
+             positions are not this pattern's business *)
+          | Some e1, Some e2 when String.equal e1 second && String.equal e2 first ->
+              Violated { offending_prefix = k1; found = second; suggested = first }
+          | Some _, Some _ -> No_match
+          | _ -> No_match)
+      | _ ->
+          invalid_arg
+            "Pattern.check: malformed pattern (deduction arity does not match kind)"
+
+(* ------------------------------------------------------------------ *)
+(* Pattern store and matching index                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Store = struct
+  (** A deduplicated collection of patterns with an inverted index from
+      deduction-prefix keys to the patterns constraining them.  Every
+      pattern's deduction prefix must be present in a statement for the
+      pattern to match, so bucketing by that key lets a scan consider only
+      the patterns that could possibly match each statement. *)
+  type nonrec t = {
+    mutable patterns : t array;
+    mutable n : int;
+    by_canonical : (string, int) Hashtbl.t;
+    by_deduction_prefix : (string, int list ref) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      patterns = Array.make 256 { kind = Consistency; condition = []; deduction = []; id = -1 };
+      n = 0;
+      by_canonical = Hashtbl.create 1024;
+      by_deduction_prefix = Hashtbl.create 1024;
+    }
+
+  let size t = t.n
+  let get t id = t.patterns.(id)
+
+  (** [add t p] registers [p] (deduplicating by canonical form) and returns
+      its id. *)
+  let add t p =
+    let key = canonical p in
+    match Hashtbl.find_opt t.by_canonical key with
+    | Some id -> id
+    | None ->
+        let id = t.n in
+        if id >= Array.length t.patterns then begin
+          let bigger = Array.make (2 * Array.length t.patterns) t.patterns.(0) in
+          Array.blit t.patterns 0 bigger 0 t.n;
+          t.patterns <- bigger
+        end;
+        t.patterns.(id) <- { p with id };
+        t.n <- id + 1;
+        Hashtbl.replace t.by_canonical key id;
+        (match p.deduction with
+        | d :: _ -> (
+            let dkey = Namepath.prefix_key d in
+            match Hashtbl.find_opt t.by_deduction_prefix dkey with
+            | Some l -> l := id :: !l
+            | None -> Hashtbl.replace t.by_deduction_prefix dkey (ref [ id ]))
+        | [] -> ());
+        id
+
+    (** All patterns whose deduction prefix occurs in the statement — the
+      candidate set for a full {!check}. *)
+  let candidates t (s : Stmt_paths.t) =
+    let seen = Hashtbl.create 16 in
+    Stmt_paths.prefix_keys s
+    |> List.concat_map (fun key ->
+           match Hashtbl.find_opt t.by_deduction_prefix key with
+           | Some l -> !l
+           | None -> [])
+    |> List.filter (fun id ->
+           if Hashtbl.mem seen id then false
+           else begin
+             Hashtbl.replace seen id ();
+             true
+           end)
+    |> List.map (get t)
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      f t.patterns.(i)
+    done
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun p -> acc := f !acc p) t;
+    !acc
+end

@@ -1,0 +1,84 @@
+(** Name patterns (Definitions 3.6–3.9) and their match / satisfaction /
+    violation relationships, plus the deduplicating pattern store with its
+    inverted matching index. *)
+
+module Namepath = Namer_namepath.Namepath
+
+type kind =
+  | Consistency
+      (** deduction = two symbolic paths whose subtokens must agree
+          (case-insensitively), as in Example 3.8's [self.<n> = <n>] *)
+  | Confusing_word of { correct : string }
+      (** deduction = one path whose end must be the correct word w₂ of a
+          mined confusing pair ⟨w₁, w₂⟩, as in Figure 2(e) *)
+  | Ordering of { first : string; second : string }
+      (** extension: deduction = two paths that must carry the word pair in
+          canonical order ([resize(width, height)]); the exact swap
+          violates — the argument-swap defect class of the paper's related
+          work (Rice et al., DeepBugs) *)
+
+type t = {
+  kind : kind;
+  condition : Namepath.t list;
+  deduction : Namepath.t list;
+  id : int;  (** dense id assigned by {!Store.add}; -1 before registration *)
+}
+
+val make : kind:kind -> condition:Namepath.t list -> deduction:Namepath.t list -> t
+
+(** Canonical text, stable across runs; used for deduplication and
+    persistence ({!Pattern_io}). *)
+val canonical : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Whether the pattern constrains a callee name (feature 13 of Table 1). *)
+val targets_function_name : t -> bool
+
+(** Statements pre-digested for pattern checking. *)
+module Stmt_paths : sig
+  type t = {
+    by_prefix : (string, string) Hashtbl.t;  (** prefix key → end subtoken *)
+    paths : Namepath.t list;
+    n_paths : int;
+  }
+
+  val of_paths : Namepath.t list -> t
+  val of_tree : ?limit:int -> Namer_tree.Tree.t -> t
+  val end_at : t -> prefix_key:string -> string option
+  val prefix_keys : t -> string list
+end
+
+(** One violated occurrence: the offending subtoken and the deduced fix. *)
+type violation_info = {
+  offending_prefix : string;
+  found : string;
+  suggested : string;
+}
+
+type relation = No_match | Satisfied | Violated of violation_info
+
+(** Classify a statement against a pattern per Definitions 3.7/3.9. *)
+val check : t -> Stmt_paths.t -> relation
+
+module Store : sig
+  type pattern := t
+
+  (** A deduplicated pattern collection with an inverted index from
+      deduction prefixes to patterns. *)
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val get : t -> int -> pattern
+
+  (** Register (deduplicating by canonical form); returns the pattern id. *)
+  val add : t -> pattern -> int
+
+  (** Patterns whose deduction prefix occurs in the statement — the
+      candidate set for {!check}. *)
+  val candidates : t -> Stmt_paths.t -> pattern list
+
+  val iter : (pattern -> unit) -> t -> unit
+  val fold : ('a -> pattern -> 'a) -> t -> 'a -> 'a
+end

@@ -1,0 +1,106 @@
+(** Persistence for mined pattern sets.
+
+    A {!Pattern.Store.t} serializes to a line-oriented text format so a
+    mining run over a large corpus can be done once and its patterns reused
+    by later scans (the CLI's mine-once/scan-many workflow).  One pattern
+    per line, in the canonical form produced by {!Pattern.canonical}:
+
+    {v
+    CONSISTENCY : <path> ; <path> => <path> ; <path>
+    CONFUSING(->word) : <path> => <path>
+    v}
+
+    Lines starting with [#] are comments.  The parser is the exact inverse
+    of {!Pattern.canonical} (round-trip property tested in the suite). *)
+
+module Namepath = Namer_namepath.Namepath
+
+exception Parse_error of string
+
+let split_on_substring ~sep s =
+  let sl = String.length sep and n = String.length s in
+  let rec find i =
+    if i + sl > n then None
+    else if String.sub s i sl = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + sl) (n - i - sl))
+  | None -> None
+
+let parse_paths s =
+  let s = String.trim s in
+  if s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun part -> Namepath.of_string (String.trim part))
+
+(** Parse one canonical pattern line. *)
+let pattern_of_string line : Pattern.t =
+  let kind_str, rest =
+    match split_on_substring ~sep:" : " line with
+    | Some x -> x
+    | None -> raise (Parse_error ("missing ' : ' separator: " ^ line))
+  in
+  let cond_str, ded_str =
+    match split_on_substring ~sep:" => " rest with
+    | Some x -> x
+    | None -> raise (Parse_error ("missing ' => ' separator: " ^ line))
+  in
+  let kind =
+    match kind_str with
+    | "CONSISTENCY" -> Pattern.Consistency
+    | s
+      when String.length s > 12
+           && String.sub s 0 12 = "CONFUSING(->"
+           && s.[String.length s - 1] = ')' ->
+        Pattern.Confusing_word { correct = String.sub s 12 (String.length s - 13) }
+    | s
+      when String.length s > 10
+           && String.sub s 0 9 = "ORDERING("
+           && s.[String.length s - 1] = ')' -> (
+        let inner = String.sub s 9 (String.length s - 10) in
+        match String.index_opt inner '<' with
+        | Some i ->
+            Pattern.Ordering
+              {
+                first = String.sub inner 0 i;
+                second = String.sub inner (i + 1) (String.length inner - i - 1);
+              }
+        | None -> raise (Parse_error ("malformed ORDERING kind: " ^ s)))
+    | s -> raise (Parse_error ("unknown pattern kind: " ^ s))
+  in
+  Pattern.make ~kind ~condition:(parse_paths cond_str) ~deduction:(parse_paths ded_str)
+
+(** Render a store to the text format. *)
+let to_string (store : Pattern.Store.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# namer pattern store v1\n";
+  Pattern.Store.iter
+    (fun p ->
+      Buffer.add_string buf (Pattern.canonical p);
+      Buffer.add_char buf '\n')
+    store;
+  Buffer.contents buf
+
+(** Parse a store from the text format; raises {!Parse_error} on garbage. *)
+let of_string (s : string) : Pattern.Store.t =
+  let store = Pattern.Store.create () in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           ignore (Pattern.Store.add store (pattern_of_string line)));
+  store
+
+let save (store : Pattern.Store.t) ~path =
+  let oc = open_out path in
+  output_string oc (to_string store);
+  close_out oc
+
+let load ~path : Pattern.Store.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,1 @@
+lib/pylang/py_ast.ml: List

@@ -1,0 +1,1 @@
+lib/pylang/py_lexer.ml: Buffer List Printf String

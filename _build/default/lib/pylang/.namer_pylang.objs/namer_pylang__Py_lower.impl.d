@@ -1,0 +1,1 @@
+lib/pylang/py_lower.ml: List Namer_tree Py_ast

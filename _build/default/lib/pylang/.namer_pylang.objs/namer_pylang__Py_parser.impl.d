@@ -1,0 +1,1 @@
+lib/pylang/py_parser.ml: Array List Printf Py_ast Py_lexer String

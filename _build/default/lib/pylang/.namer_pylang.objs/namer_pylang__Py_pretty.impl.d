@@ -1,0 +1,1 @@
+lib/pylang/py_pretty.ml: Buffer List Py_ast String

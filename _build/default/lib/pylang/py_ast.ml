@@ -1,0 +1,93 @@
+(** Surface abstract syntax for the Python subset.
+
+    The subset covers everything the synthetic corpus and the paper's
+    examples need: classes with inheritance, function definitions with
+    positional / [*args] / [**kwargs] parameters and defaults, assignments
+    (plain, chained, augmented), attribute and subscript access, calls with
+    keyword arguments, the full statement repertoire ([if]/[for]/[while]/
+    [try]/[with]/[return]/[raise]/[assert]/imports), and the usual
+    expression grammar.  Everything downstream consumes the generic
+    {!Namer_tree.Tree.t} produced by {!Py_lower}, so extending this AST only
+    requires touching the frontend. *)
+
+type expr =
+  | Name of string
+  | Num of string  (** numeric literal, verbatim text *)
+  | Str of string  (** string literal, unquoted content *)
+  | Bool of bool
+  | None_lit
+  | Attribute of expr * string  (** [e.attr] *)
+  | Subscript of expr * expr  (** [e[i]] *)
+  | Call of { func : expr; args : expr list; keywords : (string * expr) list }
+  | Bin_op of expr * string * expr
+  | Unary_op of string * expr
+  | Compare of expr * string * expr
+  | Bool_op of string * expr list  (** ["and"] / ["or"] over ≥ 2 operands *)
+  | List_lit of expr list
+  | Tuple_lit of expr list
+  | Dict_lit of (expr * expr) list
+  | Lambda of string list * expr
+  | Star_arg of expr  (** [*e] in a call *)
+  | Double_star_arg of expr  (** [**e] in a call *)
+
+type param_kind = Plain | Star | Double_star
+
+type param = { pname : string; pkind : param_kind; default : expr option }
+
+type stmt = { line : int; kind : stmt_kind }
+
+and stmt_kind =
+  | Expr_stmt of expr
+  | Assign of expr list * expr  (** chained targets [t1 = t2 = value] *)
+  | Aug_assign of expr * string * expr  (** [t op= value] *)
+  | Return of expr option
+  | Pass
+  | Break
+  | Continue
+  | If of (expr * stmt list) list * stmt list
+      (** (condition, body) for if/elif chain; final else body *)
+  | For of expr * expr * stmt list * stmt list  (** target, iter, body, else *)
+  | While of expr * stmt list
+  | Function_def of {
+      name : string;
+      params : param list;
+      body : stmt list;
+      decorators : expr list;
+    }
+  | Class_def of { cname : string; bases : expr list; cbody : stmt list }
+  | Import of (string * string option) list  (** [import m as alias] *)
+  | Import_from of string * (string * string option) list
+  | Try of stmt list * handler list * stmt list  (** body, handlers, finally *)
+  | Raise of expr option
+  | Assert of expr * expr option
+  | With of expr * string option * stmt list
+  | Global of string list
+  | Delete of expr list
+
+and handler = { exn_type : expr option; bind : string option; hbody : stmt list }
+
+type module_ = stmt list
+
+(** [iter_stmts f m] applies [f] to every statement in [m], pre-order,
+    descending into all nested bodies. *)
+let rec iter_stmts f (stmts : stmt list) =
+  List.iter
+    (fun s ->
+      f s;
+      match s.kind with
+      | If (branches, orelse) ->
+          List.iter (fun (_, body) -> iter_stmts f body) branches;
+          iter_stmts f orelse
+      | For (_, _, body, orelse) ->
+          iter_stmts f body;
+          iter_stmts f orelse
+      | While (_, body) -> iter_stmts f body
+      | Function_def { body; _ } -> iter_stmts f body
+      | Class_def { cbody; _ } -> iter_stmts f cbody
+      | Try (body, handlers, fin) ->
+          iter_stmts f body;
+          List.iter (fun h -> iter_stmts f h.hbody) handlers;
+          iter_stmts f fin
+      | With (_, _, body) -> iter_stmts f body
+      | _ -> ())
+    stmts

@@ -1,0 +1,244 @@
+(** Indentation-aware lexer for the Python subset.
+
+    Produces a flat token list with explicit [Indent] / [Dedent] / [Newline]
+    tokens, following the layout algorithm of the CPython reference lexer:
+    a stack of indentation widths, with blank and comment-only lines
+    ignored, and bracketed (implicit-continuation) regions suppressing
+    layout tokens. *)
+
+type token =
+  | Ident of string
+  | Keyword of string
+  | Number of string
+  | String of string
+  | Op of string  (** operator or punctuation, verbatim *)
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+type loc_token = { tok : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+let keywords =
+  [
+    "def"; "class"; "return"; "if"; "elif"; "else"; "for"; "while"; "in";
+    "not"; "and"; "or"; "import"; "from"; "as"; "pass"; "break"; "continue";
+    "try"; "except"; "finally"; "raise"; "with"; "lambda"; "True"; "False";
+    "None"; "is"; "assert"; "del"; "global"; "yield";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character operators, longest first so maximal munch works. *)
+let operators =
+  [
+    "**="; "//="; "=="; "!="; "<="; ">="; "->"; "+="; "-="; "*="; "/="; "%=";
+    "&="; "|="; "^="; "<<"; ">>"; "**"; "//"; "+"; "-"; "*"; "/"; "%"; "=";
+    "<"; ">"; "("; ")"; "["; "]"; "{"; "}"; ","; ":"; "."; ";"; "@"; "&";
+    "|"; "^"; "~";
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let indents = ref [ 0 ] in
+  let paren_depth = ref 0 in
+  let peek i = if !pos + i < n then Some src.[!pos + i] else None in
+  let cur () = peek 0 in
+  let advance () = incr pos in
+  (* Read the indentation of the line starting at [!pos]; returns None for
+     blank / comment-only lines (which are skipped entirely). *)
+  let rec handle_line_start () =
+    let width = ref 0 in
+    let scanning = ref true in
+    while !scanning do
+      match cur () with
+      | Some ' ' ->
+          incr width;
+          advance ()
+      | Some '\t' ->
+          width := !width + 8;
+          advance ()
+      | _ -> scanning := false
+    done;
+    match cur () with
+    | None -> ()
+    | Some '\n' ->
+        advance ();
+        incr line;
+        handle_line_start ()
+    | Some '#' ->
+        while cur () <> Some '\n' && cur () <> None do
+          advance ()
+        done;
+        handle_line_start ()
+    | Some _ ->
+        let top () = List.hd !indents in
+        if !width > top () then begin
+          indents := !width :: !indents;
+          emit Indent
+        end
+        else
+          while !width < top () do
+            indents := List.tl !indents;
+            if !width > top () then raise (Lex_error ("inconsistent dedent", !line));
+            emit Dedent
+          done
+  in
+  (* Triple-quoted strings: scan to the closing delimiter, newlines
+     included (docstrings). *)
+  let read_triple_string quote =
+    advance ();
+    advance ();
+    advance ();
+    let buf = Buffer.create 64 in
+    let rec go () =
+      if !pos + 2 < n && src.[!pos] = quote && src.[!pos + 1] = quote && src.[!pos + 2] = quote
+      then begin
+        advance ();
+        advance ();
+        advance ()
+      end
+      else
+        match cur () with
+        | None -> raise (Lex_error ("unterminated triple-quoted string", !line))
+        | Some '\n' ->
+            incr line;
+            Buffer.add_char buf '\n';
+            advance ();
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    emit (String (Buffer.contents buf))
+  in
+  let read_string quote =
+    if peek 1 = Some quote && peek 2 = Some quote then read_triple_string quote
+    else begin
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match cur () with
+      | None -> raise (Lex_error ("unterminated string", !line))
+      | Some '\\' -> (
+          advance ();
+          match cur () with
+          | None -> raise (Lex_error ("unterminated string escape", !line))
+          | Some c ->
+              Buffer.add_char buf
+                (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+              advance ();
+              go ())
+      | Some c when c = quote -> advance ()
+      | Some '\n' -> raise (Lex_error ("newline in string", !line))
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    emit (String (Buffer.contents buf))
+    end
+  in
+  let read_number () =
+    let start = !pos in
+    while (match cur () with Some c -> is_digit c || c = '.' || c = 'x' || c = 'X'
+                             || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+                           | None -> false) do
+      advance ()
+    done;
+    (* 'e' exponents: covered by hex-letter range above ('e' ∈ a–f). *)
+    emit (Number (String.sub src start (!pos - start)))
+  in
+  let read_ident () =
+    let start = !pos in
+    while (match cur () with Some c -> is_ident_char c | None -> false) do
+      advance ()
+    done;
+    let s = String.sub src start (!pos - start) in
+    (* String prefixes like r"..." / b'...' *)
+    match cur () with
+    | Some (('"' | '\'') as q) when String.length s = 1
+                                    && (s = "r" || s = "b" || s = "u" || s = "f") ->
+        read_string q
+    | _ -> if is_keyword s then emit (Keyword s) else emit (Ident s)
+  in
+  let try_operator () =
+    let matches op =
+      let l = String.length op in
+      !pos + l <= n && String.sub src !pos l = op
+    in
+    match List.find_opt matches operators with
+    | Some op ->
+        (match op with
+        | "(" | "[" | "{" -> incr paren_depth
+        | ")" | "]" | "}" -> paren_depth := max 0 (!paren_depth - 1)
+        | _ -> ());
+        pos := !pos + String.length op;
+        emit (Op op);
+        true
+    | None -> false
+  in
+  handle_line_start ();
+  let rec loop () =
+    match cur () with
+    | None -> ()
+    | Some '\n' ->
+        advance ();
+        incr line;
+        if !paren_depth = 0 then begin
+          emit Newline;
+          handle_line_start ()
+        end;
+        loop ()
+    | Some '#' ->
+        while cur () <> Some '\n' && cur () <> None do
+          advance ()
+        done;
+        loop ()
+    | Some (' ' | '\t' | '\r') ->
+        advance ();
+        loop ()
+    | Some '\\' when peek 1 = Some '\n' ->
+        advance ();
+        advance ();
+        incr line;
+        loop ()
+    | Some (('"' | '\'') as q) ->
+        read_string q;
+        loop ()
+    | Some c when is_digit c ->
+        read_number ();
+        loop ()
+    | Some c when is_ident_start c ->
+        read_ident ();
+        loop ()
+    | Some _ ->
+        if try_operator () then loop ()
+        else raise (Lex_error (Printf.sprintf "unexpected character %C" src.[!pos], !line))
+  in
+  loop ();
+  (* Close the final logical line and any open indentation levels. *)
+  (match !out with
+  | { tok = Newline; _ } :: _ | [] -> ()
+  | _ -> emit Newline);
+  while List.hd !indents > 0 do
+    indents := List.tl !indents;
+    emit Dedent
+  done;
+  emit Eof;
+  List.rev !out

@@ -1,0 +1,238 @@
+(** Lowering Python surface syntax to generic trees.
+
+    Produces {!Namer_tree.Tree.t} values in the node vocabulary of the paper's
+    Figure 2 (which follows the py150 AST convention of Raychev et al.):
+    [Call], [AttributeLoad]/[AttributeStore], [NameLoad]/[NameStore]/
+    [NameParam], [Attr], [Num], [Str], [Bool], [Assign], [For], … — e.g.
+    [self.assertTrue(x, 90)] becomes
+
+    {v (Call (AttributeLoad (NameLoad self) (Attr assertTrue))
+             (AttributeLoad (NameLoad x) ...) (Num 90)) v}
+
+    Two granularities are produced:
+    - {!lower_stmts}: one tree per *program statement* (simple statements and
+      compound-statement headers), each with its enclosing class/function
+      context — the unit at which Namer extracts name paths and reports
+      issues (§3.1);
+    - {!module_tree}: the whole file as one tree, used by commit diffing
+      when mining confusing word pairs. *)
+
+open Py_ast
+module Tree = Namer_tree.Tree
+
+let rec lower_expr (e : expr) : Tree.t =
+  match e with
+  | Name n -> Tree.node "NameLoad" [ Tree.leaf n ]
+  | Num v -> Tree.node "Num" [ Tree.leaf v ]
+  | Str v -> Tree.node "Str" [ Tree.leaf v ]
+  | Bool b -> Tree.node "Bool" [ Tree.leaf (if b then "True" else "False") ]
+  | None_lit -> Tree.node "NoneLit" [ Tree.leaf "None" ]
+  | Attribute (obj, attr) ->
+      Tree.node "AttributeLoad" [ lower_expr obj; Tree.node "Attr" [ Tree.leaf attr ] ]
+  | Subscript (obj, idx) -> Tree.node "SubscriptLoad" [ lower_expr obj; lower_expr idx ]
+  | Call { func; args; keywords } ->
+      let arg_trees = List.map lower_expr args in
+      let kw_trees =
+        List.map
+          (fun (name, v) -> Tree.node "Keyword" [ Tree.leaf name; lower_expr v ])
+          keywords
+      in
+      Tree.node "Call" ((lower_expr func :: arg_trees) @ kw_trees)
+  | Bin_op (a, op, b) -> Tree.node "BinOp" [ lower_expr a; Tree.leaf op; lower_expr b ]
+  | Unary_op (op, a) -> Tree.node "UnaryOp" [ Tree.leaf op; lower_expr a ]
+  | Compare (a, op, b) -> Tree.node "Compare" [ lower_expr a; Tree.leaf op; lower_expr b ]
+  | Bool_op (op, es) -> Tree.node "BoolOp" (Tree.leaf op :: List.map lower_expr es)
+  | List_lit es -> Tree.node "List" (List.map lower_expr es)
+  | Tuple_lit es -> Tree.node "Tuple" (List.map lower_expr es)
+  | Dict_lit kvs ->
+      Tree.node "Dict"
+        (List.map (fun (k, v) -> Tree.node "DictItem" [ lower_expr k; lower_expr v ]) kvs)
+  | Lambda (params, body) ->
+      Tree.node "Lambda"
+        (List.map (fun p -> Tree.node "NameParam" [ Tree.leaf p ]) params
+        @ [ lower_expr body ])
+  | Star_arg e -> Tree.node "StarArg" [ lower_expr e ]
+  | Double_star_arg e -> Tree.node "DoubleStarArg" [ lower_expr e ]
+
+(** Lower an expression in *store* (assignment-target) position, turning
+    load node kinds into their store counterparts, as in the paper's
+    Example 3.8 ([AttributeStore]). *)
+let rec lower_store (e : expr) : Tree.t =
+  match e with
+  | Name n -> Tree.node "NameStore" [ Tree.leaf n ]
+  | Attribute (obj, attr) ->
+      Tree.node "AttributeStore" [ lower_expr obj; Tree.node "Attr" [ Tree.leaf attr ] ]
+  | Subscript (obj, idx) -> Tree.node "SubscriptStore" [ lower_expr obj; lower_expr idx ]
+  | Tuple_lit es -> Tree.node "Tuple" (List.map lower_store es)
+  | e -> lower_expr e
+
+let lower_param (p : param) : Tree.t =
+  let kind =
+    match p.pkind with
+    | Plain -> "NameParam"
+    | Star -> "StarParam"
+    | Double_star -> "DoubleStarParam"
+  in
+  Tree.node kind [ Tree.leaf p.pname ]
+
+(** Header tree of a statement: for compound statements this contains only
+    the controlling expressions, not the nested body — matching the paper's
+    per-statement granularity (its Figure 2 treats the [assertTrue] call
+    statement in isolation, and Table 3 reports [for i in xrange(10)] as a
+    statement). *)
+let header_tree (s : stmt) : Tree.t =
+  match s.kind with
+  | Expr_stmt e -> lower_expr e
+  | Assign (targets, value) ->
+      Tree.node "Assign" (List.map lower_store targets @ [ lower_expr value ])
+  | Aug_assign (t, op, v) ->
+      Tree.node "AugAssign" [ lower_store t; Tree.leaf op; lower_expr v ]
+  | Return (Some e) -> Tree.node "Return" [ lower_expr e ]
+  | Return None -> Tree.node "Return" []
+  | Pass -> Tree.node "Pass" []
+  | Break -> Tree.node "Break" []
+  | Continue -> Tree.node "Continue" []
+  | If ((cond, _) :: _, _) -> Tree.node "If" [ lower_expr cond ]
+  | If ([], _) -> Tree.node "If" []
+  | For (target, iter, _, _) -> Tree.node "For" [ lower_store target; lower_expr iter ]
+  | While (cond, _) -> Tree.node "While" [ lower_expr cond ]
+  | Function_def { name; params; _ } ->
+      Tree.node "FunctionDef"
+        (Tree.node "FuncName" [ Tree.leaf name ] :: List.map lower_param params)
+  | Class_def { cname; bases; _ } ->
+      Tree.node "ClassDef"
+        (Tree.node "ClassName" [ Tree.leaf cname ] :: List.map lower_expr bases)
+  | Import names ->
+      Tree.node "Import"
+        (List.map
+           (fun (m, alias) ->
+             match alias with
+             | Some a -> Tree.node "ImportAs" [ Tree.leaf m; Tree.leaf a ]
+             | None -> Tree.node "ImportName" [ Tree.leaf m ])
+           names)
+  | Import_from (m, names) ->
+      Tree.node "ImportFrom"
+        (Tree.leaf m
+        :: List.map
+             (fun (n, alias) ->
+               match alias with
+               | Some a -> Tree.node "ImportAs" [ Tree.leaf n; Tree.leaf a ]
+               | None -> Tree.node "ImportName" [ Tree.leaf n ])
+             names)
+  | Try (_, handlers, _) ->
+      Tree.node "Try"
+        (List.map
+           (fun h ->
+             Tree.node "ExceptHandler"
+               ((match h.exn_type with Some t -> [ lower_expr t ] | None -> [])
+               @ match h.bind with
+                 | Some b -> [ Tree.node "NameStore" [ Tree.leaf b ] ]
+                 | None -> []))
+           handlers)
+  | Raise (Some e) -> Tree.node "Raise" [ lower_expr e ]
+  | Raise None -> Tree.node "Raise" []
+  | Assert (e, None) -> Tree.node "Assert" [ lower_expr e ]
+  | Assert (e, Some m) -> Tree.node "Assert" [ lower_expr e; lower_expr m ]
+  | With (e, bind, _) ->
+      Tree.node "With"
+        (lower_expr e
+        :: (match bind with
+           | Some b -> [ Tree.node "NameStore" [ Tree.leaf b ] ]
+           | None -> []))
+  | Global names -> Tree.node "Global" (List.map Tree.leaf names)
+  | Delete es -> Tree.node "Delete" (List.map lower_expr es)
+
+(** One program statement ready for the Namer pipeline. *)
+type stmt_info = {
+  tree : Tree.t;  (** parsed (untransformed) statement tree *)
+  line : int;
+  enclosing_class : string option;
+  enclosing_function : string option;
+  surface : stmt;  (** back-pointer into the surface AST *)
+}
+
+(** [lower_stmts m] enumerates every program statement of module [m] in
+    source order, with its enclosing class / function context (used by the
+    static analysis to resolve [self]). *)
+let lower_stmts (m : module_) : stmt_info list =
+  let out = ref [] in
+  let rec walk ~cls ~fn stmts =
+    List.iter
+      (fun s ->
+        out :=
+          {
+            tree = header_tree s;
+            line = s.line;
+            enclosing_class = cls;
+            enclosing_function = fn;
+            surface = s;
+          }
+          :: !out;
+        match s.kind with
+        | If (branches, orelse) ->
+            List.iter (fun (_, b) -> walk ~cls ~fn b) branches;
+            walk ~cls ~fn orelse
+        | For (_, _, body, orelse) ->
+            walk ~cls ~fn body;
+            walk ~cls ~fn orelse
+        | While (_, body) -> walk ~cls ~fn body
+        | Function_def { name; body; _ } -> walk ~cls ~fn:(Some name) body
+        | Class_def { cname; cbody; _ } -> walk ~cls:(Some cname) ~fn cbody
+        | Try (body, handlers, fin) ->
+            walk ~cls ~fn body;
+            List.iter (fun h -> walk ~cls ~fn h.hbody) handlers;
+            walk ~cls ~fn fin
+        | With (_, _, body) -> walk ~cls ~fn body
+        | _ -> ())
+      stmts
+  in
+  walk ~cls:None ~fn:None m;
+  List.rev !out
+
+(** Whole-module tree (bodies nested), for commit diffing. *)
+let rec module_tree (m : module_) : Tree.t =
+  Tree.node "Module" (List.map stmt_tree m)
+
+and stmt_tree (s : stmt) : Tree.t =
+  match s.kind with
+  | If (branches, orelse) ->
+      Tree.node "If"
+        (List.map
+           (fun (c, b) -> Tree.node "Branch" (lower_expr c :: List.map stmt_tree b))
+           branches
+        @ match orelse with [] -> [] | b -> [ Tree.node "Else" (List.map stmt_tree b) ])
+  | For (target, iter, body, orelse) ->
+      Tree.node "For"
+        ([ lower_store target; lower_expr iter; Tree.node "Body" (List.map stmt_tree body) ]
+        @ match orelse with [] -> [] | b -> [ Tree.node "Else" (List.map stmt_tree b) ])
+  | While (cond, body) ->
+      Tree.node "While" [ lower_expr cond; Tree.node "Body" (List.map stmt_tree body) ]
+  | Function_def { name; params; body; _ } ->
+      Tree.node "FunctionDef"
+        (Tree.node "FuncName" [ Tree.leaf name ]
+        :: (List.map lower_param params @ [ Tree.node "Body" (List.map stmt_tree body) ]))
+  | Class_def { cname; bases; cbody } ->
+      Tree.node "ClassDef"
+        (Tree.node "ClassName" [ Tree.leaf cname ]
+        :: (List.map lower_expr bases @ [ Tree.node "Body" (List.map stmt_tree cbody) ]))
+  | Try (body, handlers, fin) ->
+      Tree.node "Try"
+        (Tree.node "Body" (List.map stmt_tree body)
+         :: List.map
+              (fun h ->
+                Tree.node "ExceptHandler"
+                  ((match h.exn_type with Some t -> [ lower_expr t ] | None -> [])
+                  @ (match h.bind with
+                    | Some b -> [ Tree.node "NameStore" [ Tree.leaf b ] ]
+                    | None -> [])
+                  @ [ Tree.node "Body" (List.map stmt_tree h.hbody) ]))
+              handlers
+        @ match fin with [] -> [] | b -> [ Tree.node "Finally" (List.map stmt_tree b) ])
+  | With (e, bind, body) ->
+      Tree.node "With"
+        ((lower_expr e
+          :: (match bind with
+             | Some b -> [ Tree.node "NameStore" [ Tree.leaf b ] ]
+             | None -> []))
+        @ [ Tree.node "Body" (List.map stmt_tree body) ])
+  | _ -> header_tree s

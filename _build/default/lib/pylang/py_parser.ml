@@ -1,0 +1,662 @@
+(** Recursive-descent parser for the Python subset.
+
+    Grammar follows the CPython reference grammar restricted to the subset in
+    {!Py_ast}.  Expression parsing uses classic precedence layering:
+    lambda < or < and < not < comparison < arithmetic < term < unary < power
+    < postfix (call / attribute / subscript) < atom. *)
+
+open Py_ast
+
+exception Parse_error of string * int  (** message, line *)
+
+type state = { toks : Py_lexer.loc_token array; mutable i : int }
+
+let cur st = st.toks.(st.i)
+let peek_tok st = (cur st).tok
+let line st = (cur st).line
+let advance st = st.i <- st.i + 1
+
+let error st msg = raise (Parse_error (msg, line st))
+
+let expect_op st op =
+  match peek_tok st with
+  | Py_lexer.Op o when o = op -> advance st
+  | _ -> error st (Printf.sprintf "expected %S" op)
+
+let expect_kw st kw =
+  match peek_tok st with
+  | Py_lexer.Keyword k when k = kw -> advance st
+  | _ -> error st (Printf.sprintf "expected keyword %S" kw)
+
+let accept_op st op =
+  match peek_tok st with
+  | Py_lexer.Op o when o = op ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek_tok st with
+  | Py_lexer.Keyword k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match peek_tok st with
+  | Py_lexer.Ident s ->
+      advance st;
+      s
+  | _ -> error st "expected identifier"
+
+let expect_newline st =
+  match peek_tok st with
+  | Py_lexer.Newline -> advance st
+  | Py_lexer.Eof -> ()
+  | _ -> error st "expected end of line"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_lambda st
+
+and parse_lambda st =
+  if accept_kw st "lambda" then begin
+    let params = ref [] in
+    (match peek_tok st with
+    | Py_lexer.Op ":" -> ()
+    | _ ->
+        params := [ expect_ident st ];
+        while accept_op st "," do
+          params := expect_ident st :: !params
+        done);
+    expect_op st ":";
+    let body = parse_or st in
+    Lambda (List.rev !params, body)
+  end
+  else parse_ternary st
+
+and parse_ternary st =
+  (* [a if cond else b] — parsed but folded into a Bool_op-ish shape is
+     wrong; represent as Call-free conditional via Compare is worse. We
+     keep it simple: treat as [Bool_op "ifexp"] with three operands. *)
+  let e = parse_or st in
+  if accept_kw st "if" then begin
+    let cond = parse_or st in
+    expect_kw st "else";
+    let els = parse_ternary st in
+    Bool_op ("ifexp", [ e; cond; els ])
+  end
+  else e
+
+and parse_or st =
+  let e = parse_and st in
+  if accept_kw st "or" then begin
+    let rest = ref [ parse_and st ] in
+    while accept_kw st "or" do
+      rest := parse_and st :: !rest
+    done;
+    Bool_op ("or", e :: List.rev !rest)
+  end
+  else e
+
+and parse_and st =
+  let e = parse_not st in
+  if accept_kw st "and" then begin
+    let rest = ref [ parse_not st ] in
+    while accept_kw st "and" do
+      rest := parse_not st :: !rest
+    done;
+    Bool_op ("and", e :: List.rev !rest)
+  end
+  else e
+
+and parse_not st =
+  if accept_kw st "not" then Unary_op ("not", parse_not st)
+  else parse_comparison st
+
+and parse_comparison st =
+  let e = parse_arith st in
+  let op =
+    match peek_tok st with
+    | Py_lexer.Op (("==" | "!=" | "<" | ">" | "<=" | ">=") as o) ->
+        advance st;
+        Some o
+    | Py_lexer.Keyword "in" ->
+        advance st;
+        Some "in"
+    | Py_lexer.Keyword "is" ->
+        advance st;
+        if accept_kw st "not" then Some "is not" else Some "is"
+    | Py_lexer.Keyword "not" ->
+        advance st;
+        expect_kw st "in";
+        Some "not in"
+    | _ -> None
+  in
+  match op with Some o -> Compare (e, o, parse_arith st) | None -> e
+
+and parse_arith st =
+  let e = ref (parse_term st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek_tok st with
+    | Py_lexer.Op (("+" | "-" | "|" | "^" | "&" | "<<" | ">>") as o) ->
+        advance st;
+        e := Bin_op (!e, o, parse_term st)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_term st =
+  let e = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek_tok st with
+    | Py_lexer.Op (("*" | "/" | "//" | "%" | "@") as o) ->
+        advance st;
+        e := Bin_op (!e, o, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_unary st =
+  match peek_tok st with
+  | Py_lexer.Op (("-" | "+" | "~") as o) ->
+      advance st;
+      Unary_op (o, parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let e = parse_postfix st in
+  if accept_op st "**" then Bin_op (e, "**", parse_unary st) else e
+
+and parse_postfix st =
+  let e = ref (parse_atom st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek_tok st with
+    | Py_lexer.Op "." ->
+        advance st;
+        let attr = expect_ident st in
+        e := Attribute (!e, attr)
+    | Py_lexer.Op "(" ->
+        advance st;
+        let args = ref [] and kwargs = ref [] in
+        if not (accept_op st ")") then begin
+          let parse_arg () =
+            match peek_tok st with
+            | Py_lexer.Op "*" ->
+                advance st;
+                args := Star_arg (parse_expr st) :: !args
+            | Py_lexer.Op "**" ->
+                advance st;
+                args := Double_star_arg (parse_expr st) :: !args
+            | Py_lexer.Ident name
+              when (match st.toks.(st.i + 1).tok with
+                   | Py_lexer.Op "=" -> true
+                   | _ -> false) ->
+                advance st;
+                advance st;
+                kwargs := (name, parse_expr st) :: !kwargs
+            | _ -> args := parse_expr st :: !args
+          in
+          parse_arg ();
+          while accept_op st "," do
+            if peek_tok st <> Py_lexer.Op ")" then parse_arg ()
+          done;
+          expect_op st ")"
+        end;
+        e := Call { func = !e; args = List.rev !args; keywords = List.rev !kwargs }
+    | Py_lexer.Op "[" ->
+        advance st;
+        (* Subscript or slice; slices are flattened to their first bound. *)
+        let idx =
+          if peek_tok st = Py_lexer.Op ":" then Num "0" else parse_expr st
+        in
+        (if accept_op st ":" then
+           match peek_tok st with
+           | Py_lexer.Op "]" -> ()
+           | _ -> ignore (parse_expr st));
+        expect_op st "]";
+        e := Subscript (!e, idx)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_atom st =
+  match peek_tok st with
+  | Py_lexer.Ident s ->
+      advance st;
+      Name s
+  | Py_lexer.Number v ->
+      advance st;
+      Num v
+  | Py_lexer.String v ->
+      advance st;
+      Str v
+  | Py_lexer.Keyword "True" ->
+      advance st;
+      Bool true
+  | Py_lexer.Keyword "False" ->
+      advance st;
+      Bool false
+  | Py_lexer.Keyword "None" ->
+      advance st;
+      None_lit
+  | Py_lexer.Keyword "yield" ->
+      advance st;
+      (* yield [expr] — modelled as a call to the pseudo-function yield. *)
+      let arg =
+        match peek_tok st with
+        | Py_lexer.Newline | Py_lexer.Op ")" -> []
+        | _ -> [ parse_expr st ]
+      in
+      Call { func = Name "yield"; args = arg; keywords = [] }
+  | Py_lexer.Op "(" ->
+      advance st;
+      if accept_op st ")" then Tuple_lit []
+      else begin
+        let e = parse_expr st in
+        if peek_tok st = Py_lexer.Op "," then begin
+          let items = ref [ e ] in
+          while accept_op st "," do
+            if peek_tok st <> Py_lexer.Op ")" then items := parse_expr st :: !items
+          done;
+          expect_op st ")";
+          Tuple_lit (List.rev !items)
+        end
+        else begin
+          expect_op st ")";
+          e
+        end
+      end
+  | Py_lexer.Op "[" ->
+      advance st;
+      let items = ref [] in
+      if not (accept_op st "]") then begin
+        items := [ parse_expr st ];
+        (* list comprehension: [e for x in xs] — abstract as the list of
+           its head expression. *)
+        if peek_tok st = Py_lexer.Keyword "for" then begin
+          while peek_tok st <> Py_lexer.Op "]" do
+            advance st
+          done;
+          expect_op st "]"
+        end
+        else begin
+          while accept_op st "," do
+            if peek_tok st <> Py_lexer.Op "]" then items := parse_expr st :: !items
+          done;
+          expect_op st "]"
+        end
+      end;
+      List_lit (List.rev !items)
+  | Py_lexer.Op "{" ->
+      advance st;
+      let items = ref [] in
+      if not (accept_op st "}") then begin
+        let k = parse_expr st in
+        expect_op st ":";
+        let v = parse_expr st in
+        items := [ (k, v) ];
+        while accept_op st "," do
+          if peek_tok st <> Py_lexer.Op "}" then begin
+            let k = parse_expr st in
+            expect_op st ":";
+            let v = parse_expr st in
+            items := (k, v) :: !items
+          end
+        done;
+        expect_op st "}"
+      end;
+      Dict_lit (List.rev !items)
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_block st =
+  (* A suite is either inline after ':' on the same line, or an indented
+     block. *)
+  if peek_tok st = Py_lexer.Newline then begin
+    advance st;
+    (match peek_tok st with
+    | Py_lexer.Indent -> advance st
+    | _ -> error st "expected indented block");
+    let stmts = ref [] in
+    while peek_tok st <> Py_lexer.Dedent && peek_tok st <> Py_lexer.Eof do
+      stmts := parse_stmt st :: !stmts
+    done;
+    if peek_tok st = Py_lexer.Dedent then advance st;
+    List.concat (List.rev !stmts)
+  end
+  else parse_simple_stmt_line st
+
+and parse_stmt st : stmt list =
+  match peek_tok st with
+  | Py_lexer.Keyword "def" -> [ parse_funcdef st [] ]
+  | Py_lexer.Keyword "class" -> [ parse_classdef st ]
+  | Py_lexer.Op "@" ->
+      (* decorators *)
+      let decorators = ref [] in
+      while accept_op st "@" do
+        decorators := parse_expr st :: !decorators;
+        expect_newline st
+      done;
+      (match peek_tok st with
+      | Py_lexer.Keyword "def" -> [ parse_funcdef st (List.rev !decorators) ]
+      | Py_lexer.Keyword "class" -> [ parse_classdef st ]
+      | _ -> error st "expected def or class after decorator")
+  | Py_lexer.Keyword "if" -> [ parse_if st ]
+  | Py_lexer.Keyword "for" -> [ parse_for st ]
+  | Py_lexer.Keyword "while" -> [ parse_while st ]
+  | Py_lexer.Keyword "try" -> [ parse_try st ]
+  | Py_lexer.Keyword "with" -> [ parse_with st ]
+  | Py_lexer.Newline ->
+      advance st;
+      []
+  | _ -> parse_simple_stmt_line st
+
+and parse_funcdef st decorators =
+  let ln = line st in
+  expect_kw st "def";
+  let name = expect_ident st in
+  expect_op st "(";
+  let params = ref [] in
+  if not (accept_op st ")") then begin
+    let parse_param () =
+      let pkind =
+        if accept_op st "**" then Double_star
+        else if accept_op st "*" then Star
+        else Plain
+      in
+      let pname = expect_ident st in
+      let default = if accept_op st "=" then Some (parse_expr st) else None in
+      params := { pname; pkind; default } :: !params
+    in
+    parse_param ();
+    while accept_op st "," do
+      if peek_tok st <> Py_lexer.Op ")" then parse_param ()
+    done;
+    expect_op st ")"
+  end;
+  ignore (accept_op st "->" && (ignore (parse_expr st); true));
+  expect_op st ":";
+  let body = parse_block st in
+  { line = ln; kind = Function_def { name; params = List.rev !params; body; decorators } }
+
+and parse_classdef st =
+  let ln = line st in
+  expect_kw st "class";
+  let cname = expect_ident st in
+  let bases = ref [] in
+  if accept_op st "(" then begin
+    if not (accept_op st ")") then begin
+      bases := [ parse_expr st ];
+      while accept_op st "," do
+        bases := parse_expr st :: !bases
+      done;
+      expect_op st ")"
+    end
+  end;
+  expect_op st ":";
+  let cbody = parse_block st in
+  { line = ln; kind = Class_def { cname; bases = List.rev !bases; cbody } }
+
+and parse_if st =
+  let ln = line st in
+  expect_kw st "if";
+  let cond = parse_expr st in
+  expect_op st ":";
+  let body = parse_block st in
+  let branches = ref [ (cond, body) ] in
+  let orelse = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_kw st "elif" then begin
+      let c = parse_expr st in
+      expect_op st ":";
+      branches := (c, parse_block st) :: !branches
+    end
+    else if accept_kw st "else" then begin
+      expect_op st ":";
+      orelse := parse_block st;
+      continue_ := false
+    end
+    else continue_ := false
+  done;
+  { line = ln; kind = If (List.rev !branches, !orelse) }
+
+and parse_for st =
+  let ln = line st in
+  expect_kw st "for";
+  let target = parse_target_tuple st in
+  expect_kw st "in";
+  let iter = parse_expr st in
+  expect_op st ":";
+  let body = parse_block st in
+  let orelse =
+    if accept_kw st "else" then begin
+      expect_op st ":";
+      parse_block st
+    end
+    else []
+  in
+  { line = ln; kind = For (target, iter, body, orelse) }
+
+and parse_target_tuple st =
+  let first = parse_postfix st in
+  if peek_tok st = Py_lexer.Op "," then begin
+    let items = ref [ first ] in
+    while accept_op st "," do
+      match peek_tok st with
+      | Py_lexer.Keyword "in" | Py_lexer.Op "=" -> ()
+      | _ -> items := parse_postfix st :: !items
+    done;
+    Tuple_lit (List.rev !items)
+  end
+  else first
+
+and parse_while st =
+  let ln = line st in
+  expect_kw st "while";
+  let cond = parse_expr st in
+  expect_op st ":";
+  let body = parse_block st in
+  if accept_kw st "else" then begin
+    expect_op st ":";
+    ignore (parse_block st)
+  end;
+  { line = ln; kind = While (cond, body) }
+
+and parse_try st =
+  let ln = line st in
+  expect_kw st "try";
+  expect_op st ":";
+  let body = parse_block st in
+  let handlers = ref [] in
+  while peek_tok st = Py_lexer.Keyword "except" do
+    advance st;
+    let exn_type, bind =
+      match peek_tok st with
+      | Py_lexer.Op ":" -> (None, None)
+      | _ ->
+          let t = parse_expr st in
+          let b =
+            if accept_kw st "as" then Some (expect_ident st)
+            else if accept_op st "," then Some (expect_ident st)
+            else None
+          in
+          (Some t, b)
+    in
+    expect_op st ":";
+    let hbody = parse_block st in
+    handlers := { exn_type; bind; hbody } :: !handlers
+  done;
+  if accept_kw st "else" then begin
+    expect_op st ":";
+    ignore (parse_block st)
+  end;
+  let fin =
+    if accept_kw st "finally" then begin
+      expect_op st ":";
+      parse_block st
+    end
+    else []
+  in
+  { line = ln; kind = Try (body, List.rev !handlers, fin) }
+
+and parse_with st =
+  let ln = line st in
+  expect_kw st "with";
+  let e = parse_expr st in
+  let bind = if accept_kw st "as" then Some (expect_ident st) else None in
+  expect_op st ":";
+  let body = parse_block st in
+  { line = ln; kind = With (e, bind, body) }
+
+and parse_simple_stmt_line st : stmt list =
+  let stmts = ref [ parse_simple_stmt st ] in
+  while accept_op st ";" do
+    match peek_tok st with
+    | Py_lexer.Newline | Py_lexer.Eof -> ()
+    | _ -> stmts := parse_simple_stmt st :: !stmts
+  done;
+  expect_newline st;
+  List.rev !stmts
+
+and parse_simple_stmt st : stmt =
+  let ln = line st in
+  let mk kind = { line = ln; kind } in
+  match peek_tok st with
+  | Py_lexer.Keyword "return" ->
+      advance st;
+      let v =
+        match peek_tok st with
+        | Py_lexer.Newline | Py_lexer.Eof | Py_lexer.Op ";" -> None
+        | _ -> Some (parse_expr st)
+      in
+      mk (Return v)
+  | Py_lexer.Keyword "pass" ->
+      advance st;
+      mk Pass
+  | Py_lexer.Keyword "break" ->
+      advance st;
+      mk Break
+  | Py_lexer.Keyword "continue" ->
+      advance st;
+      mk Continue
+  | Py_lexer.Keyword "import" ->
+      advance st;
+      let parse_one () =
+        let parts = ref [ expect_ident st ] in
+        while accept_op st "." do
+          parts := expect_ident st :: !parts
+        done;
+        let m = String.concat "." (List.rev !parts) in
+        let alias = if accept_kw st "as" then Some (expect_ident st) else None in
+        (m, alias)
+      in
+      let imports = ref [ parse_one () ] in
+      while accept_op st "," do
+        imports := parse_one () :: !imports
+      done;
+      mk (Import (List.rev !imports))
+  | Py_lexer.Keyword "from" ->
+      advance st;
+      let parts = ref [ expect_ident st ] in
+      while accept_op st "." do
+        parts := expect_ident st :: !parts
+      done;
+      let m = String.concat "." (List.rev !parts) in
+      expect_kw st "import";
+      if accept_op st "*" then mk (Import_from (m, [ ("*", None) ]))
+      else begin
+        let parse_one () =
+          let name = expect_ident st in
+          let alias = if accept_kw st "as" then Some (expect_ident st) else None in
+          (name, alias)
+        in
+        let had_paren = accept_op st "(" in
+        let names = ref [ parse_one () ] in
+        while accept_op st "," do
+          if peek_tok st <> Py_lexer.Op ")" then names := parse_one () :: !names
+        done;
+        if had_paren then expect_op st ")";
+        mk (Import_from (m, List.rev !names))
+      end
+  | Py_lexer.Keyword "raise" ->
+      advance st;
+      let v =
+        match peek_tok st with
+        | Py_lexer.Newline | Py_lexer.Eof -> None
+        | _ -> Some (parse_expr st)
+      in
+      mk (Raise v)
+  | Py_lexer.Keyword "assert" ->
+      advance st;
+      let e = parse_expr st in
+      let msg = if accept_op st "," then Some (parse_expr st) else None in
+      mk (Assert (e, msg))
+  | Py_lexer.Keyword "global" ->
+      advance st;
+      let names = ref [ expect_ident st ] in
+      while accept_op st "," do
+        names := expect_ident st :: !names
+      done;
+      mk (Global (List.rev !names))
+  | Py_lexer.Keyword "del" ->
+      advance st;
+      let es = ref [ parse_expr st ] in
+      while accept_op st "," do
+        es := parse_expr st :: !es
+      done;
+      mk (Delete (List.rev !es))
+  | _ -> (
+      (* Expression statement, assignment chain, or augmented assignment.
+         Components separated by '=' are parsed as full expressions
+         (possibly bare tuples); everything but the last is a target. *)
+      let parse_component () =
+        let e = parse_expr st in
+        if peek_tok st = Py_lexer.Op "," then begin
+          let items = ref [ e ] in
+          while accept_op st "," do
+            match peek_tok st with
+            | Py_lexer.Newline | Py_lexer.Eof | Py_lexer.Op ("=" | ";") -> ()
+            | _ -> items := parse_expr st :: !items
+          done;
+          Tuple_lit (List.rev !items)
+        end
+        else e
+      in
+      let first = parse_component () in
+      match peek_tok st with
+      | Py_lexer.Op "=" ->
+          let components = ref [ first ] in
+          while accept_op st "=" do
+            components := parse_component () :: !components
+          done;
+          (match !components with
+          | value :: rev_targets ->
+              mk (Assign (List.rev rev_targets, value))
+          | [] -> assert false)
+      | Py_lexer.Op (("+=" | "-=" | "*=" | "/=" | "%=" | "**=" | "//=" | "&=" | "|=" | "^=") as o)
+        ->
+          advance st;
+          mk (Aug_assign (first, o, parse_expr st))
+      | _ -> mk (Expr_stmt first))
+
+(** [parse_module src] lexes and parses a whole source file. *)
+let parse_module src : module_ =
+  let toks = Array.of_list (Py_lexer.tokenize src) in
+  let st = { toks; i = 0 } in
+  let stmts = ref [] in
+  while peek_tok st <> Py_lexer.Eof do
+    match peek_tok st with
+    | Py_lexer.Newline -> advance st
+    | _ -> stmts := parse_stmt st :: !stmts
+  done;
+  List.concat (List.rev !stmts)

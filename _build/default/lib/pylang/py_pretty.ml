@@ -1,0 +1,175 @@
+(** Pretty-printing the Python surface AST back to source.
+
+    Primarily a testing tool: the property [parse (print (parse src)) =
+    parse src] exercises the lexer/parser/AST triple from both directions
+    (see the test suite), and the fixer's output can be re-rendered for
+    inspection.  Output uses minimal parenthesization driven by operator
+    precedence. *)
+
+open Py_ast
+
+let prec_of_binop = function
+  | "or" -> 1
+  | "and" -> 2
+  | "==" | "!=" | "<" | ">" | "<=" | ">=" | "in" | "not in" | "is" | "is not" -> 4
+  | "|" -> 5
+  | "^" -> 6
+  | "&" -> 7
+  | "<<" | ">>" -> 8
+  | "+" | "-" -> 9
+  | "*" | "/" | "//" | "%" | "@" -> 10
+  | "**" -> 12
+  | _ -> 10
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [ctx] is the precedence of the enclosing operator; parenthesize when the
+   printed expression binds looser. *)
+let rec expr ?(ctx = 0) (e : Py_ast.expr) : string =
+  let wrap p s = if p < ctx then "(" ^ s ^ ")" else s in
+  match e with
+  | Name n -> n
+  | Num v -> v
+  | Str v -> "\"" ^ escape_string v ^ "\""
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | None_lit -> "None"
+  | Attribute (o, a) -> expr ~ctx:13 o ^ "." ^ a
+  | Subscript (o, i) -> expr ~ctx:13 o ^ "[" ^ expr i ^ "]"
+  | Call { func; args; keywords } ->
+      let args = List.map expr args in
+      let kws = List.map (fun (k, v) -> k ^ "=" ^ expr v) keywords in
+      expr ~ctx:13 func ^ "(" ^ String.concat ", " (args @ kws) ^ ")"
+  | Bin_op (a, op, b) ->
+      let p = prec_of_binop op in
+      wrap p (expr ~ctx:p a ^ " " ^ op ^ " " ^ expr ~ctx:(p + 1) b)
+  | Unary_op ("not", a) -> wrap 3 ("not " ^ expr ~ctx:3 a)
+  | Unary_op (op, a) -> wrap 11 (op ^ expr ~ctx:11 a)
+  | Compare (a, op, b) -> wrap 4 (expr ~ctx:5 a ^ " " ^ op ^ " " ^ expr ~ctx:5 b)
+  | Bool_op ("ifexp", [ v; c; els ]) ->
+      wrap 1 (expr ~ctx:2 v ^ " if " ^ expr ~ctx:2 c ^ " else " ^ expr ~ctx:1 els)
+  | Bool_op (op, es) ->
+      let p = prec_of_binop op in
+      wrap p (String.concat (" " ^ op ^ " ") (List.map (expr ~ctx:(p + 1)) es))
+  | List_lit es -> "[" ^ String.concat ", " (List.map expr es) ^ "]"
+  | Tuple_lit [] -> "()"
+  | Tuple_lit [ e ] -> "(" ^ expr e ^ ",)"
+  | Tuple_lit es -> "(" ^ String.concat ", " (List.map expr es) ^ ")"
+  | Dict_lit kvs ->
+      "{" ^ String.concat ", " (List.map (fun (k, v) -> expr k ^ ": " ^ expr v) kvs) ^ "}"
+  | Lambda (params, body) ->
+      wrap 1 ("lambda " ^ String.concat ", " params ^ ": " ^ expr ~ctx:1 body)
+  | Star_arg e -> "*" ^ expr ~ctx:11 e
+  | Double_star_arg e -> "**" ^ expr ~ctx:11 e
+
+let param (p : param) =
+  let star = match p.pkind with Plain -> "" | Star -> "*" | Double_star -> "**" in
+  let default = match p.default with Some d -> "=" ^ expr d | None -> "" in
+  star ^ p.pname ^ default
+
+let rec stmt ~indent (s : stmt) : string list =
+  let pad = String.make indent ' ' in
+  let line s = [ pad ^ s ] in
+  let block body = List.concat_map (stmt ~indent:(indent + 4)) body in
+  let block_or_pass body = match body with [] -> [ pad ^ "    pass" ] | _ -> block body in
+  match s.kind with
+  | Expr_stmt e -> line (expr e)
+  | Assign (targets, value) ->
+      (* bare tuples on either side print without parentheses *)
+      let side e =
+        match e with
+        | Tuple_lit (_ :: _ :: _ as es) -> String.concat ", " (List.map expr es)
+        | e -> expr e
+      in
+      line (String.concat " = " (List.map side targets @ [ side value ]))
+  | Aug_assign (t, op, v) -> line (expr t ^ " " ^ op ^ " " ^ expr v)
+  | Return (Some e) -> line ("return " ^ expr e)
+  | Return None -> line "return"
+  | Pass -> line "pass"
+  | Break -> line "break"
+  | Continue -> line "continue"
+  | If (branches, orelse) ->
+      List.concat
+        (List.mapi
+           (fun i (c, body) ->
+             (pad ^ (if i = 0 then "if " else "elif ") ^ expr c ^ ":")
+             :: block_or_pass body)
+           branches)
+      @ (match orelse with
+        | [] -> []
+        | body -> (pad ^ "else:") :: block_or_pass body)
+  | For (target, iter, body, orelse) ->
+      let tgt =
+        match target with
+        | Tuple_lit (_ :: _ :: _ as es) -> String.concat ", " (List.map expr es)
+        | t -> expr t
+      in
+      ((pad ^ "for " ^ tgt ^ " in " ^ expr iter ^ ":") :: block_or_pass body)
+      @ (match orelse with
+        | [] -> []
+        | b -> (pad ^ "else:") :: block_or_pass b)
+  | While (c, body) -> (pad ^ "while " ^ expr c ^ ":") :: block_or_pass body
+  | Function_def { name; params; body; decorators } ->
+      List.map (fun d -> pad ^ "@" ^ expr d) decorators
+      @ ((pad ^ "def " ^ name ^ "(" ^ String.concat ", " (List.map param params) ^ "):")
+        :: block_or_pass body)
+  | Class_def { cname; bases; cbody } ->
+      let bases =
+        match bases with
+        | [] -> ""
+        | bs -> "(" ^ String.concat ", " (List.map expr bs) ^ ")"
+      in
+      (pad ^ "class " ^ cname ^ bases ^ ":") :: block_or_pass cbody
+  | Import names ->
+      line
+        ("import "
+        ^ String.concat ", "
+            (List.map
+               (fun (m, a) -> m ^ match a with Some a -> " as " ^ a | None -> "")
+               names))
+  | Import_from (m, names) ->
+      line
+        ("from " ^ m ^ " import "
+        ^ String.concat ", "
+            (List.map
+               (fun (n, a) -> n ^ match a with Some a -> " as " ^ a | None -> "")
+               names))
+  | Try (body, handlers, fin) ->
+      ((pad ^ "try:") :: block_or_pass body)
+      @ List.concat_map
+          (fun (h : handler) ->
+            let head =
+              match (h.exn_type, h.bind) with
+              | Some t, Some b -> "except " ^ expr t ^ " as " ^ b ^ ":"
+              | Some t, None -> "except " ^ expr t ^ ":"
+              | None, _ -> "except:"
+            in
+            (pad ^ head) :: block_or_pass h.hbody)
+          handlers
+      @ (match fin with [] -> [] | b -> (pad ^ "finally:") :: block_or_pass b)
+  | Raise (Some e) -> line ("raise " ^ expr e)
+  | Raise None -> line "raise"
+  | Assert (e, None) -> line ("assert " ^ expr e)
+  | Assert (e, Some m) -> line ("assert " ^ expr e ^ ", " ^ expr m)
+  | With (e, bind, body) ->
+      (pad ^ "with " ^ expr e
+      ^ (match bind with Some b -> " as " ^ b | None -> "")
+      ^ ":")
+      :: block_or_pass body
+  | Global names -> line ("global " ^ String.concat ", " names)
+  | Delete es -> line ("del " ^ String.concat ", " (List.map expr es))
+
+(** Render a whole module. *)
+let module_ (m : module_) : string =
+  String.concat "\n" (List.concat_map (stmt ~indent:0) m) ^ "\n"

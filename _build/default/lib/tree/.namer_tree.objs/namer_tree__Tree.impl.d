@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Buffer Format Hashtbl List String

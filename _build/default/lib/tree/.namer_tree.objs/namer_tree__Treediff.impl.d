@@ -1,0 +1,1 @@
+lib/tree/treediff.ml: Array List Namer_util Tree

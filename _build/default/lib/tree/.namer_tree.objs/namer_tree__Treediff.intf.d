@@ -1,0 +1,1 @@
+lib/tree/treediff.mli: Tree

@@ -1,0 +1,74 @@
+(** Generic abstract syntax trees.
+
+    This is the paper's AST ⟨N, T, r, δ, V, φ⟩ (Definition 3.1) as a rose
+    tree: every node carries a string value (φ); children give δ; leaves are
+    the terminal nodes T.  Both language frontends ({!Namer_pylang},
+    {!Namer_javalang}) lower their surface syntax into this representation,
+    and everything downstream — the AST+ transformation, name paths, pattern
+    mining, program graphs for the neural baselines, commit diffing — is
+    language-independent because it consumes only this type. *)
+
+type t = { value : string; children : t list }
+
+let node value children = { value; children }
+let leaf value = { value; children = [] }
+let is_leaf t = t.children = []
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+(** Terminal node values in left-to-right order. *)
+let leaves t =
+  let rec go acc t =
+    if is_leaf t then t.value :: acc else List.fold_left go acc t.children
+  in
+  List.rev (go [] t)
+
+(** Pre-order fold over all nodes. *)
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let iter f t = fold (fun () n -> f n) () t
+
+(** [map_values f t] rewrites every node value. *)
+let rec map_values f t =
+  { value = f t.value; children = List.map (map_values f) t.children }
+
+let rec equal a b =
+  String.equal a.value b.value
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal a.children b.children
+
+(** Structural hash, stable across runs (does not rely on [Hashtbl.hash]
+    internals for the recursive structure). *)
+let hash t =
+  let combine h x = (h * 1000003) lxor x in
+  let rec go h t =
+    let h = combine h (Hashtbl.hash t.value) in
+    List.fold_left go (combine h (List.length t.children)) t.children
+  in
+  go 5381 t land max_int
+
+(** Render as an s-expression, e.g. [(Call (NameLoad foo) (Num NUM))]. *)
+let rec to_sexp t =
+  if is_leaf t then t.value
+  else "(" ^ t.value ^ " " ^ String.concat " " (List.map to_sexp t.children) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_sexp t)
+
+(** Indented multi-line rendering for debugging and the quickstart example. *)
+let to_string_indented t =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf t.value;
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 2)) t.children
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(** [find_all p t] returns all nodes satisfying [p] in pre-order. *)
+let find_all p t =
+  List.rev (fold (fun acc n -> if p n then n :: acc else acc) [] t)

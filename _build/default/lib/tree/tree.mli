@@ -1,0 +1,36 @@
+(** Generic abstract syntax trees — the paper's AST ⟨N, T, r, δ, V, φ⟩
+    (Definition 3.1) as a rose tree of string-valued nodes.  Both language
+    frontends lower into this representation; everything downstream is
+    language-independent. *)
+
+type t = { value : string; children : t list }
+
+val node : string -> t list -> t
+val leaf : string -> t
+val is_leaf : t -> bool
+val size : t -> int
+val depth : t -> int
+
+(** Terminal node values, left to right. *)
+val leaves : t -> string list
+
+(** Pre-order fold over all nodes. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val iter : (t -> unit) -> t -> unit
+val map_values : (string -> string) -> t -> t
+val equal : t -> t -> bool
+
+(** Structural hash, stable across runs. *)
+val hash : t -> int
+
+(** S-expression rendering, e.g. [(Call (NameLoad foo) (Num NUM))]. *)
+val to_sexp : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Indented multi-line rendering (debugging, examples). *)
+val to_string_indented : t -> string
+
+(** All nodes satisfying the predicate, pre-order. *)
+val find_all : (t -> bool) -> t -> t list

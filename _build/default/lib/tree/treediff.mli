@@ -1,0 +1,12 @@
+(** AST diff matching between two versions of a program — the backbone of
+    confusing-word-pair mining (§3.2).  Top-down recursive alignment with
+    an LCS over child signatures; exact on the single-identifier edits that
+    naming-fix commits consist of. *)
+
+(** Matched terminal pairs whose values differ — rename candidates. *)
+val renamed_leaves : Tree.t -> Tree.t -> (string * string) list
+
+(** Rename candidates whose subtoken sequences have equal length and differ
+    in exactly one position: the ⟨mistaken, correct⟩ subtoken pairs of the
+    paper's mining step. *)
+val confusing_subtoken_pairs : Tree.t -> Tree.t -> (string * string) list

@@ -1,0 +1,1 @@
+lib/userstudy/userstudy.ml: List Namer_corpus Namer_util

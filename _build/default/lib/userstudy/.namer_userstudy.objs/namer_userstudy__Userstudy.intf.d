@@ -1,0 +1,1 @@
+lib/userstudy/userstudy.mli: Namer_corpus

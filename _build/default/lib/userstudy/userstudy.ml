@@ -1,0 +1,88 @@
+(** Simulated user study on the severity of code-quality issues (§5.4,
+    Tables 7 and 8).
+
+    The paper showed five reports (one per quality category) to seven
+    professional developers and asked under which conditions they would
+    accept each fix.  No humans are available in this reproduction, so the
+    panel is simulated from explicit developer archetypes whose acceptance
+    propensities encode the paper's qualitative observations:
+
+    - renaming-type improvements (confusing / indescriptive names) are
+      accepted by everyone, mostly contingent on tooling;
+    - inconsistent names split opinion — some maintainers see convention,
+      others see noise — and when accepted, a reviewed pull request is
+      preferred over silent IDE fixes;
+    - minor issues are accepted only when the fix is fully automatic;
+    - typos are the one category developers will often fix by hand.
+
+    This is a *model* of the study, not data; EXPERIMENTS.md marks the
+    resulting table as simulated. *)
+
+type response =
+  | Not_accepted
+  | With_ide_plugin  (** accepted at coding time via an automatic plugin *)
+  | With_pull_request  (** accepted as an automatic pull request *)
+  | Fix_manually  (** would fix by hand upon seeing the report *)
+
+let response_name = function
+  | Not_accepted -> "not accepted"
+  | With_ide_plugin -> "accepted with IDE plugin"
+  | With_pull_request -> "accepted with pull request"
+  | Fix_manually -> "would even fix manually"
+
+type archetype = Perfectionist | Automation_lover | Reviewer | Minimalist
+
+(** Response propensities (weights) of one archetype for one category. *)
+let propensities (a : archetype) (c : Namer_corpus.Issue.quality_kind) :
+    (float * response) list =
+  let open Namer_corpus.Issue in
+  match (a, c) with
+  | Perfectionist, Typo -> [ (0.1, With_ide_plugin); (0.9, Fix_manually) ]
+  | Perfectionist, _ -> [ (0.3, With_pull_request); (0.5, Fix_manually); (0.2, With_ide_plugin) ]
+  | Automation_lover, (Confusing_name | Indescriptive_name | Minor_issue) ->
+      [ (0.8, With_ide_plugin); (0.2, With_pull_request) ]
+  | Automation_lover, Typo -> [ (0.6, With_ide_plugin); (0.4, Fix_manually) ]
+  | Automation_lover, Inconsistent_name ->
+      [ (0.5, With_pull_request); (0.3, With_ide_plugin); (0.2, Not_accepted) ]
+  | Reviewer, (Confusing_name | Indescriptive_name | Inconsistent_name) ->
+      [ (0.8, With_pull_request); (0.2, Fix_manually) ]
+  | Reviewer, Minor_issue -> [ (0.5, With_ide_plugin); (0.5, Not_accepted) ]
+  | Reviewer, Typo -> [ (0.5, With_pull_request); (0.5, Fix_manually) ]
+  | Minimalist, (Minor_issue | Inconsistent_name) ->
+      [ (0.7, Not_accepted); (0.3, With_ide_plugin) ]
+  | Minimalist, Typo -> [ (0.4, Not_accepted); (0.4, With_ide_plugin); (0.2, Fix_manually) ]
+  | Minimalist, (Confusing_name | Indescriptive_name) ->
+      [ (0.6, With_ide_plugin); (0.4, With_pull_request) ]
+
+(** The seven-developer panel: a realistic mix of archetypes. *)
+let panel =
+  [
+    Perfectionist; Perfectionist; Automation_lover; Automation_lover; Reviewer;
+    Reviewer; Minimalist;
+  ]
+
+type tally = {
+  not_accepted : int;
+  with_ide : int;
+  with_pr : int;
+  manually : int;
+}
+
+(** [run ~seed category] simulates the panel's responses for one report of
+    [category]. *)
+let run ~seed (category : Namer_corpus.Issue.quality_kind) : tally =
+  let prng = Namer_util.Prng.create seed in
+  List.fold_left
+    (fun t archetype ->
+      match Namer_util.Prng.weighted prng (propensities archetype category) with
+      | Not_accepted -> { t with not_accepted = t.not_accepted + 1 }
+      | With_ide_plugin -> { t with with_ide = t.with_ide + 1 }
+      | With_pull_request -> { t with with_pr = t.with_pr + 1 }
+      | Fix_manually -> { t with manually = t.manually + 1 })
+    { not_accepted = 0; with_ide = 0; with_pr = 0; manually = 0 }
+    panel
+
+(** All five categories in the order of Table 8. *)
+let categories =
+  Namer_corpus.Issue.
+    [ Confusing_name; Indescriptive_name; Inconsistent_name; Minor_issue; Typo ]

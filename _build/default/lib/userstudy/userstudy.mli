@@ -1,0 +1,24 @@
+(** Simulated user study on code-quality issue severity (§5.4, Tables 7–8).
+    A panel of developer archetypes with explicit per-category acceptance
+    propensities; a model of the study, not human data (see DESIGN.md). *)
+
+type response = Not_accepted | With_ide_plugin | With_pull_request | Fix_manually
+
+val response_name : response -> string
+
+type archetype = Perfectionist | Automation_lover | Reviewer | Minimalist
+
+(** Response weights of one archetype for one issue category. *)
+val propensities :
+  archetype -> Namer_corpus.Issue.quality_kind -> (float * response) list
+
+(** The seven-developer panel. *)
+val panel : archetype list
+
+type tally = { not_accepted : int; with_ide : int; with_pr : int; manually : int }
+
+(** Simulate the panel's responses for one report of the category. *)
+val run : seed:int -> Namer_corpus.Issue.quality_kind -> tally
+
+(** The five categories, in Table 8 order. *)
+val categories : Namer_corpus.Issue.quality_kind list

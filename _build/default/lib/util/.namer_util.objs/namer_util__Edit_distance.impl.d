@@ -1,0 +1,1 @@
+lib/util/edit_distance.ml: Array String

@@ -1,0 +1,1 @@
+lib/util/subtoken.ml: Buffer Char List String

@@ -1,0 +1,43 @@
+(** Polymorphic multisets (occurrence counters).
+
+    Used throughout the mining pipeline: subtoken frequencies, name-path
+    support counts, confusing-word-pair tallies, per-pattern satisfaction and
+    violation counts. *)
+
+type 'a t = ('a, int) Hashtbl.t
+
+let create ?(size = 64) () : 'a t = Hashtbl.create size
+
+let add ?(by = 1) t x =
+  match Hashtbl.find_opt t x with
+  | Some n -> Hashtbl.replace t x (n + by)
+  | None -> Hashtbl.replace t x by
+
+let count t x = Option.value (Hashtbl.find_opt t x) ~default:0
+let total t = Hashtbl.fold (fun _ n acc -> acc + n) t 0
+let distinct t = Hashtbl.length t
+
+let of_list xs =
+  let t = create () in
+  List.iter (fun x -> add t x) xs;
+  t
+
+(** Bindings sorted by decreasing count (ties unspecified). *)
+let to_sorted_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(** [top n t] is the [n] most frequent elements with their counts. *)
+let top n t =
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take n (to_sorted_list t)
+
+let iter f t = Hashtbl.iter f t
+let fold f t init = Hashtbl.fold f t init
+
+(** Elements whose count meets [min_count], unordered. *)
+let filter_min t ~min_count =
+  Hashtbl.fold (fun k v acc -> if v >= min_count then (k, v) :: acc else acc) t []

@@ -1,0 +1,26 @@
+(** Polymorphic multisets (occurrence counters), used throughout mining:
+    path frequencies, pair tallies, per-pattern counts. *)
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+val add : ?by:int -> 'a t -> 'a -> unit
+val count : 'a t -> 'a -> int
+val total : 'a t -> int
+
+(** Number of distinct elements. *)
+val distinct : 'a t -> int
+
+val of_list : 'a list -> 'a t
+
+(** Bindings by decreasing count. *)
+val to_sorted_list : 'a t -> ('a * int) list
+
+(** The [n] most frequent elements. *)
+val top : int -> 'a t -> ('a * int) list
+
+val iter : ('a -> int -> unit) -> 'a t -> unit
+val fold : ('a -> int -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** Elements with count ≥ [min_count], unordered. *)
+val filter_min : 'a t -> min_count:int -> ('a * int) list

@@ -1,0 +1,56 @@
+(** String edit distances.
+
+    Feature 16 of the defect classifier (Table 1) is the edit distance between
+    the original name and the suggested name: small distances indicate likely
+    typos and raise the probability of a true issue.  We provide classic
+    Levenshtein and the Damerau variant (adjacent transpositions count as one
+    edit — the dominant class of real typos). *)
+
+(** [levenshtein a b] is the minimum number of single-character insertions,
+    deletions and substitutions turning [a] into [b]. O(|a|·|b|) time,
+    O(min(|a|,|b|)) space. *)
+let levenshtein a b =
+  let a, b = if String.length a < String.length b then (a, b) else (b, a) in
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else begin
+    let prev = Array.init (la + 1) (fun i -> i) in
+    let cur = Array.make (la + 1) 0 in
+    for j = 1 to lb do
+      cur.(0) <- j;
+      for i = 1 to la do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(i) <- min (min (cur.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (la + 1)
+    done;
+    prev.(la)
+  end
+
+(** [damerau a b] is the optimal-string-alignment distance: Levenshtein
+    extended with adjacent transpositions. *)
+let damerau a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost);
+      if i > 1 && j > 1 && a.[i - 1] = b.[j - 2] && a.[i - 2] = b.[j - 1] then
+        d.(i).(j) <- min d.(i).(j) (d.(i - 2).(j - 2) + 1)
+    done
+  done;
+  d.(la).(lb)
+
+(** Normalized similarity in [0,1]: 1 for equal strings, 0 for maximally
+    distant ones. *)
+let similarity a b =
+  let n = max (String.length a) (String.length b) in
+  if n = 0 then 1.0 else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int n)

@@ -1,0 +1,13 @@
+(** String edit distances (classifier feature 16: distance between the
+    original and suggested name — small distances indicate typos). *)
+
+(** Levenshtein distance: single-character insert/delete/substitute.
+    O(|a|·|b|) time, O(min) space. *)
+val levenshtein : string -> string -> int
+
+(** Optimal-string-alignment distance: Levenshtein plus adjacent
+    transpositions (the dominant typo class). *)
+val damerau : string -> string -> int
+
+(** Normalized similarity in [0, 1]; 1 for equal strings. *)
+val similarity : string -> string -> float

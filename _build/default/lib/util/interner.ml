@@ -1,0 +1,43 @@
+(** String interning.
+
+    The Datalog engine, name-path serialization and FP-tree all work over
+    dense integer identifiers; this module provides the bijection between
+    strings and those identifiers.  Interners are explicit values (no global
+    state) so independent analyses cannot interfere. *)
+
+type t = {
+  of_string : (string, int) Hashtbl.t;
+  mutable to_string : string array;
+  mutable next : int;
+}
+
+let create ?(size = 1024) () =
+  { of_string = Hashtbl.create size; to_string = Array.make 64 ""; next = 0 }
+
+(** [intern t s] returns the unique id of [s], allocating one if needed.
+    Ids are dense, starting at 0, in first-seen order. *)
+let intern t s =
+  match Hashtbl.find_opt t.of_string s with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      if id >= Array.length t.to_string then begin
+        let bigger = Array.make (2 * Array.length t.to_string) "" in
+        Array.blit t.to_string 0 bigger 0 (Array.length t.to_string);
+        t.to_string <- bigger
+      end;
+      t.to_string.(id) <- s;
+      Hashtbl.replace t.of_string s id;
+      id
+
+(** [lookup t s] is the id of [s] if it was interned before. *)
+let lookup t s = Hashtbl.find_opt t.of_string s
+
+(** [name t id] recovers the string for [id]. Raises [Invalid_argument] for
+    ids never returned by [intern]. *)
+let name t id =
+  if id < 0 || id >= t.next then invalid_arg "Interner.name: unknown id"
+  else t.to_string.(id)
+
+let size t = t.next

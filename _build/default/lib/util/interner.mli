@@ -1,0 +1,17 @@
+(** String interning: a bijection between strings and dense integer ids
+    (first-seen order, starting at 0).  Explicit values — no global state. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+(** Id of [s], allocating if new. *)
+val intern : t -> string -> int
+
+(** Id of [s] if already interned. *)
+val lookup : t -> string -> int option
+
+(** String for [id].  @raise Invalid_argument for unknown ids. *)
+val name : t -> int -> string
+
+val size : t -> int

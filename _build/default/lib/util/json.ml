@@ -1,0 +1,83 @@
+(** Minimal JSON emission (no external dependency): enough for the CLI's
+    machine-readable report output.  Values are built from constructors and
+    rendered with correct string escaping; no parser is provided (nothing
+    in this project reads JSON). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Render compactly ([indent = None]) or pretty-printed with the given
+    indentation width. *)
+let to_string ?indent (v : t) =
+  let buf = Buffer.create 256 in
+  let nl level =
+    match indent with
+    | None -> ()
+    | Some w ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (w * level) ' ')
+  in
+  let rec go level v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            go (level + 1) item)
+          items;
+        nl level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            if indent <> None then Buffer.add_char buf ' ';
+            go (level + 1) item)
+          fields;
+        nl level;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** Descriptive statistics and binary-classification metrics.
+
+    The evaluation (§5) reports precision of report sets and accuracy /
+    precision / recall / F1 of the defect classifier under cross-validation;
+    this module centralizes those computations. *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+(** [percentile p xs] with linear interpolation; [p] in [0,100]. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+      let frac = rank -. floor rank in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+
+(** Outcome counts of a binary classifier against ground truth. *)
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let confusion ~predicted ~actual =
+  List.fold_left2
+    (fun c p a ->
+      match (p, a) with
+      | true, true -> { c with tp = c.tp + 1 }
+      | true, false -> { c with fp = c.fp + 1 }
+      | false, false -> { c with tn = c.tn + 1 }
+      | false, true -> { c with fn = c.fn + 1 })
+    { tp = 0; fp = 0; tn = 0; fn = 0 }
+    predicted actual
+
+let safe_div a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let accuracy c = safe_div (c.tp + c.tn) (c.tp + c.tn + c.fp + c.fn)
+let precision c = safe_div c.tp (c.tp + c.fp)
+let recall c = safe_div c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)

@@ -1,0 +1,19 @@
+(** Descriptive statistics and binary-classification metrics (precision /
+    recall / F1 of §5's evaluation). *)
+
+val mean : float list -> float
+val variance : float list -> float
+val stddev : float list -> float
+
+(** Linear-interpolated percentile; [p] in [0, 100]. *)
+val percentile : float -> float list -> float
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+(** Pairwise outcome counts.  @raise Invalid_argument on length mismatch. *)
+val confusion : predicted:bool list -> actual:bool list -> confusion
+
+val accuracy : confusion -> float
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float

@@ -1,0 +1,58 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable regenerates the paper's tables; this module renders
+    them as aligned ASCII tables with a caption, so the output can be compared
+    side by side with the paper (see EXPERIMENTS.md). *)
+
+type align = Left | Right
+
+(** [render ~caption ~header ?align rows] lays out [rows] under [header] with
+    per-column alignment (default: first column left, rest right). *)
+let render ~caption ~header ?align rows =
+  let ncols = List.length header in
+  let align =
+    match align with
+    | Some a -> a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let all = header :: rows in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad a w s =
+    let gap = w - String.length s in
+    if gap <= 0 then s
+    else
+      match a with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let render_row row =
+    List.mapi
+      (fun i cell -> pad (List.nth align i) (List.nth widths i) cell)
+      row
+    |> String.concat "  "
+    |> fun s -> "  " ^ s
+  in
+  let rule =
+    "  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (caption ^ "\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print ~caption ~header ?align rows =
+  print_string (render ~caption ~header ?align rows);
+  print_newline ()
+
+(** Format a ratio as a percentage string like ["70%"]. *)
+let pct ?(digits = 0) x = Printf.sprintf "%.*f%%" digits (100.0 *. x)

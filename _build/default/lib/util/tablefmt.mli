@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for the benchmark harness (the regenerated
+    paper tables). *)
+
+type align = Left | Right
+
+(** Lay out [rows] under [header]; default alignment is first column left,
+    rest right. *)
+val render :
+  caption:string -> header:string list -> ?align:align list -> string list list -> string
+
+val print :
+  caption:string -> header:string list -> ?align:align list -> string list list -> unit
+
+(** ["70%"]-style percentage of a ratio. *)
+val pct : ?digits:int -> float -> string

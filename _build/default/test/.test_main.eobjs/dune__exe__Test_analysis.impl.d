@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Java_analysis List Namer_analysis Namer_javalang Namer_namepath Namer_pylang Py_analysis Solver

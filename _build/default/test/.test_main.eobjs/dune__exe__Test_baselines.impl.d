@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Models Namer_baselines Namer_corpus Namer_tree Namer_util Pipeline Printf Sample String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl Lazy List Namer_classifier Namer_core Namer_corpus Namer_mining Namer_namepath Namer_pattern Printf String

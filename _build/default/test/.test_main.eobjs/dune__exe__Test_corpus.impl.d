@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List Namer_corpus Namer_javalang Namer_pylang Namer_util Printf String

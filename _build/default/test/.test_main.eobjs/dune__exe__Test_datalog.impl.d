@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array List Namer_datalog Namer_util QCheck QCheck_alcotest

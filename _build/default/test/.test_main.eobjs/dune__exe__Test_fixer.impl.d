@@ -1,0 +1,1 @@
+test/test_fixer.ml: Alcotest List Namer_core Namer_pylang

@@ -1,0 +1,1 @@
+test/test_javalang.ml: Alcotest Java_ast Java_lexer Java_lower Java_parser Java_pretty List Namer_corpus Namer_javalang Namer_tree Printexc Printf String

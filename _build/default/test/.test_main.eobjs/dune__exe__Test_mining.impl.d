@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Hashtbl List Namer_mining Namer_namepath Namer_pattern Namer_tree Printf

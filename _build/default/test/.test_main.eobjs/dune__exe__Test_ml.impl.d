@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array La Linear_models List Namer_ml Namer_util Pipeline Preprocess QCheck QCheck_alcotest

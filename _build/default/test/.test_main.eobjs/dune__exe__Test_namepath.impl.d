@@ -1,0 +1,1 @@
+test/test_namepath.ml: Alcotest List Namer_namepath Namer_tree Printf QCheck QCheck_alcotest

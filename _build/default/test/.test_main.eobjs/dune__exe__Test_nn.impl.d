@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Autograd Layers List Namer_nn Namer_util Params

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Namer_namepath Namer_pattern

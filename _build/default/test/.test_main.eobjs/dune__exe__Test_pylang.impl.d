@@ -1,0 +1,1 @@
+test/test_pylang.ml: Alcotest List Namer_corpus Namer_pylang Namer_tree Option Printexc Py_ast Py_lexer Py_lower Py_parser Py_pretty

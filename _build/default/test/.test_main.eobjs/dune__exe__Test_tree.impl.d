@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest List Namer_tree QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_userstudy.ml: Alcotest List Namer_corpus Namer_userstudy

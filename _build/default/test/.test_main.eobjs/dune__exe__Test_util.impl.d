@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Counter Edit_distance Interner Json List Namer_util Prng QCheck QCheck_alcotest Stats String Subtoken Tablefmt

@@ -1,0 +1,155 @@
+(* Tests for the deep-learning baselines: sample harvesting, perturbation,
+   model training dynamics, and the scan protocol. *)
+
+open Namer_baselines
+module Corpus = Namer_corpus.Corpus
+module Prng = Namer_util.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_corpus () =
+  Corpus.generate
+    {
+      (Corpus.default_config Corpus.Python) with
+      Corpus.n_repos = 3;
+      files_per_repo = (3, 4);
+      n_commit_files = 0;
+    }
+
+let harvest ?(n = 300) () =
+  Sample.harvest ~prng:(Prng.create 17) ~max_samples:n (small_corpus ())
+
+let test_harvest_well_formed () =
+  let samples = harvest () in
+  check_bool "non-empty" true (samples <> []);
+  List.iter
+    (fun (s : Sample.t) ->
+      check_bool "slot within leaves" true
+        (s.Sample.slot >= 0 && s.Sample.slot < Array.length s.Sample.leaves);
+      check_bool "target within candidates" true
+        (s.Sample.target >= 0 && s.Sample.target < Array.length s.Sample.candidates);
+      check_bool "clean: written token is the target" true
+        (String.equal (Sample.current s) s.Sample.candidates.(s.Sample.target));
+      check_bool "clean samples are not bugs" true (not (Sample.is_bug s));
+      check_bool "candidates distinct" true
+        (let l = Array.to_list s.Sample.candidates in
+         List.length l = List.length (List.sort_uniq compare l)))
+    samples
+
+let test_harvest_deterministic () =
+  let a = harvest () and b = harvest () in
+  check_int "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Sample.t) (y : Sample.t) ->
+      check_bool "same sample" true
+        (x.Sample.file = y.Sample.file && x.Sample.slot = y.Sample.slot))
+    a b
+
+let test_perturb () =
+  let prng = Prng.create 3 in
+  let samples = harvest () in
+  let some_perturbed = ref false in
+  List.iter
+    (fun s ->
+      match Sample.perturb ~prng s with
+      | Some p ->
+          some_perturbed := true;
+          check_bool "perturbed is a bug" true (Sample.is_bug p);
+          check_bool "slot rewritten in leaves" true
+            (not (String.equal (Sample.current p) (Sample.current s)));
+          check_bool "tree rewritten too" true
+            (List.mem (Sample.current p) (Namer_tree.Tree.leaves p.Sample.tree))
+      | None -> ())
+    samples;
+  check_bool "at least one perturbation" true !some_perturbed
+
+let test_variable_slots () =
+  let tree =
+    Namer_tree.Tree.node "Call"
+      [
+        Namer_tree.Tree.node "AttributeLoad"
+          [
+            Namer_tree.Tree.node "NameLoad" [ Namer_tree.Tree.leaf "ctx" ];
+            Namer_tree.Tree.node "Attr" [ Namer_tree.Tree.leaf "start" ];
+          ];
+        Namer_tree.Tree.node "NameLoad" [ Namer_tree.Tree.leaf "i" ];
+      ]
+  in
+  let slots = Sample.variable_slots tree in
+  Alcotest.(check (list (pair int string))) "only NameLoad leaves"
+    [ (0, "ctx"); (2, "i") ] slots
+
+let test_training_learns () =
+  (* a model trained briefly should beat the uniform-chance repair rate *)
+  let samples = harvest ~n:400 () in
+  let prng = Prng.create 5 in
+  let n_train = 2 * List.length samples / 3 in
+  let train = List.filteri (fun i _ -> i < n_train) samples in
+  let test = List.filteri (fun i _ -> i >= n_train) samples in
+  check_bool "enough samples harvested" true (List.length test > 10);
+  let m = Pipeline.train ~which:`Ggnn ~prng ~epochs:2 train in
+  let correct = ref 0 in
+  List.iter
+    (fun (s : Sample.t) ->
+      let p = m.Pipeline.predict s in
+      if p.Models.cand = s.Sample.target then incr correct)
+    test;
+  let acc = float_of_int !correct /. float_of_int (List.length test) in
+  check_bool
+    (Printf.sprintf "repair accuracy %.2f beats chance" acc)
+    true
+    (acc > 0.3 (* uniform over ≤8 candidates would be ~0.125 *))
+
+let test_synthetic_accuracy_bounds () =
+  let samples = harvest ~n:300 () in
+  let prng = Prng.create 6 in
+  let n_train = 2 * List.length samples / 3 in
+  let m = Pipeline.train ~which:`Great ~prng ~epochs:1 (List.filteri (fun i _ -> i < n_train) samples) in
+  let acc = Pipeline.synthetic_accuracy ~prng m (List.filteri (fun i _ -> i >= n_train) samples) in
+  check_bool "classification in [0,1]" true
+    (acc.Pipeline.classification >= 0.0 && acc.Pipeline.classification <= 1.0);
+  check_bool "repair in [0,1]" true
+    (acc.Pipeline.repair >= 0.0 && acc.Pipeline.repair <= 1.0)
+
+let test_scan_reports_sorted () =
+  let samples = harvest ~n:200 () in
+  let prng = Prng.create 7 in
+  let m = Pipeline.train ~which:`Ggnn ~prng ~epochs:1 samples in
+  let reports = Pipeline.scan m samples in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Pipeline.confidence >= b.Pipeline.confidence && sorted rest
+    | _ -> true
+  in
+  check_bool "descending confidence" true (sorted reports);
+  List.iter
+    (fun r ->
+      check_bool "report proposes a change" true (r.Pipeline.found <> r.Pipeline.suggested))
+    reports
+
+let test_models_disagree_eventually () =
+  (* GGNN and Great are different architectures; on a fresh (untrained)
+     model their parameter draws differ *)
+  let prng = Prng.create 8 in
+  let g = Models.Ggnn.create ~prng in
+  let t = Models.Great.create ~prng in
+  let samples = harvest ~n:20 () in
+  let diffs =
+    List.exists
+      (fun s ->
+        (Models.Ggnn.predict g s).Models.cand <> (Models.Great.predict t s).Models.cand)
+      samples
+  in
+  check_bool "architectures yield different functions" true diffs
+
+let suite =
+  [
+    Alcotest.test_case "harvest: well-formed samples" `Quick test_harvest_well_formed;
+    Alcotest.test_case "harvest: deterministic" `Quick test_harvest_deterministic;
+    Alcotest.test_case "perturbation plants bugs" `Quick test_perturb;
+    Alcotest.test_case "variable slot enumeration" `Quick test_variable_slots;
+    Alcotest.test_case "training beats chance" `Slow test_training_learns;
+    Alcotest.test_case "synthetic accuracy bounds" `Slow test_synthetic_accuracy_bounds;
+    Alcotest.test_case "scan reports sorted" `Slow test_scan_reports_sorted;
+    Alcotest.test_case "architectures differ" `Quick test_models_disagree_eventually;
+  ]

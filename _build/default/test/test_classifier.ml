@@ -1,0 +1,93 @@
+(* Tests for feature extraction (Table 1) and the scan aggregates. *)
+
+module Features = Namer_classifier.Features
+module Pattern = Namer_pattern.Pattern
+module Namepath = Namer_namepath.Namepath
+module Confusing_pairs = Namer_mining.Confusing_pairs
+
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let np = Namepath.of_string
+
+let stmt_a : Features.stmt_ctx = { file = "r1/a.py"; repo = "r1"; tree_hash = 111; n_paths = 5 }
+let stmt_b : Features.stmt_ctx = { file = "r1/b.py"; repo = "r1"; tree_hash = 111; n_paths = 7 }
+let stmt_c : Features.stmt_ctx = { file = "r2/c.py"; repo = "r2"; tree_hash = 222; n_paths = 4 }
+
+let pattern =
+  let p =
+    Pattern.make
+      ~kind:(Pattern.Confusing_word { correct = "Equal" })
+      ~condition:[ np "A 0 B 0 self"; np "A 1 C 0 NUM" ]
+      ~deduction:[ Namepath.to_symbolic (np "A 2 D 0 Equal") ]
+  in
+  let store = Pattern.Store.create () in
+  let id = Pattern.Store.add store p in
+  Pattern.Store.get store id
+
+let build_agg () =
+  let agg = Features.Agg.create () in
+  (* identical-statement counts: two statements with hash 111 in repo r1 *)
+  Features.Agg.add_stmt agg stmt_a;
+  Features.Agg.add_stmt agg stmt_b;
+  Features.Agg.add_stmt agg stmt_c;
+  (* pattern outcomes: in file a — 3 satisfied, 1 violated; in file c — 1
+     satisfied *)
+  let v = Pattern.Violated { offending_prefix = "A 2 D"; found = "True"; suggested = "Equal" } in
+  Features.Agg.add_outcome agg stmt_a ~pattern_id:pattern.Pattern.id Pattern.Satisfied;
+  Features.Agg.add_outcome agg stmt_a ~pattern_id:pattern.Pattern.id Pattern.Satisfied;
+  Features.Agg.add_outcome agg stmt_a ~pattern_id:pattern.Pattern.id Pattern.Satisfied;
+  Features.Agg.add_outcome agg stmt_a ~pattern_id:pattern.Pattern.id v;
+  Features.Agg.add_outcome agg stmt_c ~pattern_id:pattern.Pattern.id Pattern.Satisfied;
+  agg
+
+let info = { Pattern.offending_prefix = "A 2 D"; found = "True"; suggested = "Equal" }
+
+let test_feature_vector () =
+  let agg = build_agg () in
+  let pairs = Confusing_pairs.create () in
+  Confusing_pairs.add_pair pairs ("True", "Equal");
+  let f = Features.extract agg pairs stmt_a pattern info in
+  check_int "17 features" 17 (Array.length f);
+  checkf "f1: n paths" 5.0 f.(0);
+  checkf "f2: identical in file" 1.0 f.(1);
+  checkf "f3: identical in repo (a and b share hash)" 2.0 f.(2);
+  checkf "f4: satisfaction rate file (3/4)" 0.75 f.(3);
+  checkf "f5: satisfaction rate repo" 0.75 f.(4);
+  checkf "f6: satisfaction rate dataset (4/5)" 0.8 f.(5);
+  checkf "f7: violations file" 1.0 f.(6);
+  checkf "f8: violations repo" 1.0 f.(7);
+  checkf "f9: violations dataset" 1.0 f.(8);
+  checkf "f10: satisfactions file" 3.0 f.(9);
+  checkf "f11: satisfactions repo" 3.0 f.(10);
+  checkf "f12: satisfactions dataset" 4.0 f.(11);
+  checkf "f13: not a function name (no Call in prefix)" 0.0 f.(12);
+  checkf "f14: condition size" 2.0 f.(13);
+  checkf "f15: match ratio 2/(5-1)" 0.5 f.(14);
+  checkf "f16: edit distance True/Equal" 4.0 f.(15);
+  checkf "f17: confusing pair" 1.0 f.(16)
+
+let test_feature_no_pair () =
+  let agg = build_agg () in
+  let pairs = Confusing_pairs.create () in
+  let f = Features.extract agg pairs stmt_a pattern info in
+  checkf "f17 without the mined pair" 0.0 f.(16)
+
+let test_unseen_pattern_zero_counts () =
+  let agg = Features.Agg.create () in
+  let pairs = Confusing_pairs.create () in
+  let f = Features.extract agg pairs stmt_c pattern info in
+  checkf "f4 defaults" 0.0 f.(3);
+  checkf "f9 defaults" 0.0 f.(8);
+  checkf "f2 defaults to 1 (itself)" 1.0 f.(1)
+
+let test_names_cover_features () =
+  check_int "17 names" Features.n_features (Array.length Features.names)
+
+let suite =
+  [
+    Alcotest.test_case "table 1 feature vector" `Quick test_feature_vector;
+    Alcotest.test_case "feature 17 requires a mined pair" `Quick test_feature_no_pair;
+    Alcotest.test_case "defaults for unseen patterns" `Quick test_unseen_pattern_zero_counts;
+    Alcotest.test_case "feature names" `Quick test_names_cover_features;
+  ]

@@ -1,0 +1,201 @@
+(* Integration tests: the full Namer pipeline end to end on small corpora,
+   including the Figure 2 walkthrough and the ablation switches. *)
+
+module Namer = Namer_core.Namer
+module Frontend = Namer_core.Frontend
+module Corpus = Namer_corpus.Corpus
+module Pattern = Namer_pattern.Pattern
+module Miner = Namer_mining.Miner
+module Features = Namer_classifier.Features
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let corpus_cfg lang =
+  {
+    (Corpus.default_config lang) with
+    Corpus.n_repos = 12;
+    files_per_repo = (5, 8);
+    n_commit_files = 40;
+    issue_rate = 0.05;
+    benign_rate = 0.06;
+  }
+
+let namer_cfg =
+  {
+    Namer.default_config with
+    miner = { Miner.default_config with min_support = 8; min_path_freq = 4 };
+    n_labeled = 60;
+  }
+
+let build_py = lazy (Namer.build namer_cfg (Corpus.generate (corpus_cfg Corpus.Python)))
+let build_java = lazy (Namer.build namer_cfg (Corpus.generate (corpus_cfg Corpus.Java)))
+
+let test_python_pipeline () =
+  let t = Lazy.force build_py in
+  check_bool "patterns mined" true (Pattern.Store.size t.Namer.store > 10);
+  check_bool "violations found" true (Array.length t.Namer.violations > 20);
+  check_bool "classifier trained" true (t.Namer.classifier <> None);
+  check_bool "coverage counted" true (t.Namer.n_files_violating > 0)
+
+let test_python_detects_injections () =
+  let t = Lazy.force build_py in
+  let tp = ref 0 in
+  Array.iter
+    (fun v ->
+      match Namer.grade t v with Corpus.Oracle.True_issue _ -> incr tp | _ -> ())
+    t.Namer.violations;
+  check_bool "several true issues among violations" true (!tp > 5)
+
+let test_classifier_improves_precision () =
+  let t = Lazy.force build_py in
+  let graded vs =
+    let o = Namer.grade_reports t vs in
+    Namer.precision o
+  in
+  let sampled = Namer.sample_violations t ~n:200 ~seed:77 in
+  let all = graded sampled in
+  let filtered = graded (List.filter (Namer.classify t) sampled) in
+  check_bool
+    (Printf.sprintf "with C (%.2f) ≥ w/o C (%.2f)" filtered all)
+    true (filtered >= all)
+
+let test_sampling_excludes_training () =
+  let t = Lazy.force build_py in
+  let sampled = Namer.sample_violations t ~n:10_000 ~seed:1 in
+  check_bool "training rows excluded" true
+    (List.length sampled
+    <= Array.length t.Namer.violations - Hashtbl.length t.Namer.training_set)
+
+let test_feature_vectors_complete () =
+  let t = Lazy.force build_py in
+  Array.iter
+    (fun v ->
+      check_int "17 features per violation" Features.n_features
+        (Array.length v.Namer.v_features))
+    t.Namer.violations
+
+let test_java_pipeline () =
+  let t = Lazy.force build_java in
+  check_bool "java patterns mined" true (Pattern.Store.size t.Namer.store > 5);
+  check_bool "java violations found" true (Array.length t.Namer.violations > 10);
+  let tp = ref 0 in
+  Array.iter
+    (fun v ->
+      match Namer.grade t v with Corpus.Oracle.True_issue _ -> incr tp | _ -> ())
+    t.Namer.violations;
+  check_bool "java true issues found" true (!tp > 3)
+
+let test_ablation_analysis_changes_pool () =
+  let corpus = Corpus.generate (corpus_cfg Corpus.Python) in
+  let with_a = Namer.build namer_cfg corpus in
+  let without_a = Namer.build { namer_cfg with Namer.use_analysis = false } corpus in
+  check_bool "ablation yields a different violation pool" true
+    (Array.length with_a.Namer.violations <> Array.length without_a.Namer.violations)
+
+let test_no_classifier_reports_all () =
+  let corpus = Corpus.generate (corpus_cfg Corpus.Python) in
+  let t = Namer.build { namer_cfg with Namer.use_classifier = false } corpus in
+  check_bool "no classifier trained" true (t.Namer.classifier = None);
+  let sampled = Namer.sample_violations t ~n:50 ~seed:3 in
+  check_int "everything reported" (List.length sampled)
+    (List.length (List.filter (Namer.classify t) sampled))
+
+(* ---------------- Figure 2 end-to-end ---------------- *)
+
+let figure2_file =
+  {|import os
+from unittest import TestCase
+
+class TestPicture(TestCase):
+    def test_angle_picture(self):
+        rotated_picture_name = "IMG_2259.jpg"
+        picture = self.slide.pictures
+        self.assertTrue(picture.rotate_angle, 90)
+|}
+
+let test_figure2_detected () =
+  (* Build Namer on a Python corpus, then scan the paper's buggy file with
+     the mined patterns: the assertTrue misuse must violate with fix
+     True → Equal. *)
+  let t = Lazy.force build_py in
+  let parsed = Frontend.parse_file Corpus.Python ~use_analysis:true figure2_file in
+  let found = ref false in
+  List.iter
+    (fun (s : Frontend.stmt) ->
+      let origins = parsed.Frontend.origins ~cls:s.Frontend.cls ~fn:s.Frontend.fn in
+      let plus = Namer_namepath.Astplus.transform ~origins s.Frontend.tree in
+      let digest = Pattern.Stmt_paths.of_tree plus in
+      Pattern.Store.candidates t.Namer.store digest
+      |> List.iter (fun p ->
+             match Pattern.check p digest with
+             | Pattern.Violated info
+               when info.Pattern.found = "True" && info.Pattern.suggested = "Equal" ->
+                 found := true
+             | _ -> ()))
+    parsed.Frontend.stmts;
+  check_bool "figure 2 bug found with fix True → Equal" true !found
+
+let test_evaluate_protocol () =
+  let t = Lazy.force build_py in
+  let o = Namer.evaluate ~n:100 ~seed:55 t in
+  check_bool "reports bounded by sample" true (o.Namer.n_reports <= 100);
+  check_int "verdicts partition the reports" o.Namer.n_reports
+    (o.Namer.semantic + o.Namer.quality + o.Namer.false_pos);
+  check_bool "precision in range" true
+    (Namer.precision o >= 0.0 && Namer.precision o <= 1.0)
+
+let test_feature_weights_available () =
+  let t = Lazy.force build_py in
+  check_int "one weight per feature" Features.n_features
+    (Array.length (Namer.feature_weights t))
+
+let test_source_line_lookup () =
+  let t = Lazy.force build_py in
+  match t.Namer.violations with
+  | [||] -> Alcotest.fail "expected violations"
+  | vs ->
+      let line = Namer.source_line t vs.(0) in
+      check_bool "line text found" true (String.length line > 0 && line.[0] <> '<')
+
+let suite =
+  [
+    Alcotest.test_case "python pipeline builds" `Slow test_python_pipeline;
+    Alcotest.test_case "injections detected" `Slow test_python_detects_injections;
+    Alcotest.test_case "classifier improves precision" `Slow test_classifier_improves_precision;
+    Alcotest.test_case "sampling excludes training" `Slow test_sampling_excludes_training;
+    Alcotest.test_case "feature vectors complete" `Slow test_feature_vectors_complete;
+    Alcotest.test_case "java pipeline builds" `Slow test_java_pipeline;
+    Alcotest.test_case "w/o A changes the pool" `Slow test_ablation_analysis_changes_pool;
+    Alcotest.test_case "w/o C reports everything" `Slow test_no_classifier_reports_all;
+    Alcotest.test_case "figure 2 bug detected end-to-end" `Slow test_figure2_detected;
+    Alcotest.test_case "evaluation protocol" `Slow test_evaluate_protocol;
+    Alcotest.test_case "table 9 weights" `Slow test_feature_weights_available;
+    Alcotest.test_case "report source lines" `Slow test_source_line_lookup;
+  ]
+
+let test_swap_detected () =
+  (* ordering-pattern extension: a swapped resize call in a fresh file is
+     flagged with the canonical-order fix *)
+  let t = Lazy.force build_py in
+  let src =
+    "def scale_picture(image, width, height):\n    resized = image.resize(height, width)\n    return resized\n"
+  in
+  let parsed = Frontend.parse_file Corpus.Python ~use_analysis:true src in
+  let found = ref false in
+  List.iter
+    (fun (s : Frontend.stmt) ->
+      let origins = parsed.Frontend.origins ~cls:s.Frontend.cls ~fn:s.Frontend.fn in
+      let plus = Namer_namepath.Astplus.transform ~origins s.Frontend.tree in
+      let digest = Pattern.Stmt_paths.of_tree plus in
+      Pattern.Store.candidates t.Namer.store digest
+      |> List.iter (fun p ->
+             match (p.Pattern.kind, Pattern.check p digest) with
+             | Pattern.Ordering _, Pattern.Violated info
+               when info.Pattern.found = "height" && info.Pattern.suggested = "width" ->
+                 found := true
+             | _ -> ()))
+    parsed.Frontend.stmts;
+  check_bool "swapped arguments detected via ordering pattern" true !found
+
+let suite = suite @ [ Alcotest.test_case "argument swap detected" `Slow test_swap_detected ]

@@ -1,0 +1,206 @@
+(* Tests for the synthetic Big Code generator and the grading oracle. *)
+
+module Corpus = Namer_corpus.Corpus
+module Issue = Namer_corpus.Issue
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let small_cfg lang =
+  {
+    (Corpus.default_config lang) with
+    Corpus.n_repos = 4;
+    files_per_repo = (3, 5);
+    n_commit_files = 10;
+    issue_rate = 0.08;
+    benign_rate = 0.08;
+  }
+
+let py () = Corpus.generate (small_cfg Corpus.Python)
+let java () = Corpus.generate (small_cfg Corpus.Java)
+
+let test_determinism () =
+  let a = py () and b = py () in
+  check_int "same file count" (List.length a.Corpus.files) (List.length b.Corpus.files);
+  List.iter2
+    (fun (f1 : Corpus.file) (f2 : Corpus.file) ->
+      check_str "identical sources" f1.Corpus.source f2.Corpus.source)
+    a.Corpus.files b.Corpus.files;
+  check_int "same injections" (List.length a.Corpus.injections)
+    (List.length b.Corpus.injections)
+
+let test_seed_changes_output () =
+  let a = py () in
+  let b = Corpus.generate { (small_cfg Corpus.Python) with Corpus.seed = 4242 } in
+  check_bool "different seeds differ" true
+    (List.exists2
+       (fun (f1 : Corpus.file) (f2 : Corpus.file) -> f1.Corpus.source <> f2.Corpus.source)
+       a.Corpus.files b.Corpus.files)
+
+let test_python_parses () =
+  let c = py () in
+  List.iter
+    (fun (f : Corpus.file) ->
+      try ignore (Namer_pylang.Py_parser.parse_module f.Corpus.source)
+      with _ -> Alcotest.failf "unparseable python file %s:\n%s" f.Corpus.path f.Corpus.source)
+    c.Corpus.files
+
+let test_java_parses () =
+  let c = java () in
+  List.iter
+    (fun (f : Corpus.file) ->
+      try ignore (Namer_javalang.Java_parser.parse_compilation_unit f.Corpus.source)
+      with _ -> Alcotest.failf "unparseable java file %s:\n%s" f.Corpus.path f.Corpus.source)
+    c.Corpus.files
+
+let test_commits_parse_both_sides () =
+  List.iter
+    (fun (c, parse) ->
+      List.iter
+        (fun (before, after) ->
+          try
+            parse before;
+            parse after
+          with _ -> Alcotest.fail "unparseable commit side")
+        c)
+    [
+      ((py ()).Corpus.commits, fun (s : string) -> ignore (Namer_pylang.Py_parser.parse_module s));
+      ( (java ()).Corpus.commits,
+        fun s -> ignore (Namer_javalang.Java_parser.parse_compilation_unit s) );
+    ]
+
+let line_of_file (c : Corpus.t) file line =
+  let f = List.find (fun (f : Corpus.file) -> f.Corpus.path = file) c.Corpus.files in
+  List.nth (String.split_on_char '\n' f.Corpus.source) (line - 1)
+
+let test_injection_lines_accurate () =
+  let c = py () in
+  check_bool "has injections" true (c.Corpus.injections <> []);
+  List.iter
+    (fun (inj : Issue.injection) ->
+      let line = line_of_file c inj.Issue.file inj.Issue.line in
+      let contains needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        n > 0 && go 0
+      in
+      check_bool
+        (Printf.sprintf "wrong ident %s on its line (%s)" inj.Issue.wrong_ident line)
+        true
+        (contains inj.Issue.wrong_ident line))
+    c.Corpus.injections
+
+let test_benign_lines_accurate () =
+  let c = py () in
+  check_bool "has benigns" true (c.Corpus.benigns <> []);
+  List.iter
+    (fun (b : Issue.benign) ->
+      (* the recorded line exists *)
+      ignore (line_of_file c b.Issue.bfile b.Issue.bline))
+    c.Corpus.benigns
+
+let test_apply_fixes () =
+  let text = "a\nthis.publicKey = publickKey;\nb" in
+  let inj =
+    {
+      Issue.file = "f";
+      line = 2;
+      wrong = "publick";
+      expected = "public";
+      wrong_ident = "publickKey";
+      fixed_ident = "publicKey";
+      category = Issue.Code_quality Issue.Typo;
+      description = "";
+    }
+  in
+  check_str "line-targeted fix" "a\nthis.publicKey = publicKey;\nb"
+    (Corpus.apply_fixes text [ inj ])
+
+let test_apply_fixes_word_boundary () =
+  let text = "progDialog.show(); notprogDialogHere();" in
+  let inj =
+    {
+      Issue.file = "f";
+      line = 1;
+      wrong = "prog";
+      expected = "progress";
+      wrong_ident = "progDialog";
+      fixed_ident = "progressDialog";
+      category = Issue.Code_quality Issue.Confusing_name;
+      description = "";
+    }
+  in
+  check_str "word boundary respected" "progressDialog.show(); notprogDialogHere();"
+    (Corpus.apply_fixes text [ inj ])
+
+let test_oracle_grading () =
+  let c = py () in
+  let oracle = Corpus.Oracle.of_corpus c in
+  let inj = List.hd c.Corpus.injections in
+  check_bool "true positive" true
+    (Corpus.Oracle.grade oracle ~file:inj.Issue.file ~line:inj.Issue.line
+       ~found:inj.Issue.wrong ~suggested:inj.Issue.expected ~symmetric:false
+    = Corpus.Oracle.True_issue inj.Issue.category);
+  check_bool "wrong suggestion is FP" true
+    (Corpus.Oracle.grade oracle ~file:inj.Issue.file ~line:inj.Issue.line
+       ~found:inj.Issue.wrong ~suggested:"nonsense" ~symmetric:false
+    = Corpus.Oracle.False_positive);
+  check_bool "swapped direction accepted when symmetric" true
+    (Corpus.Oracle.grade oracle ~file:inj.Issue.file ~line:inj.Issue.line
+       ~found:inj.Issue.expected ~suggested:inj.Issue.wrong ~symmetric:true
+    = Corpus.Oracle.True_issue inj.Issue.category);
+  check_bool "unknown location is FP" true
+    (Corpus.Oracle.grade oracle ~file:"nowhere.py" ~line:1 ~found:"a" ~suggested:"b"
+       ~symmetric:false
+    = Corpus.Oracle.False_positive)
+
+let test_oracle_benign () =
+  let c = py () in
+  let oracle = Corpus.Oracle.of_corpus c in
+  let b = List.hd c.Corpus.benigns in
+  check_bool "benign location" true
+    (Corpus.Oracle.grade oracle ~file:b.Issue.bfile ~line:b.Issue.bline ~found:"x"
+       ~suggested:"y" ~symmetric:false
+    = Corpus.Oracle.Known_benign)
+
+let test_category_coverage () =
+  (* with high rates a moderately sized corpus covers every category *)
+  let cfg =
+    { (small_cfg Corpus.Python) with Corpus.n_repos = 20; issue_rate = 0.15 }
+  in
+  let c = Corpus.generate cfg in
+  let cats =
+    List.map (fun (i : Issue.injection) -> Issue.category_name i.Issue.category)
+      c.Corpus.injections
+    |> List.sort_uniq compare
+  in
+  check_bool "semantic defects present" true (List.mem "semantic defect" cats);
+  check_bool "typos present" true (List.mem "typo" cats);
+  check_bool "≥ 5 categories" true (List.length cats >= 5)
+
+let test_typo_generator () =
+  let rng = Namer_util.Prng.create 9 in
+  for _ = 1 to 100 do
+    let w = "picture" in
+    let t = Namer_corpus.Vocab.typo rng w in
+    check_bool "typo differs" true (t <> w);
+    check_bool "typo is close" true (Namer_util.Edit_distance.damerau w t <= 2)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "seeds matter" `Quick test_seed_changes_output;
+    Alcotest.test_case "python corpus parses" `Quick test_python_parses;
+    Alcotest.test_case "java corpus parses" `Quick test_java_parses;
+    Alcotest.test_case "commits parse" `Quick test_commits_parse_both_sides;
+    Alcotest.test_case "injection lines accurate" `Quick test_injection_lines_accurate;
+    Alcotest.test_case "benign lines accurate" `Quick test_benign_lines_accurate;
+    Alcotest.test_case "apply_fixes" `Quick test_apply_fixes;
+    Alcotest.test_case "apply_fixes word boundary" `Quick test_apply_fixes_word_boundary;
+    Alcotest.test_case "oracle grading" `Quick test_oracle_grading;
+    Alcotest.test_case "oracle benign" `Quick test_oracle_benign;
+    Alcotest.test_case "category coverage" `Quick test_category_coverage;
+    Alcotest.test_case "typo generator" `Quick test_typo_generator;
+  ]

@@ -1,0 +1,109 @@
+(* Tests for the Datalog engine: fixpoints, guards, indexing, range
+   restriction. *)
+
+open Namer_datalog.Datalog
+module Interner = Namer_util.Interner
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Transitive closure: path(X,Y) :- edge(X,Y). path(X,Z) :- edge(X,Y), path(Y,Z). *)
+let closure edges =
+  let t = create () in
+  let edge = 0 and path = 1 in
+  List.iter (fun (a, b) -> add_fact t ~pred:edge [| a; b |]) edges;
+  add_rule t (rule (atom path [ v 0; v 1 ]) [ atom edge [ v 0; v 1 ] ]);
+  add_rule t
+    (rule (atom path [ v 0; v 2 ]) [ atom edge [ v 0; v 1 ]; atom path [ v 1; v 2 ] ]);
+  solve t;
+  (t, path)
+
+let test_transitive_closure () =
+  let t, path = closure [ (1, 2); (2, 3); (3, 4) ] in
+  check_int "6 paths in a 4-chain" 6 (count t ~pred:path);
+  check_int "from 1: three targets" 3 (List.length (query_first t ~pred:path ~key:1))
+
+let test_cycle_terminates () =
+  let t, path = closure [ (1, 2); (2, 1) ] in
+  (* 1→2, 2→1, 1→1, 2→2 *)
+  check_int "cycle closure" 4 (count t ~pred:path)
+
+let test_guards () =
+  let t = create () in
+  let p = 0 and q = 1 in
+  List.iter (fun (a, b) -> add_fact t ~pred:p [| a; b |]) [ (1, 1); (1, 2); (2, 2) ];
+  (* q(X,Y) :- p(X,Y), X ≠ Y. *)
+  add_rule t (rule_g (atom q [ v 0; v 1 ]) [ atom p [ v 0; v 1 ] ] [ Neq (v 0, v 1) ]);
+  solve t;
+  check_int "only the off-diagonal tuple" 1 (count t ~pred:q)
+
+let test_eq_guard () =
+  let t = create () in
+  let p = 0 and q = 1 in
+  List.iter (fun (a, b) -> add_fact t ~pred:p [| a; b |]) [ (1, 1); (1, 2) ];
+  add_rule t (rule_g (atom q [ v 0; v 1 ]) [ atom p [ v 0; v 1 ] ] [ Eq (v 0, v 1) ]);
+  solve t;
+  check_int "only the diagonal tuple" 1 (count t ~pred:q)
+
+let test_constants_in_rules () =
+  let t = create () in
+  let p = 0 and q = 1 in
+  List.iter (fun x -> add_fact t ~pred:p [| x; 10 |]) [ 1; 2; 3 ];
+  add_fact t ~pred:p [| 4; 20 |];
+  (* q(X, 99) :- p(X, 10). *)
+  add_rule t (rule (atom q [ v 0; c 99 ]) [ atom p [ v 0; c 10 ] ]);
+  solve t;
+  check_int "matches constant column" 3 (count t ~pred:q);
+  List.iter (fun tup -> check_int "head constant" 99 tup.(1)) (query t ~pred:q)
+
+let test_incremental_resolve () =
+  let t = create () in
+  let edge = 0 and path = 1 in
+  add_fact t ~pred:edge [| 1; 2 |];
+  add_rule t (rule (atom path [ v 0; v 1 ]) [ atom edge [ v 0; v 1 ] ]);
+  add_rule t
+    (rule (atom path [ v 0; v 2 ]) [ atom edge [ v 0; v 1 ]; atom path [ v 1; v 2 ] ]);
+  solve t;
+  check_int "first fixpoint" 1 (count t ~pred:path);
+  add_fact t ~pred:edge [| 2; 3 |];
+  solve t;
+  check_int "resumed fixpoint picks up new fact" 3 (count t ~pred:path)
+
+let test_range_restriction () =
+  let t = create () in
+  Alcotest.check_raises "unbound head var rejected"
+    (Invalid_argument "Datalog.add_rule: head variable not bound in body")
+    (fun () -> add_rule t (rule (atom 1 [ v 0; v 5 ]) [ atom 0 [ v 0; v 1 ] ]))
+
+let test_solve_idempotent () =
+  let t, path = closure [ (1, 2); (2, 3) ] in
+  let n = count t ~pred:path in
+  solve t;
+  check_int "second solve is a no-op" n (count t ~pred:path)
+
+let prop_closure_size =
+  (* on a random chain graph of n nodes, closure has n(n-1)/2 paths *)
+  QCheck.Test.make ~name:"datalog: chain closure size" ~count:20
+    (QCheck.int_range 2 15)
+    (fun n ->
+      let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+      let t, path = closure edges in
+      count t ~pred:path = n * (n - 1) / 2)
+
+let test_query_first_missing () =
+  let t = create () in
+  check_bool "empty relation" true (query_first t ~pred:5 ~key:1 = [])
+
+let suite =
+  [
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "cycles terminate" `Quick test_cycle_terminates;
+    Alcotest.test_case "neq guard" `Quick test_guards;
+    Alcotest.test_case "eq guard" `Quick test_eq_guard;
+    Alcotest.test_case "constants in rules" `Quick test_constants_in_rules;
+    Alcotest.test_case "incremental resolve" `Quick test_incremental_resolve;
+    Alcotest.test_case "range restriction check" `Quick test_range_restriction;
+    Alcotest.test_case "solve idempotent" `Quick test_solve_idempotent;
+    QCheck_alcotest.to_alcotest prop_closure_size;
+    Alcotest.test_case "query_first on empty" `Quick test_query_first_missing;
+  ]

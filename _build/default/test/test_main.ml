@@ -1,0 +1,23 @@
+(* Aggregated test runner for the Namer reproduction. *)
+
+let () =
+  Alcotest.run "namer"
+    [
+      ("util", Test_util.suite);
+      ("datalog", Test_datalog.suite);
+      ("tree", Test_tree.suite);
+      ("pylang", Test_pylang.suite);
+      ("javalang", Test_javalang.suite);
+      ("analysis", Test_analysis.suite);
+      ("namepath", Test_namepath.suite);
+      ("pattern", Test_pattern.suite);
+      ("mining", Test_mining.suite);
+      ("ml", Test_ml.suite);
+      ("nn", Test_nn.suite);
+      ("classifier", Test_classifier.suite);
+      ("corpus", Test_corpus.suite);
+      ("baselines", Test_baselines.suite);
+      ("userstudy", Test_userstudy.suite);
+      ("core", Test_core.suite);
+      ("fixer", Test_fixer.suite);
+    ]

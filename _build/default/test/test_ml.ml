@@ -1,0 +1,188 @@
+(* Tests for the classical-ML substrate: linear algebra, preprocessing,
+   the three linear classifiers, and the training pipeline. *)
+
+open Namer_ml
+module Prng = Namer_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* ---------------- La ---------------- *)
+
+let test_dot_norm () =
+  checkf "dot" 32.0 (La.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  checkf "norm" 5.0 (La.norm [| 3.; 4. |])
+
+let test_matvec_transpose () =
+  let m = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 1e-9))) "matvec" [| 5.; 11. |] (La.mat_vec m [| 1.; 2. |]);
+  let mt = La.transpose m in
+  checkf "transpose" 3.0 mt.(0).(1)
+
+let test_mat_mul () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let c = La.mat_mul a b in
+  checkf "c00" 2.0 c.(0).(0);
+  checkf "c01" 1.0 c.(0).(1)
+
+let test_covariance () =
+  let x = [| [| 1.; 10. |]; [| 2.; 20. |]; [| 3.; 30. |] |] in
+  let c = La.covariance x in
+  checkf "var x" 1.0 c.(0).(0);
+  checkf "cov xy" 10.0 c.(0).(1)
+
+let test_jacobi () =
+  (* eigenvalues of [[2,1],[1,2]] are 3 and 1 *)
+  let vals, vecs = La.jacobi_eigen [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  Alcotest.(check (float 1e-9)) "λ1" 3.0 vals.(0);
+  Alcotest.(check (float 1e-9)) "λ2" 1.0 vals.(1);
+  (* first eigenvector ∝ (1,1)/√2 *)
+  check_bool "eigenvector direction" true
+    (abs_float (abs_float vecs.(0).(0) -. (1.0 /. sqrt 2.0)) < 1e-9)
+
+let test_solve_linear () =
+  let x = La.solve_linear [| [| 2.; 1. |]; [| 1.; 3. |] |] [| 5.; 10. |] in
+  Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" 3.0 x.(1)
+
+let test_solve_singular () =
+  check_bool "singular rejected" true
+    (try
+       ignore (La.solve_linear [| [| 1.; 1. |]; [| 1.; 1. |] |] [| 1.; 2. |]);
+       false
+     with Failure _ -> true)
+
+(* ---------------- Preprocess ---------------- *)
+
+let test_standardize () =
+  let x = [| [| 1.; 100. |]; [| 3.; 300. |] |] in
+  let s = Preprocess.Standardize.fit x in
+  let t = Preprocess.Standardize.transform s [| 1.; 100. |] in
+  checkf "z-scores" (-1.0) t.(0);
+  checkf "second col" (-1.0) t.(1);
+  (* constant features stay finite *)
+  let s2 = Preprocess.Standardize.fit [| [| 5. |]; [| 5. |] |] in
+  checkf "constant feature centered" 0.0 (Preprocess.Standardize.transform s2 [| 5. |]).(0)
+
+let test_pca_reduces () =
+  (* perfectly correlated 2-D data has one informative component *)
+  let prng = Prng.create 1 in
+  let x =
+    Array.init 100 (fun _ ->
+        let v = Prng.gaussian prng in
+        [| v; 2.0 *. v |])
+  in
+  let p = Preprocess.Pca.fit ~variance:0.95 x in
+  check_int "one component suffices" 1 (Preprocess.Pca.n_components p);
+  let t = Preprocess.Pca.transform p [| 1.0; 2.0 |] in
+  check_int "projected dimension" 1 (Array.length t)
+
+(* ---------------- classifiers ---------------- *)
+
+(* Linearly separable data: label = (x₀ + x₁ > 0). *)
+let separable_data ~n prng =
+  let x =
+    Array.init n (fun _ -> [| Prng.gaussian prng; Prng.gaussian prng; Prng.gaussian prng |])
+  in
+  let y = Array.map (fun row -> row.(0) +. row.(1) > 0.0) x in
+  (x, y)
+
+let accuracy_of predict x y =
+  let ok = ref 0 in
+  Array.iteri (fun i row -> if predict row = y.(i) then incr ok) x;
+  float_of_int !ok /. float_of_int (Array.length x)
+
+let test_svm_separable () =
+  let prng = Prng.create 2 in
+  let x, y = separable_data ~n:200 prng in
+  let m = Linear_models.Svm.train ~prng x y in
+  check_bool "svm accuracy > 0.95" true (accuracy_of (Linear_models.predict m) x y > 0.95)
+
+let test_logreg_separable () =
+  let prng = Prng.create 3 in
+  let x, y = separable_data ~n:200 prng in
+  let m = Linear_models.Logreg.train x y in
+  check_bool "logreg accuracy > 0.95" true (accuracy_of (Linear_models.predict m) x y > 0.95)
+
+let test_lda_separable () =
+  let prng = Prng.create 4 in
+  let x, y = separable_data ~n:200 prng in
+  let m = Linear_models.Lda.train x y in
+  check_bool "lda accuracy > 0.95" true (accuracy_of (Linear_models.predict m) x y > 0.95)
+
+let test_lda_needs_both_classes () =
+  check_bool "raises" true
+    (try
+       ignore (Linear_models.Lda.train [| [| 1. |] |] [| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- pipeline ---------------- *)
+
+let test_pipeline_train_predict () =
+  let prng = Prng.create 5 in
+  let x, y = separable_data ~n:200 prng in
+  let p = Pipeline.train ~prng x y in
+  check_bool "pipeline accuracy > 0.95" true (accuracy_of (Pipeline.predict p) x y > 0.95)
+
+let test_effective_weights_linear () =
+  (* score(x1) − score(x2) must equal effective_weights · (x1 − x2) *)
+  let prng = Prng.create 6 in
+  let x, y = separable_data ~n:120 prng in
+  let p = Pipeline.train ~prng x y in
+  let w = Pipeline.effective_weights p in
+  let x1 = [| 0.3; -0.2; 1.1 |] and x2 = [| -0.7; 0.4; 0.0 |] in
+  let lhs = Pipeline.score p x1 -. Pipeline.score p x2 in
+  let rhs = La.dot w (La.sub x1 x2) in
+  check_bool "weights explain the score" true (abs_float (lhs -. rhs) < 1e-6)
+
+let test_cross_validate () =
+  let prng = Prng.create 7 in
+  let x, y = separable_data ~n:150 prng in
+  let r = Pipeline.cross_validate ~repeats:5 ~prng ~algo:Pipeline.Svm x y in
+  check_bool "cv accuracy high on separable data" true (r.Pipeline.accuracy > 0.9);
+  check_bool "metrics in [0,1]" true
+    (List.for_all
+       (fun v -> v >= 0.0 && v <= 1.0)
+       [ r.Pipeline.accuracy; r.Pipeline.precision; r.Pipeline.recall; r.Pipeline.f1 ])
+
+let test_select_model () =
+  let prng = Prng.create 8 in
+  let x, y = separable_data ~n:100 prng in
+  let _best, reports = Pipeline.select_model ~prng x y in
+  check_int "three algorithms compared" 3 (List.length reports)
+
+let prop_standardize_zero_mean =
+  QCheck.Test.make ~name:"standardize: transformed mean ≈ 0" ~count:30
+    (QCheck.int_range 2 40)
+    (fun n ->
+      let prng = Prng.create n in
+      let x = Array.init n (fun _ -> [| Prng.float_range prng (-5.) 5. |]) in
+      let s = Preprocess.Standardize.fit x in
+      let xt = Preprocess.Standardize.transform_all s x in
+      let mean = Array.fold_left (fun a r -> a +. r.(0)) 0.0 xt /. float_of_int n in
+      abs_float mean < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "la: dot and norm" `Quick test_dot_norm;
+    Alcotest.test_case "la: matvec/transpose" `Quick test_matvec_transpose;
+    Alcotest.test_case "la: matrix multiply" `Quick test_mat_mul;
+    Alcotest.test_case "la: covariance" `Quick test_covariance;
+    Alcotest.test_case "la: jacobi eigen" `Quick test_jacobi;
+    Alcotest.test_case "la: linear solve" `Quick test_solve_linear;
+    Alcotest.test_case "la: singular detection" `Quick test_solve_singular;
+    Alcotest.test_case "preprocess: standardize" `Quick test_standardize;
+    Alcotest.test_case "preprocess: pca" `Quick test_pca_reduces;
+    Alcotest.test_case "svm on separable data" `Quick test_svm_separable;
+    Alcotest.test_case "logreg on separable data" `Quick test_logreg_separable;
+    Alcotest.test_case "lda on separable data" `Quick test_lda_separable;
+    Alcotest.test_case "lda input validation" `Quick test_lda_needs_both_classes;
+    Alcotest.test_case "pipeline: train/predict" `Quick test_pipeline_train_predict;
+    Alcotest.test_case "pipeline: effective weights" `Quick test_effective_weights_linear;
+    Alcotest.test_case "pipeline: cross-validation" `Quick test_cross_validate;
+    Alcotest.test_case "pipeline: model selection" `Quick test_select_model;
+    QCheck_alcotest.to_alcotest prop_standardize_zero_mean;
+  ]

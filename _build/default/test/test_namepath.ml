@@ -1,0 +1,171 @@
+(* Tests for the AST+ transformation and the name-path abstraction,
+   anchored on the paper's Figure 2 and Examples 3.3/3.5. *)
+
+module Tree = Namer_tree.Tree
+module Astplus = Namer_namepath.Astplus
+module Namepath = Namer_namepath.Namepath
+module Origins = Namer_namepath.Origins
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let figure2_stmt () =
+  (* self.assertTrue(picture.rotate_angle, 90) *)
+  Tree.node "Call"
+    [
+      Tree.node "AttributeLoad"
+        [
+          Tree.node "NameLoad" [ Tree.leaf "self" ];
+          Tree.node "Attr" [ Tree.leaf "assertTrue" ];
+        ];
+      Tree.node "AttributeLoad"
+        [
+          Tree.node "NameLoad" [ Tree.leaf "picture" ];
+          Tree.node "Attr" [ Tree.leaf "rotate_angle" ];
+        ];
+      Tree.node "Num" [ Tree.leaf "90" ];
+    ]
+
+let figure2_origins =
+  Origins.of_alists ~vars:[ ("self", "TestCase") ] ()
+
+let figure2_plus () = Astplus.transform ~origins:figure2_origins (figure2_stmt ())
+
+let test_figure2_astplus () =
+  check_str "figure 2(c)"
+    "(NumArgs(2) (Call (AttributeLoad (NameLoad (NumST(1) (TestCase self))) (Attr (NumST(2) (TestCase assert) (TestCase True)))) (AttributeLoad (NameLoad (NumST(1) picture)) (Attr (NumST(2) rotate angle))) (Num (NumST(1) NUM))))"
+    (Tree.to_sexp (figure2_plus ()))
+
+let test_figure2_name_paths () =
+  let paths = Namepath.extract (figure2_plus ()) |> List.map Namepath.to_string in
+  let expect =
+    [
+      "NumArgs(2) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(1) 0 TestCase 0 self";
+      "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 0 TestCase 0 assert";
+      "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 True";
+      "NumArgs(2) 0 Call 1 AttributeLoad 0 NameLoad 0 NumST(1) 0 picture";
+      "NumArgs(2) 0 Call 1 AttributeLoad 1 Attr 0 NumST(2) 0 rotate";
+      "NumArgs(2) 0 Call 1 AttributeLoad 1 Attr 0 NumST(2) 1 angle";
+      "NumArgs(2) 0 Call 2 Num 0 NumST(1) 0 NUM";
+    ]
+  in
+  Alcotest.(check (list string)) "figure 2(d)" expect paths
+
+let test_no_analysis_undecorated () =
+  let plus = Astplus.transform ~origins:Origins.none (figure2_stmt ()) in
+  check_str "w/o A: no origin nodes"
+    "(NumArgs(2) (Call (AttributeLoad (NameLoad (NumST(1) self)) (Attr (NumST(2) assert True))) (AttributeLoad (NameLoad (NumST(1) picture)) (Attr (NumST(2) rotate angle))) (Num (NumST(1) NUM))))"
+    (Tree.to_sexp plus)
+
+let test_literal_abstraction () =
+  let t = Tree.node "Assign" [ Tree.node "NameStore" [ Tree.leaf "x" ]; Tree.node "Str" [ Tree.leaf "hello world" ] ] in
+  let plus = Astplus.transform ~origins:Origins.none t in
+  check_str "strings become STR" "(Assign (NameStore (NumST(1) x)) (Str (NumST(1) STR)))"
+    (Tree.to_sexp plus)
+
+let test_numargs_on_def () =
+  let t =
+    Tree.node "FunctionDef"
+      [
+        Tree.node "FuncName" [ Tree.leaf "f" ];
+        Tree.node "NameParam" [ Tree.leaf "self" ];
+        Tree.node "DoubleStarParam" [ Tree.leaf "kwargs" ];
+      ]
+  in
+  let plus = Astplus.transform ~origins:Origins.none t in
+  check_bool "def arity counted" true (plus.Tree.value = "NumArgs(2)")
+
+let test_value_origin_decoration () =
+  (* Example 3.8's RHS: a variable of Str origin *)
+  let t =
+    Tree.node "Assign"
+      [
+        Tree.node "AttributeStore"
+          [ Tree.node "NameLoad" [ Tree.leaf "self" ]; Tree.node "Attr" [ Tree.leaf "name" ] ];
+        Tree.node "NameLoad" [ Tree.leaf "title" ];
+      ]
+  in
+  let origins = Origins.of_alists ~vars:[ ("title", "Str"); ("self", "Object") ] () in
+  let plus = Astplus.transform ~origins t in
+  check_str "store side undecorated, value side Str-decorated"
+    "(Assign (AttributeStore (NameLoad (NumST(1) (Object self))) (Attr (NumST(1) name))) (NameLoad (NumST(1) (Str title))))"
+    (Tree.to_sexp plus)
+
+let test_expr_origin () =
+  let o = Origins.of_alists ~vars:[ ("np", "numpy") ] ~calls:[ ("Picture", "Picture") ] () in
+  let name_load v = Tree.node "NameLoad" [ Tree.leaf v ] in
+  check_bool "var" true (Astplus.expr_origin o (name_load "np") = Some "numpy");
+  check_bool "literal" true
+    (Astplus.expr_origin o (Tree.node "Num" [ Tree.leaf "1" ]) = Some "Num");
+  check_bool "call via callee" true
+    (Astplus.expr_origin o (Tree.node "Call" [ name_load "Picture" ]) = Some "Picture");
+  check_bool "new" true
+    (Astplus.expr_origin o
+       (Tree.node "New" [ Tree.node "TypeRef" [ Tree.leaf "Intent" ] ])
+    = Some "Intent")
+
+(* ---------------- relational operators (Examples 3.3 / 3.5) -------- *)
+
+let np1 =
+  Namepath.of_string
+    "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 True"
+
+let np2 =
+  Namepath.of_string
+    "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 Equal"
+
+let np3 = Namepath.to_symbolic np1
+
+let test_example_3_5 () =
+  check_bool "np1 ∼ np2" true (Namepath.same_prefix np1 np2);
+  check_bool "np1 = np2 fails" false (Namepath.equal np1 np2);
+  check_bool "np1 ∼ np3" true (Namepath.same_prefix np1 np3);
+  check_bool "np1 = np3 (ϵ matches)" true (Namepath.equal np1 np3)
+
+let test_round_trip () =
+  let s = Namepath.to_string np1 in
+  check_str "to/of string round trip" s (Namepath.to_string (Namepath.of_string s));
+  let sym = Namepath.to_string np3 in
+  check_str "symbolic round trip" sym (Namepath.to_string (Namepath.of_string sym))
+
+let test_extract_limit () =
+  let wide =
+    Tree.node "Call" (List.init 20 (fun i -> Tree.node "NameLoad" [ Tree.leaf (Printf.sprintf "v%d" i) ]))
+  in
+  check_int "limit respected" 10 (List.length (Namepath.extract ~limit:10 wide));
+  check_int "custom limit" 3 (List.length (Namepath.extract ~limit:3 wide))
+
+let test_extract_distinct_prefixes () =
+  let paths = Namepath.extract (figure2_plus ()) in
+  let keys = List.map Namepath.prefix_key paths in
+  check_int "prefixes pairwise distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_extract_all_concrete () =
+  let paths = Namepath.extract (figure2_plus ()) in
+  check_bool "all concrete" true (List.for_all (fun p -> not (Namepath.is_symbolic p)) paths)
+
+let prop_extract_leaf_count =
+  QCheck.Test.make ~name:"namepath: ≤ min(leaves, limit) paths" ~count:100
+    (QCheck.int_range 1 15)
+    (fun n ->
+      let t = Tree.node "R" (List.init n (fun i -> Tree.leaf (string_of_int (i mod 3)))) in
+      List.length (Namepath.extract ~limit:10 t) <= min n 10)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2(c): AST+" `Quick test_figure2_astplus;
+    Alcotest.test_case "figure 2(d): name paths" `Quick test_figure2_name_paths;
+    Alcotest.test_case "w/o analysis: undecorated" `Quick test_no_analysis_undecorated;
+    Alcotest.test_case "literal abstraction" `Quick test_literal_abstraction;
+    Alcotest.test_case "NumArgs on definitions" `Quick test_numargs_on_def;
+    Alcotest.test_case "value origin decoration" `Quick test_value_origin_decoration;
+    Alcotest.test_case "expression origins" `Quick test_expr_origin;
+    Alcotest.test_case "example 3.5: relational ops" `Quick test_example_3_5;
+    Alcotest.test_case "serialization round trip" `Quick test_round_trip;
+    Alcotest.test_case "extraction limit" `Quick test_extract_limit;
+    Alcotest.test_case "distinct prefixes" `Quick test_extract_distinct_prefixes;
+    Alcotest.test_case "all extracted paths concrete" `Quick test_extract_all_concrete;
+    QCheck_alcotest.to_alcotest prop_extract_leaf_count;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for generic trees and the commit-diff matcher. *)
+
+module Tree = Namer_tree.Tree
+module Treediff = Namer_tree.Treediff
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let sample =
+  Tree.node "Call"
+    [
+      Tree.node "AttributeLoad"
+        [ Tree.node "NameLoad" [ Tree.leaf "self" ]; Tree.node "Attr" [ Tree.leaf "assertTrue" ] ];
+      Tree.node "Num" [ Tree.leaf "90" ];
+    ]
+
+let test_size_depth () =
+  check_int "size" 8 (Tree.size sample);
+  check_int "depth" 4 (Tree.depth sample);
+  check_int "leaf size" 1 (Tree.size (Tree.leaf "x"));
+  check_int "leaf depth" 1 (Tree.depth (Tree.leaf "x"))
+
+let test_leaves () =
+  Alcotest.(check (list string)) "in order" [ "self"; "assertTrue"; "90" ]
+    (Tree.leaves sample)
+
+let test_sexp () =
+  check_str "rendering"
+    "(Call (AttributeLoad (NameLoad self) (Attr assertTrue)) (Num 90))"
+    (Tree.to_sexp sample)
+
+let test_equal_hash () =
+  let copy =
+    Tree.node "Call"
+      [
+        Tree.node "AttributeLoad"
+          [ Tree.node "NameLoad" [ Tree.leaf "self" ]; Tree.node "Attr" [ Tree.leaf "assertTrue" ] ];
+        Tree.node "Num" [ Tree.leaf "90" ];
+      ]
+  in
+  check_bool "structural equality" true (Tree.equal sample copy);
+  check_int "equal trees hash equal" (Tree.hash sample) (Tree.hash copy);
+  let other = Tree.node "Call" [ Tree.leaf "x" ] in
+  check_bool "different trees differ" false (Tree.equal sample other)
+
+let test_fold_find () =
+  let n_nodes = Tree.fold (fun acc _ -> acc + 1) 0 sample in
+  check_int "fold visits all" 8 n_nodes;
+  let nums = Tree.find_all (fun n -> n.Tree.value = "Num") sample in
+  check_int "find_all" 1 (List.length nums)
+
+let test_map_values () =
+  let upper = Tree.map_values String.uppercase_ascii sample in
+  check_str "root renamed" "CALL" upper.Tree.value;
+  Alcotest.(check (list string)) "leaves renamed" [ "SELF"; "ASSERTTRUE"; "90" ]
+    (Tree.leaves upper)
+
+(* ---------------- Treediff ---------------- *)
+
+let stmt name =
+  Tree.node "Assign"
+    [
+      Tree.node "NameStore" [ Tree.leaf name ];
+      Tree.node "Num" [ Tree.leaf "1" ];
+    ]
+
+let module_ stmts = Tree.node "Module" stmts
+
+let test_diff_identical () =
+  let m = module_ [ stmt "a"; stmt "b" ] in
+  Alcotest.(check (list (pair string string))) "no renames" []
+    (Treediff.renamed_leaves m m)
+
+let test_diff_single_rename () =
+  let before = module_ [ stmt "counter"; stmt "other" ] in
+  let after = module_ [ stmt "count"; stmt "other" ] in
+  Alcotest.(check (list (pair string string))) "one rename" [ ("counter", "count") ]
+    (Treediff.renamed_leaves before after)
+
+let test_diff_with_insertion () =
+  let before = module_ [ stmt "a"; stmt "victim" ] in
+  let after = module_ [ stmt "a"; stmt "inserted"; stmt "victim" ] in
+  (* alignment should match the unchanged statements; the insertion is not a
+     rename of "victim" *)
+  let renames = Treediff.renamed_leaves before after in
+  check_bool "victim not renamed" true
+    (not (List.exists (fun (a, _) -> a = "victim") renames))
+
+let test_confusing_pairs_subtoken () =
+  let before = module_ [ stmt "assertTrue" ] in
+  let after = module_ [ stmt "assertEqual" ] in
+  Alcotest.(check (list (pair string string))) "subtoken-level pair"
+    [ ("True", "Equal") ]
+    (Treediff.confusing_subtoken_pairs before after)
+
+let test_confusing_pairs_multi_diff_excluded () =
+  (* two differing subtokens: not a confusing pair *)
+  let before = module_ [ stmt "fooBar" ] in
+  let after = module_ [ stmt "bazQux" ] in
+  Alcotest.(check (list (pair string string))) "excluded" []
+    (Treediff.confusing_subtoken_pairs before after)
+
+let test_confusing_pairs_length_mismatch_excluded () =
+  let before = module_ [ stmt "progDialog" ] in
+  let after = module_ [ stmt "dialog" ] in
+  Alcotest.(check (list (pair string string))) "length mismatch excluded" []
+    (Treediff.confusing_subtoken_pairs before after)
+
+let test_confusing_pairs_abbreviation () =
+  let before = module_ [ stmt "progDialog" ] in
+  let after = module_ [ stmt "progressDialog" ] in
+  Alcotest.(check (list (pair string string))) "abbreviation pair"
+    [ ("prog", "progress") ]
+    (Treediff.confusing_subtoken_pairs before after)
+
+let tree_gen =
+  (* random small trees over a tiny vocabulary *)
+  let open QCheck.Gen in
+  let leaf_value = oneofl [ "a"; "b"; "c"; "x" ] in
+  let node_value = oneofl [ "N"; "M" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map Tree.leaf leaf_value
+      else
+        frequency
+          [
+            (1, map Tree.leaf leaf_value);
+            (2, map2 Tree.node node_value (list_size (int_range 1 3) (self (depth - 1))));
+          ])
+    3
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"treediff: t vs t has no renames" ~count:100
+    (QCheck.make tree_gen)
+    (fun t -> Treediff.renamed_leaves t t = [])
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"tree: equal implies same hash" ~count:100
+    (QCheck.make (QCheck.Gen.pair tree_gen tree_gen))
+    (fun (a, b) -> (not (Tree.equal a b)) || Tree.hash a = Tree.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "size and depth" `Quick test_size_depth;
+    Alcotest.test_case "leaves in order" `Quick test_leaves;
+    Alcotest.test_case "s-expression rendering" `Quick test_sexp;
+    Alcotest.test_case "equality and hashing" `Quick test_equal_hash;
+    Alcotest.test_case "fold and find_all" `Quick test_fold_find;
+    Alcotest.test_case "map_values" `Quick test_map_values;
+    Alcotest.test_case "diff: identical trees" `Quick test_diff_identical;
+    Alcotest.test_case "diff: single rename" `Quick test_diff_single_rename;
+    Alcotest.test_case "diff: insertion aligned" `Quick test_diff_with_insertion;
+    Alcotest.test_case "pairs: subtoken level" `Quick test_confusing_pairs_subtoken;
+    Alcotest.test_case "pairs: multi-diff excluded" `Quick test_confusing_pairs_multi_diff_excluded;
+    Alcotest.test_case "pairs: length mismatch excluded" `Quick
+      test_confusing_pairs_length_mismatch_excluded;
+    Alcotest.test_case "pairs: abbreviation" `Quick test_confusing_pairs_abbreviation;
+    QCheck_alcotest.to_alcotest prop_diff_self_empty;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+  ]

@@ -1,0 +1,70 @@
+(* Tests for the simulated user study (Tables 7–8). *)
+
+module Userstudy = Namer_userstudy.Userstudy
+module Issue = Namer_corpus.Issue
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let total (t : Userstudy.tally) =
+  t.Userstudy.not_accepted + t.Userstudy.with_ide + t.Userstudy.with_pr
+  + t.Userstudy.manually
+
+let test_panel_size () =
+  check_int "seven developers" 7 (List.length Userstudy.panel)
+
+let test_tally_sums () =
+  List.iteri
+    (fun i cat ->
+      check_int "every developer responds" 7 (total (Userstudy.run ~seed:(100 + i) cat)))
+    Userstudy.categories
+
+let test_deterministic () =
+  let a = Userstudy.run ~seed:5 Issue.Typo and b = Userstudy.run ~seed:5 Issue.Typo in
+  check_bool "same seed, same tally" true (a = b)
+
+let test_categories_cover_table4 () =
+  check_int "five categories as in Table 8" 5 (List.length Userstudy.categories)
+
+let test_paper_trends () =
+  (* aggregate many simulated studies; check the paper's qualitative
+     trends rather than single-draw noise *)
+  let sum_of cat f =
+    let s = ref 0 in
+    for seed = 0 to 49 do
+      s := !s + f (Userstudy.run ~seed cat)
+    done;
+    !s
+  in
+  let manual = sum_of Issue.Typo (fun t -> t.Userstudy.manually) in
+  let manual_minor = sum_of Issue.Minor_issue (fun t -> t.Userstudy.manually) in
+  check_bool "typos fixed manually more often than minor issues" true
+    (manual > manual_minor);
+  let rejected_confusing = sum_of Issue.Confusing_name (fun t -> t.Userstudy.not_accepted) in
+  let rejected_minor = sum_of Issue.Minor_issue (fun t -> t.Userstudy.not_accepted) in
+  check_bool "minor issues rejected more than confusing names" true
+    (rejected_minor > rejected_confusing);
+  let pr_inconsistent = sum_of Issue.Inconsistent_name (fun t -> t.Userstudy.with_pr) in
+  let ide_inconsistent = sum_of Issue.Inconsistent_name (fun t -> t.Userstudy.with_ide) in
+  check_bool "inconsistent names go through review" true (pr_inconsistent > ide_inconsistent)
+
+let test_response_names () =
+  check_bool "labels distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map Userstudy.response_name
+             [
+               Userstudy.Not_accepted; Userstudy.With_ide_plugin;
+               Userstudy.With_pull_request; Userstudy.Fix_manually;
+             ]))
+    = 4)
+
+let suite =
+  [
+    Alcotest.test_case "panel size" `Quick test_panel_size;
+    Alcotest.test_case "tallies sum to panel" `Quick test_tally_sums;
+    Alcotest.test_case "determinism" `Quick test_deterministic;
+    Alcotest.test_case "category coverage" `Quick test_categories_cover_table4;
+    Alcotest.test_case "paper trends hold" `Quick test_paper_trends;
+    Alcotest.test_case "response labels" `Quick test_response_names;
+  ]
