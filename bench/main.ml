@@ -7,17 +7,49 @@
      dune exec bench/main.exe -- --perf       # micro-benchmarks only
      dune exec bench/main.exe -- --no-nn      # skip the GGNN/Great baselines
      dune exec bench/main.exe -- --sweeps     # add feature/threshold ablations
+     dune exec bench/main.exe -- --telemetry  # per-stage pipeline cost →
+                                              # BENCH_pipeline.json
 
    Expected-vs-measured numbers are catalogued in EXPERIMENTS.md. *)
 
 module Corpus = Namer_corpus.Corpus
 module Namer = Namer_core.Namer
+module Telemetry = Namer_telemetry.Telemetry
+
+(* Instrumented end-to-end build on a 15-repo Python corpus: prints the
+   per-stage cost table and writes stage → {wall_ms, alloc_mb, count} to
+   BENCH_pipeline.json, the machine-readable trajectory file that perf PRs
+   compare against. *)
+let telemetry_bench () =
+  print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
+  Telemetry.reset ();
+  Telemetry.set_sink Telemetry.Memory;
+  let corpus =
+    Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 15 }
+  in
+  let t = Namer.build Namer.default_config corpus in
+  Printf.printf "corpus: %d files → %d patterns, %d violations\n\n"
+    (List.length corpus.Corpus.files)
+    (Namer_pattern.Pattern.Store.size t.Namer.store)
+    (Array.length t.Namer.violations);
+  print_string (Telemetry.stage_table ());
+  let path = "BENCH_pipeline.json" in
+  let oc = open_out path in
+  output_string oc
+    (Namer_util.Json.to_string ~indent:2 (Telemetry.stages_json ()));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote per-stage wall_ms/alloc_mb/count to %s\n" path
 
 let () =
   let args = Array.to_list Sys.argv in
   let flag f = List.mem f args in
   let quick = flag "--quick" in
   let scale = if quick then Exp.Quick else Exp.Full in
+  if flag "--telemetry" then begin
+    telemetry_bench ();
+    exit 0
+  end;
   if flag "--perf" then begin
     Perf.run ();
     Perf.k_sweep ();

@@ -6,16 +6,98 @@
                        report the violations found in the same directory
                        (self-mining mode — the paper's "w/o C" pipeline,
                        since real directories carry no labeled data);
-   - [namer demo]      one-paragraph end-to-end demonstration.
+   - [namer demo]      one-paragraph end-to-end demonstration;
+   - [namer stats]     dump the metric registry persisted by the last
+                       [--metrics]/[--trace] run as JSON.
+
+   Reports go to stdout; progress and telemetry go to stderr, so stdout
+   stays machine-parseable (e.g. [namer scan --json ... | jq]).
 
    Example:
      namer generate --lang python --repos 20 --out /tmp/bigcode
-     namer scan --lang python /tmp/bigcode *)
+     namer scan --lang python --metrics --trace trace.json /tmp/bigcode *)
 
 open Cmdliner
 module Corpus = Namer_corpus.Corpus
 module Namer = Namer_core.Namer
 module Pattern = Namer_pattern.Pattern
+module Telemetry = Namer_telemetry.Telemetry
+
+let progress fmt = Telemetry.progressf fmt
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+(* ---------------- telemetry plumbing ---------------- *)
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable telemetry and print the per-stage cost table and \
+               counters to stderr after the run.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json"
+         ~doc:"Enable telemetry and write a Chrome trace_event JSON timeline \
+               to $(docv) (load it in chrome://tracing or Perfetto).")
+
+(** Where [namer stats] finds the last run's metric registry. *)
+let default_stats_path () =
+  let base =
+    match Sys.getenv_opt "XDG_STATE_HOME" with
+    | Some d when d <> "" -> d
+    | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Filename.concat h ".local/state"
+        | _ -> Filename.get_temp_dir_name ())
+  in
+  Filename.concat (Filename.concat base "namer") "last_metrics.json"
+
+(** Switch telemetry on if any telemetry flag was given.  Returns the
+    finalizer to run once the pipeline is done: prints the stage table and
+    counters (with [--metrics]), writes the Chrome trace (with [--trace]),
+    and persists the metric registry for [namer stats]. *)
+let telemetry_setup ~metrics ~trace =
+  let enabled = metrics || trace <> None in
+  if enabled then begin
+    Telemetry.reset ();
+    Telemetry.set_sink Telemetry.Memory
+  end;
+  fun () ->
+    if enabled then begin
+      if metrics then begin
+        prerr_newline ();
+        prerr_string (Telemetry.stage_table ());
+        prerr_newline ();
+        List.iter
+          (fun (k, v) -> Printf.eprintf "  %-28s %d\n" k v)
+          (Telemetry.counters ());
+        (match Telemetry.histogram "parse_ms_per_file" with
+        | Some s ->
+            Printf.eprintf
+              "  %-28s n=%d mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms\n"
+              "parse_ms_per_file" s.Telemetry.n s.Telemetry.mean s.Telemetry.p50
+              s.Telemetry.p90 s.Telemetry.p99
+        | None -> ());
+        flush stderr
+      end;
+      (match trace with
+      | Some path -> (
+          try
+            Telemetry.write_chrome_trace ~path;
+            progress "wrote Chrome trace to %s" path
+          with Sys_error e ->
+            progress "error: cannot write Chrome trace: %s" e;
+            exit 1)
+      | None -> ());
+      let stats_path = default_stats_path () in
+      (try
+         mkdir_p (Filename.dirname stats_path);
+         Telemetry.write_metrics ~path:stats_path
+       with Sys_error _ -> ())
+    end
 
 let lang_conv =
   let parse = function
@@ -32,12 +114,6 @@ let lang_arg =
 
 (* ---------------- generate ---------------- *)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    Sys.mkdir dir 0o755
-  end
-
 let generate lang repos seed out =
   let cfg = { (Corpus.default_config lang) with Corpus.n_repos = repos; seed } in
   let corpus = Corpus.generate cfg in
@@ -49,7 +125,7 @@ let generate lang repos seed out =
       output_string oc f.Corpus.source;
       close_out oc)
     corpus.Corpus.files;
-  Printf.printf "wrote %d %s files (%d injected issues) under %s\n"
+  progress "wrote %d %s files (%d injected issues) under %s"
     (List.length corpus.Corpus.files)
     (Corpus.lang_name lang)
     (List.length corpus.Corpus.injections)
@@ -83,7 +159,9 @@ let rec walk_files dir =
          let path = Filename.concat dir entry in
          if Sys.is_directory path then walk_files path else [ path ])
 
-let scan lang dir max_reports save_patterns load_patterns apply_fixes json =
+let scan lang dir max_reports save_patterns load_patterns apply_fixes json metrics
+    trace =
+  let finish_telemetry = telemetry_setup ~metrics ~trace in
   let ext = match lang with Corpus.Python -> ".py" | Corpus.Java -> ".java" in
   let files =
     walk_files dir
@@ -96,14 +174,11 @@ let scan lang dir max_reports save_patterns load_patterns apply_fixes json =
            })
   in
   if files = [] then begin
-    Printf.eprintf "no %s files under %s\n" ext dir;
+    progress "no %s files under %s" ext dir;
     exit 1
   end;
-  let progress fmt =
-    (* progress goes to stderr so --json leaves stdout machine-readable *)
-    Printf.eprintf fmt
-  in
-  progress "scanning %d files…\n%!" (List.length files);
+  (* progress goes to stderr so --json leaves stdout machine-readable *)
+  progress "scanning %d files…" (List.length files);
   let corpus =
     {
       Corpus.lang;
@@ -134,9 +209,9 @@ let scan lang dir max_reports save_patterns load_patterns apply_fixes json =
   (match save_patterns with
   | Some path ->
       Namer_pattern.Pattern_io.save t.Namer.store ~path;
-      progress "saved %d patterns to %s\n" (Pattern.Store.size t.Namer.store) path
+      progress "saved %d patterns to %s" (Pattern.Store.size t.Namer.store) path
   | None -> ());
-  progress "mined %d patterns; %d potential naming issues\n\n"
+  progress "mined %d patterns; %d potential naming issues"
     (Pattern.Store.size t.Namer.store)
     (Array.length t.Namer.violations);
   (if json then begin
@@ -208,9 +283,9 @@ let scan lang dir max_reports save_patterns load_patterns apply_fixes json =
           close_out oc
         end)
       by_file;
-    Printf.printf "\napplied %d fixes in place (%d skipped as ambiguous)\n" !applied
-      !skipped
-  end
+    progress "applied %d fixes in place (%d skipped as ambiguous)" !applied !skipped
+  end;
+  finish_telemetry ()
 
 let scan_cmd =
   let dir =
@@ -238,14 +313,15 @@ let scan_cmd =
   Cmd.v
     (Cmd.info "scan" ~doc:"Mine patterns from a source directory and report violations.")
     Term.(const scan $ lang_arg $ dir $ max_reports $ save_patterns $ load_patterns
-          $ apply_fixes $ json)
+          $ apply_fixes $ json $ metrics_arg $ trace_arg)
 
 (* ---------------- demo ---------------- *)
 
-let demo () =
+let demo repos metrics trace =
+  let finish_telemetry = telemetry_setup ~metrics ~trace in
   let corpus =
     Corpus.generate
-      { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 25 }
+      { (Corpus.default_config Corpus.Python) with Corpus.n_repos = repos }
   in
   let t = Namer.build Namer.default_config corpus in
   let o = Namer.evaluate ~n:300 t in
@@ -256,15 +332,50 @@ let demo () =
     (Pattern.Store.size t.Namer.store)
     (Array.length t.Namer.violations)
     o.Namer.n_reports o.Namer.semantic o.Namer.quality o.Namer.false_pos
-    (Namer_util.Tablefmt.pct (Namer.precision o))
+    (Namer_util.Tablefmt.pct (Namer.precision o));
+  finish_telemetry ()
 
 let demo_cmd =
+  let repos =
+    Arg.(value & opt int 25 & info [ "repos" ] ~docv:"N"
+           ~doc:"Number of synthetic repositories to generate.")
+  in
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end demonstration on a synthetic corpus.")
-    Term.(const demo $ const ())
+    Term.(const demo $ repos $ metrics_arg $ trace_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats file =
+  let path = Option.value file ~default:(default_stats_path ()) in
+  if not (Sys.file_exists path) then begin
+    progress
+      "no metric registry at %s — run `namer scan --metrics` or `namer demo \
+       --metrics` first"
+      path;
+    exit 1
+  end;
+  let content = read_file path in
+  (* validate before echoing, so downstream tooling can trust the output *)
+  match Namer_util.Json.parse content with
+  | Ok _ -> print_string content
+  | Error msg ->
+      progress "corrupt metric registry %s: %s" path msg;
+      exit 1
+
+let stats_cmd =
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Read the metric registry from $(docv) instead of the default \
+                 state path.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dump the last telemetry-enabled run's metric registry as JSON.")
+    Term.(const stats $ file)
 
 let () =
   let info =
     Cmd.info "namer" ~version:"1.0.0"
       ~doc:"Finding naming issues with Big Code and small supervision (PLDI 2021 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; scan_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; scan_cmd; demo_cmd; stats_cmd ]))

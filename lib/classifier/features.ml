@@ -46,6 +46,7 @@ module Agg = struct
 
   (** Record one scanned statement (for identical-statement counts). *)
   let add_stmt t (s : stmt_ctx) =
+    Namer_telemetry.Telemetry.count "agg.stmts";
     bump t.identical_file (s.file, s.tree_hash);
     bump t.identical_repo (s.repo, s.tree_hash)
 
@@ -62,6 +63,7 @@ module Agg = struct
     match rel with
     | Pattern.No_match -> ()
     | _ ->
+        Namer_telemetry.Telemetry.count "agg.pattern_matches";
         let update c =
           c.matches <- c.matches + 1;
           match rel with

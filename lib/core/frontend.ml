@@ -3,6 +3,7 @@
 
 module Tree = Namer_tree.Tree
 module Origins = Namer_namepath.Origins
+module Telemetry = Namer_telemetry.Telemetry
 
 (** One program statement, ready for AST+ transformation. *)
 type stmt = {
@@ -30,12 +31,14 @@ let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string)
   match lang with
   | Namer_corpus.Corpus.Python ->
       let m =
+        Telemetry.with_span ~record_ms:"parse_ms_per_file" "parse" @@ fun () ->
         try Namer_pylang.Py_parser.parse_module source with
         | Namer_pylang.Py_parser.Parse_error (msg, line) ->
             raise (Frontend_error (Printf.sprintf "python parse error L%d: %s" line msg))
         | Namer_pylang.Py_lexer.Lex_error (msg, line) ->
             raise (Frontend_error (Printf.sprintf "python lex error L%d: %s" line msg))
       in
+      Telemetry.count "frontend.files_parsed";
       let stmts =
         Namer_pylang.Py_lower.lower_stmts m
         |> List.map (fun (s : Namer_pylang.Py_lower.stmt_info) ->
@@ -48,7 +51,10 @@ let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string)
       in
       let origins =
         if use_analysis then begin
-          let analysis = Namer_analysis.Py_analysis.analyze m in
+          let analysis =
+            Telemetry.with_span "analyze" @@ fun () ->
+            Namer_analysis.Py_analysis.analyze m
+          in
           fun ~cls ~fn -> Namer_analysis.Py_analysis.origins_for analysis ~cls ~fn
         end
         else fun ~cls:_ ~fn:_ -> Origins.none
@@ -56,12 +62,14 @@ let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string)
       { stmts; origins }
   | Namer_corpus.Corpus.Java ->
       let u =
+        Telemetry.with_span ~record_ms:"parse_ms_per_file" "parse" @@ fun () ->
         try Namer_javalang.Java_parser.parse_compilation_unit source with
         | Namer_javalang.Java_parser.Parse_error (msg, line) ->
             raise (Frontend_error (Printf.sprintf "java parse error L%d: %s" line msg))
         | Namer_javalang.Java_lexer.Lex_error (msg, line) ->
             raise (Frontend_error (Printf.sprintf "java lex error L%d: %s" line msg))
       in
+      Telemetry.count "frontend.files_parsed";
       let stmts =
         Namer_javalang.Java_lower.lower_unit u
         |> List.map (fun (s : Namer_javalang.Java_lower.stmt_info) ->
@@ -74,7 +82,10 @@ let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string)
       in
       let origins =
         if use_analysis then begin
-          let analysis = Namer_analysis.Java_analysis.analyze u in
+          let analysis =
+            Telemetry.with_span "analyze" @@ fun () ->
+            Namer_analysis.Java_analysis.analyze u
+          in
           fun ~cls ~fn -> Namer_analysis.Java_analysis.origins_for analysis ~cls ~fn
         end
         else fun ~cls:_ ~fn:_ -> Origins.none

@@ -26,6 +26,7 @@ module Confusing_pairs = Namer_mining.Confusing_pairs
 module Features = Namer_classifier.Features
 module Corpus = Namer_corpus.Corpus
 module Prng = Namer_util.Prng
+module Telemetry = Namer_telemetry.Telemetry
 
 type config = {
   use_analysis : bool;
@@ -114,13 +115,23 @@ module Log = (val Logs.src_log log)
 let digest_file ~cfg ~lang ~(file : Corpus.file) : scanned_stmt list =
   match Frontend.parse_file_opt lang ~use_analysis:cfg.use_analysis file.Corpus.source with
   | None ->
+      Telemetry.count "frontend.files_skipped";
       Log.warn (fun m -> m "skipping unparseable file %s" file.Corpus.path);
       []
   | Some parsed ->
+      (* AST+ transformation (origin decoration), then name-path extraction —
+         two per-file passes so each gets its own telemetry stage *)
+      let trees =
+        Telemetry.with_span "astplus" @@ fun () ->
+        List.map
+          (fun (s : Frontend.stmt) ->
+            let origins = parsed.Frontend.origins ~cls:s.cls ~fn:s.fn in
+            (s, Namer_namepath.Astplus.transform ~origins s.tree))
+          parsed.Frontend.stmts
+      in
+      Telemetry.with_span "namepaths" @@ fun () ->
       List.map
-        (fun (s : Frontend.stmt) ->
-          let origins = parsed.Frontend.origins ~cls:s.cls ~fn:s.fn in
-          let ast_plus = Namer_namepath.Astplus.transform ~origins s.tree in
+        (fun ((s : Frontend.stmt), ast_plus) ->
           let digest =
             Pattern.Stmt_paths.of_tree ~limit:cfg.miner.Miner.max_stmt_paths ast_plus
           in
@@ -135,7 +146,7 @@ let digest_file ~cfg ~lang ~(file : Corpus.file) : scanned_stmt list =
             line = s.line;
             digest;
           })
-        parsed.Frontend.stmts
+        trees
 
 (* ------------------------------------------------------------------ *)
 (* Building the system                                                 *)
@@ -229,18 +240,24 @@ let train_classifier ~(cfg : config) ~prng ~(violations : violation array) ~grad
     short-circuits mining with a pre-mined store (e.g. loaded from disk via
     {!Namer_pattern.Pattern_io}) — the mine-once / scan-many workflow. *)
 let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
+  Telemetry.with_span "build" @@ fun () ->
   let lang = corpus.Corpus.lang in
   let prng = Prng.create cfg.seed in
   (* 1. digest every file *)
   let stmts =
     List.concat_map (fun file -> digest_file ~cfg ~lang ~file) corpus.Corpus.files
   in
+  Telemetry.count ~by:(List.length stmts) "build.statements_digested";
   Log.info (fun m -> m "digested %d statements" (List.length stmts));
   (* 2. confusing word pairs from history *)
-  let pairs = mine_pairs ~cfg ~lang corpus in
+  let pairs =
+    Telemetry.with_span "pair-mining" @@ fun () -> mine_pairs ~cfg ~lang corpus
+  in
+  Telemetry.count ~by:(Confusing_pairs.total_pairs pairs) "build.confusing_pairs";
   Log.info (fun m -> m "mined %d confusing pairs" (Confusing_pairs.total_pairs pairs));
   (* 3. mine both pattern types (unless a store was supplied) *)
   let store, n_candidates =
+    Telemetry.with_span "pattern-mining" @@ fun () ->
     match patterns with
     | Some store -> (store, 0)
     | None ->
@@ -264,27 +281,31 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
           consistency.Miner.n_candidates + confusing.Miner.n_candidates
           + ordering.Miner.n_candidates )
   in
+  Telemetry.count ~by:n_candidates "build.pattern_candidates";
+  Telemetry.count ~by:(Pattern.Store.size store) "build.patterns_kept";
   Log.info (fun m -> m "kept %d patterns" (Pattern.Store.size store));
   (* 4. scan: aggregates + violations *)
   let agg = Features.Agg.create () in
   let violations = ref [] in
   let violating_files = Hashtbl.create 64 and violating_repos = Hashtbl.create 64 in
-  List.iter
-    (fun s ->
-      Features.Agg.add_stmt agg s.sctx;
-      Pattern.Store.candidates store s.digest
-      |> List.iter (fun (p : Pattern.t) ->
-             let rel = Pattern.check p s.digest in
-             Features.Agg.add_outcome agg s.sctx ~pattern_id:p.id rel;
-             match rel with
-             | Pattern.Violated info ->
-                 Hashtbl.replace violating_files s.sctx.Features.file ();
-                 Hashtbl.replace violating_repos s.sctx.Features.repo ();
-                 violations :=
-                   { v_stmt = s; v_pattern = p; v_info = info; v_features = [||] }
-                   :: !violations
-             | _ -> ()))
-    stmts;
+  Telemetry.with_span "scan" (fun () ->
+      List.iter
+        (fun s ->
+          Features.Agg.add_stmt agg s.sctx;
+          Pattern.Store.candidates store s.digest
+          |> List.iter (fun (p : Pattern.t) ->
+                 let rel = Pattern.check p s.digest in
+                 Features.Agg.add_outcome agg s.sctx ~pattern_id:p.id rel;
+                 match rel with
+                 | Pattern.Violated info ->
+                     Hashtbl.replace violating_files s.sctx.Features.file ();
+                     Hashtbl.replace violating_repos s.sctx.Features.repo ();
+                     violations :=
+                       { v_stmt = s; v_pattern = p; v_info = info; v_features = [||] }
+                       :: !violations
+                 | _ -> ()))
+        stmts);
+  Telemetry.count ~by:(List.length !violations) "build.violations_raw";
   (* Deduplicate: subset-condition variants of one rule all fire on the same
      statement with the same fix; a user sees one report per
      (statement, offending name, suggestion, pattern type).  Keep the variant
@@ -318,21 +339,28 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
              (b.v_stmt.sctx.Features.file, b.v_stmt.line, b.v_info.Pattern.offending_prefix))
     |> Array.of_list
   in
+  Telemetry.count ~by:(Array.length violations) "build.violations_deduped";
   Log.info (fun m -> m "triggered %d violations (deduplicated)" (Array.length violations));
   (* 5. features *)
-  Array.iter
-    (fun v -> v.v_features <- Features.extract agg pairs v.v_stmt.sctx v.v_pattern v.v_info)
-    violations;
+  Telemetry.with_span "features" (fun () ->
+      Array.iter
+        (fun v ->
+          v.v_features <- Features.extract agg pairs v.v_stmt.sctx v.v_pattern v.v_info)
+        violations);
   (* 6. small supervision: balanced labeled sample, graded by the oracle
      (standing in for the paper's manual labeling). *)
-  let oracle = Corpus.Oracle.of_corpus corpus in
-  let grade_v (v : violation) =
-    Corpus.Oracle.grade oracle ~file:v.v_stmt.sctx.Features.file ~line:v.v_stmt.line
-      ~found:v.v_info.Pattern.found ~suggested:v.v_info.Pattern.suggested
-      ~symmetric:(v.v_pattern.Pattern.kind = Pattern.Consistency)
-  in
-  let classifier, cv_reports, training_set =
-    train_classifier ~cfg ~prng ~violations ~grade_v
+  let oracle, classifier, cv_reports, training_set =
+    Telemetry.with_span "classifier" @@ fun () ->
+    let oracle = Corpus.Oracle.of_corpus corpus in
+    let grade_v (v : violation) =
+      Corpus.Oracle.grade oracle ~file:v.v_stmt.sctx.Features.file ~line:v.v_stmt.line
+        ~found:v.v_info.Pattern.found ~suggested:v.v_info.Pattern.suggested
+        ~symmetric:(v.v_pattern.Pattern.kind = Pattern.Consistency)
+    in
+    let classifier, cv_reports, training_set =
+      train_classifier ~cfg ~prng ~violations ~grade_v
+    in
+    (oracle, classifier, cv_reports, training_set)
   in
   let sources = Hashtbl.create 256 in
   List.iter
@@ -365,6 +393,7 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     to average evaluation rows over several supervision draws, the way the
     paper averages its cross-validation over 30 splits. *)
 let retrain (t : t) ~seed : t =
+  Telemetry.with_span "retrain" @@ fun () ->
   let prng = Prng.create seed in
   let grade_v (v : violation) =
     Corpus.Oracle.grade t.oracle ~file:v.v_stmt.sctx.Features.file ~line:v.v_stmt.line
@@ -447,6 +476,8 @@ let grade_reports (t : t) (reports : violation list) : outcome =
 let evaluate ?(n = 300) ?(seed = 123) (t : t) : outcome =
   let sampled = sample_violations t ~n ~seed in
   let reports = List.filter (classify t) sampled in
+  Telemetry.count ~by:(List.length sampled) "evaluate.violations_sampled";
+  Telemetry.count ~by:(List.length reports) "evaluate.violations_reported";
   grade_reports t reports
 
 (** Feature weights of the trained classifier in original feature space

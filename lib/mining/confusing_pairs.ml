@@ -27,9 +27,11 @@ let create () =
 
 (** Record the pairs extracted from one commit's (before, after) trees. *)
 let add_commit t ~before ~after =
+  Namer_telemetry.Telemetry.count "pairs.commits_diffed";
   Namer_tree.Treediff.confusing_subtoken_pairs before after
   |> List.iter (fun ((w1, w2) as pair) ->
          if w1 <> w2 then begin
+           Namer_telemetry.Telemetry.count "pairs.sightings";
            Namer_util.Counter.add t.counts pair;
            Namer_util.Counter.add t.folded (norm pair);
            Hashtbl.replace t.correct_words w2 ()

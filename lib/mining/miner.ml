@@ -21,6 +21,7 @@
 
 module Namepath = Namer_namepath.Namepath
 module Pattern = Namer_pattern.Pattern
+module Telemetry = Namer_telemetry.Telemetry
 
 type config = {
   min_path_freq : int;
@@ -165,88 +166,108 @@ let serialize = Namepath.to_string
     [stmts] are the digests of every statement in the mining corpus. *)
 let mine ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
     (stmts : Pattern.Stmt_paths.t list) : result =
+  let kind_label =
+    match kind with
+    | `Consistency -> "consistency"
+    | `Confusing -> "confusing"
+    | `Ordering _ -> "ordering"
+  in
+  Telemetry.with_span ~args:[ ("kind", kind_label) ] ("mine:" ^ kind_label)
+  @@ fun () ->
   (* Line 5 regularization: global path frequencies (concrete form, and the
      symbolic form used by consistency deductions). *)
-  let freq = Namer_util.Counter.create ~size:(1 lsl 16) () in
-  List.iter
-    (fun (s : Pattern.Stmt_paths.t) ->
-      List.iter
-        (fun np ->
-          Namer_util.Counter.add freq (serialize np);
-          Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
-        s.Pattern.Stmt_paths.paths)
-    stmts;
+  let freq =
+    Telemetry.with_span "mine:path-freq" @@ fun () ->
+    let freq = Namer_util.Counter.create ~size:(1 lsl 16) () in
+    List.iter
+      (fun (s : Pattern.Stmt_paths.t) ->
+        List.iter
+          (fun np ->
+            Namer_util.Counter.add freq (serialize np);
+            Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
+          s.Pattern.Stmt_paths.paths)
+      stmts;
+    freq
+  in
   let frequent np = Namer_util.Counter.count freq (serialize np) > config.min_path_freq in
   (* Grow the FP-tree (lines 4–7).  The line-5 frequency filter applies to
      condition paths in their concrete form; deduction paths are checked in
      the form they take inside the pattern (symbolic for consistency
      deductions, whose *prefix* must be a common shape even when the
      concrete name at its end is file-specific). *)
-  let tree = Fptree.create () in
-  List.iter
-    (fun (s : Pattern.Stmt_paths.t) ->
-      let paths =
-        List.filteri (fun i _ -> i < config.max_stmt_paths) s.Pattern.Stmt_paths.paths
-      in
-      split_paths ~kind ~pairs paths
-      |> List.iter (fun (cond, deduct) ->
-             if List.for_all frequent deduct then begin
-               let cond =
-                 List.filter frequent cond
-                 |> List.sort Namepath.compare_canonical
-                 |> List.filteri (fun i _ -> i < config.max_condition_paths)
-               in
-               let deduct = List.sort Namepath.compare_canonical deduct in
-               let items = List.map serialize (cond @ deduct) in
-               Fptree.insert tree items
-             end))
-    stmts;
+  let tree =
+    Telemetry.with_span "mine:fptree-grow" @@ fun () ->
+    let tree = Fptree.create () in
+    List.iter
+      (fun (s : Pattern.Stmt_paths.t) ->
+        let paths =
+          List.filteri (fun i _ -> i < config.max_stmt_paths) s.Pattern.Stmt_paths.paths
+        in
+        split_paths ~kind ~pairs paths
+        |> List.iter (fun (cond, deduct) ->
+               if List.for_all frequent deduct then begin
+                 let cond =
+                   List.filter frequent cond
+                   |> List.sort Namepath.compare_canonical
+                   |> List.filteri (fun i _ -> i < config.max_condition_paths)
+                 in
+                 let deduct = List.sort Namepath.compare_canonical deduct in
+                 let items = List.map serialize (cond @ deduct) in
+                 Fptree.insert tree items
+               end))
+      stmts;
+    tree
+  in
+  Telemetry.count ~by:(Fptree.size tree) "mine.fptree_nodes";
   (* genPatterns (line 8 / Algorithm 2). *)
   let n_deduct = match kind with `Confusing -> 1 | `Consistency | `Ordering _ -> 2 in
   let candidates : (string, Pattern.t) Hashtbl.t = Hashtbl.create (1 lsl 14) in
-  Fptree.fold_last_nodes tree
-    ~f:(fun () ~path_items ~support ->
-      ignore support;
-      let n = List.length path_items in
-      if n >= n_deduct then begin
-        let rec split_at k xs =
-          if k = 0 then ([], xs)
-          else
-            match xs with
-            | [] -> ([], [])
-            | x :: rest ->
-                let a, b = split_at (k - 1) rest in
-                (x :: a, b)
-        in
-        let conds_s, deduct_s = split_at (n - n_deduct) path_items in
-        let deduction = List.map Namepath.of_string deduct_s in
-        let kind_v =
-          match (kind, deduction) with
-          | `Consistency, _ -> Pattern.Consistency
-          | `Confusing, [ d ] -> (
-              match d.Namepath.end_node with
-              | Some w -> Pattern.Confusing_word { correct = w }
-              | None -> Pattern.Consistency (* unreachable *))
-          | `Ordering _, [ d1; d2 ] -> (
-              match (d1.Namepath.end_node, d2.Namepath.end_node) with
-              | Some first, Some second -> Pattern.Ordering { first; second }
-              | _ -> Pattern.Consistency (* unreachable *))
-          | _ -> Pattern.Consistency (* unreachable *)
-        in
-        combinations ~max_subset_size:config.max_subset_size conds_s
-        |> List.iter (fun cond_s ->
-               let p =
-                 Pattern.make ~kind:kind_v
-                   ~condition:(List.map Namepath.of_string cond_s)
-                   ~deduction
-               in
-               let key = Pattern.canonical p in
-               if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key p)
-      end)
-    ();
+  Telemetry.with_span "mine:gen-patterns" (fun () ->
+      Fptree.fold_last_nodes tree
+        ~f:(fun () ~path_items ~support ->
+          ignore support;
+          let n = List.length path_items in
+          if n >= n_deduct then begin
+            let rec split_at k xs =
+              if k = 0 then ([], xs)
+              else
+                match xs with
+                | [] -> ([], [])
+                | x :: rest ->
+                    let a, b = split_at (k - 1) rest in
+                    (x :: a, b)
+            in
+            let conds_s, deduct_s = split_at (n - n_deduct) path_items in
+            let deduction = List.map Namepath.of_string deduct_s in
+            let kind_v =
+              match (kind, deduction) with
+              | `Consistency, _ -> Pattern.Consistency
+              | `Confusing, [ d ] -> (
+                  match d.Namepath.end_node with
+                  | Some w -> Pattern.Confusing_word { correct = w }
+                  | None -> Pattern.Consistency (* unreachable *))
+              | `Ordering _, [ d1; d2 ] -> (
+                  match (d1.Namepath.end_node, d2.Namepath.end_node) with
+                  | Some first, Some second -> Pattern.Ordering { first; second }
+                  | _ -> Pattern.Consistency (* unreachable *))
+              | _ -> Pattern.Consistency (* unreachable *)
+            in
+            combinations ~max_subset_size:config.max_subset_size conds_s
+            |> List.iter (fun cond_s ->
+                   let p =
+                     Pattern.make ~kind:kind_v
+                       ~condition:(List.map Namepath.of_string cond_s)
+                       ~deduction
+                   in
+                   let key = Pattern.canonical p in
+                   if not (Hashtbl.mem candidates key) then
+                     Hashtbl.replace candidates key p)
+          end)
+        ());
   (* pruneUncommon (line 9): count matches and satisfactions over the
      corpus, keep patterns with enough support and a high enough
      satisfaction ratio. *)
+  Telemetry.with_span "mine:prune" @@ fun () ->
   let candidate_store = Pattern.Store.create () in
   Hashtbl.iter (fun _ p -> ignore (Pattern.Store.add candidate_store p)) candidates;
   let counts : (int, pattern_stats) Hashtbl.t = Hashtbl.create (1 lsl 14) in

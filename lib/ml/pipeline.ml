@@ -20,6 +20,10 @@ type t = {
 
 let train ?(algo = Svm) ?(pca_variance = 0.99) ~prng (x : float array array)
     (y : bool array) : t =
+  Namer_telemetry.Telemetry.with_span
+    ~args:[ ("algo", algo_name algo); ("n", string_of_int (Array.length x)) ]
+    "ml:train"
+  @@ fun () ->
   let standardize = Preprocess.Standardize.fit x in
   let xs = Preprocess.Standardize.transform_all standardize x in
   let pca = Preprocess.Pca.fit ~variance:pca_variance xs in
@@ -61,6 +65,8 @@ type cv_report = {
     metrics. *)
 let cross_validate ?(repeats = 30) ?(train_fraction = 0.8) ~prng ~algo x y :
     cv_report =
+  Namer_telemetry.Telemetry.with_span ~args:[ ("algo", algo_name algo) ] "ml:cv"
+  @@ fun () ->
   let n = Array.length x in
   let accs = ref [] and precs = ref [] and recs = ref [] and f1s = ref [] in
   for _ = 1 to repeats do

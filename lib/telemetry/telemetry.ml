@@ -1,0 +1,325 @@
+(** Pipeline telemetry: hierarchical spans, process-wide counters and
+    histograms, and two exporters (a human-readable stage table and Chrome
+    [trace_event] JSON loadable in chrome://tracing / Perfetto).
+
+    The instrumented pipeline (see {!Namer_core.Namer.build}) opens one span
+    per stage — parse → analyze → astplus → namepaths → pair-mining →
+    pattern-mining → scan → classifier — so that a single scan produces both
+    an aggregate per-stage cost table and a zoomable timeline.
+
+    Telemetry is disabled by default: the sink starts as {!Null} and every
+    entry point ({!with_span}, {!count}, {!observe}) begins with a single
+    load of an [enabled] flag, so instrumented code pays one branch and no
+    allocation when telemetry is off.  When the sink is {!Memory}, all state
+    lives behind one mutex, making the recorder safe to call from multiple
+    domains (spans keep a per-recorder depth, so concurrent spans interleave
+    but never corrupt state). *)
+
+type sink = Null | Memory
+
+(* ------------------------------------------------------------------ *)
+(* Recorder state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** One closed span.  [ts_us] is microseconds since {!set_sink}/{!reset};
+    [alloc_bytes] is the Gc allocation delta ([minor + major - promoted]
+    words, scaled to bytes) over the span's extent, including children. *)
+type span = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  alloc_bytes : float;
+  args : (string * string) list;
+}
+
+(** Five-number summary of a histogram (percentiles via
+    {!Namer_util.Stats.percentile}). *)
+type summary = {
+  n : int;
+  total : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** Per-stage aggregate: every span with the same name folded together,
+    ordered by first occurrence. *)
+type stage = {
+  stage : string;
+  s_count : int;
+  wall_ms : float;
+  alloc_mb : float;
+}
+
+let mutex = Mutex.create ()
+let enabled_flag = ref false
+let epoch = ref 0.0
+let spans_rev : span list ref = ref []
+let depth = ref 0
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let hists_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let clear_unlocked () =
+  spans_rev := [];
+  depth := 0;
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset hists_tbl;
+  epoch := Unix.gettimeofday ()
+
+(** [set_sink s] switches recording on ([Memory]) or off ([Null]).
+    Switching does not discard already-recorded data; use {!reset} for a
+    clean slate. *)
+let set_sink (s : sink) =
+  locked (fun () ->
+      (match s with
+      | Memory -> if !epoch = 0.0 then epoch := Unix.gettimeofday ()
+      | Null -> ());
+      enabled_flag := s = Memory)
+
+let enabled () = !enabled_flag
+
+(** Drop all recorded spans, counters and histograms and restart the clock. *)
+let reset () = locked clear_unlocked
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_words (g : Gc.stat) = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
+let bytes_per_word = float_of_int (Sys.word_size / 8)
+
+(** [with_span name f] runs [f ()] inside a span.  When telemetry is
+    disabled this is a single branch around [f].  [record_ms] additionally
+    feeds the span's duration (in ms) into the named histogram — used for
+    per-file latency distributions.  The span is closed (and recorded) even
+    when [f] raises. *)
+let with_span ?(args = []) ?record_ms name f =
+  if not !enabled_flag then f ()
+  else begin
+    let d = locked (fun () -> let d = !depth in depth := d + 1; d) in
+    let g0 = alloc_words (Gc.quick_stat ()) in
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      let g1 = alloc_words (Gc.quick_stat ()) in
+      locked (fun () ->
+          depth := !depth - 1;
+          spans_rev :=
+            {
+              name;
+              ts_us = (t0 -. !epoch) *. 1e6;
+              dur_us = (t1 -. t0) *. 1e6;
+              depth = d;
+              alloc_bytes = (g1 -. g0) *. bytes_per_word;
+              args;
+            }
+            :: !spans_rev;
+          match record_ms with
+          | None -> ()
+          | Some h -> (
+              let v = (t1 -. t0) *. 1e3 in
+              match Hashtbl.find_opt hists_tbl h with
+              | Some r -> r := v :: !r
+              | None -> Hashtbl.replace hists_tbl h (ref [ v ])))
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(** Increment the named process-wide counter. *)
+let count ?(by = 1) name =
+  if !enabled_flag then
+    locked (fun () ->
+        match Hashtbl.find_opt counters_tbl name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace counters_tbl name (ref by))
+
+(** Record one observation into the named histogram. *)
+let observe name v =
+  if !enabled_flag then
+    locked (fun () ->
+        match Hashtbl.find_opt hists_tbl name with
+        | Some r -> r := v :: !r
+        | None -> Hashtbl.replace hists_tbl name (ref [ v ]))
+
+(* ------------------------------------------------------------------ *)
+(* Reading back                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All closed spans in chronological (start-time) order. *)
+let spans () =
+  locked (fun () -> !spans_rev)
+  |> List.stable_sort (fun a b -> compare a.ts_us b.ts_us)
+
+let counters () =
+  locked (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl [])
+  |> List.sort compare
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0)
+
+let summarize xs =
+  let module S = Namer_util.Stats in
+  {
+    n = List.length xs;
+    total = List.fold_left ( +. ) 0.0 xs;
+    mean = S.mean xs;
+    p50 = S.percentile 50.0 xs;
+    p90 = S.percentile 90.0 xs;
+    p99 = S.percentile 99.0 xs;
+  }
+
+(** Histogram summaries, sorted by name.  Histograms are never empty: a name
+    exists only once it has at least one observation. *)
+let histograms () =
+  locked (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) hists_tbl [])
+  |> List.sort compare
+  |> List.map (fun (k, xs) -> (k, summarize xs))
+
+let histogram name =
+  locked (fun () ->
+      Hashtbl.find_opt hists_tbl name |> Option.map (fun r -> !r))
+  |> Option.map summarize
+
+(** Spans aggregated by name, in order of first appearance.  This is the
+    "stage" view: per-file [parse] spans fold into one row, etc. *)
+let stages () =
+  let tbl : (string, stage ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.name with
+      | Some r ->
+          r :=
+            {
+              !r with
+              s_count = !r.s_count + 1;
+              wall_ms = !r.wall_ms +. (s.dur_us /. 1e3);
+              alloc_mb = !r.alloc_mb +. (s.alloc_bytes /. 1048576.0);
+            }
+      | None ->
+          let r =
+            ref
+              {
+                stage = s.name;
+                s_count = 1;
+                wall_ms = s.dur_us /. 1e3;
+                alloc_mb = s.alloc_bytes /. 1048576.0;
+              }
+          in
+          Hashtbl.replace tbl s.name r;
+          order := s.name :: !order)
+    (spans ());
+  List.rev_map (fun name -> !(Hashtbl.find tbl name)) !order
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Human-readable per-stage cost table (one row per distinct span name). *)
+let stage_table () =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.stage;
+          string_of_int s.s_count;
+          Printf.sprintf "%.3f" s.wall_ms;
+          Printf.sprintf "%.2f" s.alloc_mb;
+        ])
+      (stages ())
+  in
+  Namer_util.Tablefmt.render ~caption:"telemetry: pipeline stages"
+    ~header:[ "stage"; "count"; "wall ms"; "alloc MB" ]
+    rows
+
+module J = Namer_util.Json
+
+(** Chrome [trace_event] JSON: complete ("X") events sorted by start time,
+    microsecond timestamps, one process/thread.  Load the file in
+    chrome://tracing or https://ui.perfetto.dev. *)
+let to_chrome_json () =
+  let event (s : span) =
+    J.Obj
+      [
+        ("name", J.String s.name);
+        ("cat", J.String "namer");
+        ("ph", J.String "X");
+        ("ts", J.Float s.ts_us);
+        ("dur", J.Float s.dur_us);
+        ("pid", J.Int 1);
+        ("tid", J.Int 1);
+        ( "args",
+          J.Obj
+            (("alloc_bytes", J.Float s.alloc_bytes)
+            :: List.map (fun (k, v) -> (k, J.String v)) s.args) );
+      ]
+  in
+  J.Obj
+    [
+      ("traceEvents", J.List (List.map event (spans ())));
+      ("displayTimeUnit", J.String "ms");
+    ]
+
+let summary_json (s : summary) =
+  J.Obj
+    [
+      ("n", J.Int s.n);
+      ("total", J.Float s.total);
+      ("mean", J.Float s.mean);
+      ("p50", J.Float s.p50);
+      ("p90", J.Float s.p90);
+      ("p99", J.Float s.p99);
+    ]
+
+let stages_json () =
+  J.Obj
+    (List.map
+       (fun s ->
+         ( s.stage,
+           J.Obj
+             [
+               ("count", J.Int s.s_count);
+               ("wall_ms", J.Float s.wall_ms);
+               ("alloc_mb", J.Float s.alloc_mb);
+             ] ))
+       (stages ()))
+
+(** The whole metric registry — counters, histogram summaries and stage
+    aggregates — as one JSON object ([namer stats], [BENCH_pipeline.json]). *)
+let metrics_json () =
+  J.Obj
+    [
+      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (counters ())));
+      ( "histograms",
+        J.Obj (List.map (fun (k, s) -> (k, summary_json s)) (histograms ())) );
+      ("stages", stages_json ());
+    ]
+
+let write_json ~path (j : J.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~indent:2 j);
+      output_char oc '\n')
+
+let write_chrome_trace ~path = write_json ~path (to_chrome_json ())
+let write_metrics ~path = write_json ~path (metrics_json ())
+
+(* ------------------------------------------------------------------ *)
+(* Progress reporting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [progressf fmt ...] prints one progress line to stderr (flushed), so
+    stdout stays machine-parseable.  This is the CLI's replacement for bare
+    [Printf.printf] progress lines. *)
+let progressf fmt = Printf.eprintf ("[namer] " ^^ fmt ^^ "\n%!")

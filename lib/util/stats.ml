@@ -11,7 +11,8 @@ let mean xs =
 
 let variance xs =
   match xs with
-  | [] | [ _ ] -> 0.0
+  | [] | [ _ ] ->
+      invalid_arg "Stats.variance: need at least 2 samples (got 0 or 1)"
   | _ ->
       let m = mean xs in
       let n = float_of_int (List.length xs) in
@@ -19,10 +20,12 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
-(** [percentile p xs] with linear interpolation; [p] in [0,100]. *)
+(** [percentile p xs] with linear interpolation; [p] is clamped to
+    [\[0, 100\]].  Raises [Invalid_argument] on an empty sample. *)
 let percentile p xs =
+  let p = Float.max 0.0 (Float.min 100.0 p) in
   match List.sort compare xs with
-  | [] -> 0.0
+  | [] -> invalid_arg "Stats.percentile: empty sample"
   | sorted ->
       let a = Array.of_list sorted in
       let n = Array.length a in

@@ -1,0 +1,73 @@
+(* Telemetry smoke check (the @telemetry-smoke alias): validates that a
+   Chrome trace written by `namer ... --trace` is non-empty, well-formed
+   JSON, covers every pipeline stage, and has monotonically ordered
+   timestamps.  Exits non-zero with a diagnostic otherwise. *)
+
+module J = Namer_util.Json
+
+let required_stages =
+  [
+    "parse"; "analyze"; "astplus"; "namepaths"; "pair-mining"; "pattern-mining";
+    "scan"; "classifier";
+  ]
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_trace TRACE.json" in
+  let content =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  if String.trim content = "" then fail "%s is empty" path;
+  let json =
+    match J.parse content with
+    | Ok j -> j
+    | Error msg -> fail "%s is not valid JSON: %s" path msg
+  in
+  let events =
+    match json with
+    | J.Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (J.List evs) -> evs
+        | _ -> fail "%s has no traceEvents array" path)
+    | _ -> fail "%s top level is not an object" path
+  in
+  if events = [] then fail "%s contains no trace events" path;
+  let field name ev =
+    match ev with
+    | J.Obj fields -> List.assoc_opt name fields
+    | _ -> fail "trace event is not an object"
+  in
+  let names =
+    List.filter_map
+      (fun ev -> match field "name" ev with Some (J.String s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun stage ->
+      if not (List.mem stage names) then
+        fail "stage %S missing from trace (have: %s)" stage
+          (String.concat ", " (List.sort_uniq compare names)))
+    required_stages;
+  let ts ev =
+    match field "ts" ev with
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> fail "trace event without numeric ts"
+  in
+  let rec check_monotonic prev = function
+    | [] -> ()
+    | ev :: rest ->
+        let t = ts ev in
+        if t < prev then fail "ts fields not monotonically ordered (%f after %f)" t prev;
+        check_monotonic t rest
+  in
+  check_monotonic neg_infinity events;
+  Printf.printf "OK: %d events, %d distinct stages, ts monotonic\n"
+    (List.length events)
+    (List.length (List.sort_uniq compare names))

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "namer"
     [
       ("util", Test_util.suite);
+      ("telemetry", Test_telemetry.suite);
       ("datalog", Test_datalog.suite);
       ("tree", Test_tree.suite);
       ("pylang", Test_pylang.suite);

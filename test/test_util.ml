@@ -178,7 +178,20 @@ let test_stats_percentile () =
   let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
   checkf "median" 3.0 (Stats.percentile 50.0 xs);
   checkf "min" 1.0 (Stats.percentile 0.0 xs);
-  checkf "max" 5.0 (Stats.percentile 100.0 xs)
+  checkf "max" 5.0 (Stats.percentile 100.0 xs);
+  (* out-of-range p is clamped instead of indexing out of bounds *)
+  checkf "p above 100 clamps" 5.0 (Stats.percentile 250.0 xs);
+  checkf "negative p clamps" 1.0 (Stats.percentile (-3.0) xs)
+
+let test_stats_guards () =
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  let singleton_msg = "Stats.variance: need at least 2 samples (got 0 or 1)" in
+  Alcotest.check_raises "variance of empty" (Invalid_argument singleton_msg)
+    (fun () -> ignore (Stats.variance []));
+  Alcotest.check_raises "variance of singleton" (Invalid_argument singleton_msg)
+    (fun () -> ignore (Stats.variance [ 4.2 ]))
 
 let test_interner () =
   let i = Interner.create () in
@@ -234,6 +247,7 @@ let suite =
     Alcotest.test_case "counter: counts and top" `Quick test_counter;
     Alcotest.test_case "stats: confusion metrics" `Quick test_stats_confusion;
     Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats: empty/singleton guards" `Quick test_stats_guards;
     Alcotest.test_case "interner: basics" `Quick test_interner;
     Alcotest.test_case "interner: growth" `Quick test_interner_growth;
     Alcotest.test_case "tablefmt: render" `Quick test_tablefmt;
@@ -262,11 +276,54 @@ let test_json_indent () =
   let open Json in
   check_str "pretty" "{\n  \"a\": 1\n}" (to_string ~indent:2 (Obj [ ("a", Int 1) ]))
 
+let test_json_parse () =
+  let open Json in
+  let ok s = match parse s with Ok v -> v | Error e -> Alcotest.fail e in
+  check_bool "null" true (ok "null" = Null);
+  check_bool "bools" true (ok " true " = Bool true && ok "false" = Bool false);
+  check_bool "int" true (ok "42" = Int 42);
+  check_bool "negative int" true (ok "-7" = Int (-7));
+  check_bool "float" true (ok "1.5" = Float 1.5);
+  check_bool "exponent" true (ok "2e3" = Float 2000.0);
+  check_bool "string escapes" true (ok "\"a\\\"b\\nc\"" = String "a\"b\nc");
+  check_bool "unicode escape" true (ok "\"\\u0041\"" = String "A");
+  check_bool "empty containers" true (ok "[]" = List [] && ok "{}" = Obj []);
+  check_bool "nested" true
+    (ok "{\"xs\": [{\"a\": 1}, 2]}"
+    = Obj [ ("xs", List [ Obj [ ("a", Int 1) ]; Int 2 ]) ]);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parse %S should fail" bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "1 2" ]
+
+let test_json_parse_roundtrip () =
+  let open Json in
+  let v =
+    Obj
+      [
+        ("counters", Obj [ ("files", Int 183); ("ratio", Float 0.25) ]);
+        ("names", List [ String "parse"; String "scan" ]);
+        ("ok", Bool true);
+        ("nothing", Null);
+      ]
+  in
+  (* compact and pretty renderings both parse back to the same value *)
+  (match parse (to_string v) with
+  | Ok v' -> check_bool "compact round trip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  match parse (to_string ~indent:2 v) with
+  | Ok v' -> check_bool "pretty round trip" true (v = v')
+  | Error e -> Alcotest.fail e
+
 let json_suite =
   [
     Alcotest.test_case "json: scalars" `Quick test_json_scalars;
     Alcotest.test_case "json: compound" `Quick test_json_compound;
     Alcotest.test_case "json: indentation" `Quick test_json_indent;
+    Alcotest.test_case "json: parse" `Quick test_json_parse;
+    Alcotest.test_case "json: parse round trip" `Quick test_json_parse_roundtrip;
   ]
 
 let suite = suite @ json_suite
