@@ -1,0 +1,44 @@
+# Contributor entry points mirroring .github/workflows/ci.yml, so CI is
+# reproducible locally with one command.  Tool-dependent targets (fmt, doc)
+# skip with a notice when the tool is not installed rather than failing,
+# matching the CI jobs that install them explicitly.
+
+.PHONY: all build test fmt doc bench bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed — skipping (CI runs it)"; \
+	fi
+
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	else \
+	  echo "doc: odoc not installed — skipping (CI runs it)"; \
+	fi
+
+# Full evaluation tables (slow); see bench/main.ml for flags.
+bench:
+	dune exec bench/main.exe
+
+# Re-measure the pipeline and gate against the committed baseline
+# (test/check_bench.ml: >3x per-stage wall-clock regression, or jobs=1 vs
+# jobs=4 report divergence, fails the build).
+bench-smoke:
+	dune build @bench-smoke
+
+# Everything the CI workflow checks, in order.
+ci: build test fmt bench-smoke
+
+clean:
+	dune clean

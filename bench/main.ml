@@ -16,30 +16,72 @@ module Corpus = Namer_corpus.Corpus
 module Namer = Namer_core.Namer
 module Telemetry = Namer_telemetry.Telemetry
 
-(* Instrumented end-to-end build on a 15-repo Python corpus: prints the
-   per-stage cost table and writes stage → {wall_ms, alloc_mb, count} to
-   BENCH_pipeline.json, the machine-readable trajectory file that perf PRs
-   compare against. *)
+(* Instrumented end-to-end build on a 15-repo Python corpus, once with
+   jobs=1 and once with jobs=4: prints the sequential per-stage cost table,
+   verifies the two runs report identical violations, and writes both stage
+   maps plus the speedup to BENCH_pipeline.json (schema 2), the
+   machine-readable trajectory file that perf PRs compare against. *)
 let telemetry_bench () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
-  Telemetry.reset ();
-  Telemetry.set_sink Telemetry.Memory;
   let corpus =
     Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 15 }
   in
-  let t = Namer.build Namer.default_config corpus in
+  let fingerprint (t : Namer.t) =
+    Array.to_list t.Namer.violations
+    |> List.map (fun (v : Namer.violation) ->
+           Printf.sprintf "%s:%d:%s:%s"
+             v.Namer.v_stmt.Namer.sctx.Namer_classifier.Features.file
+             v.Namer.v_stmt.Namer.line
+             v.Namer.v_info.Namer_pattern.Pattern.found
+             v.Namer.v_info.Namer_pattern.Pattern.suggested)
+    |> String.concat "\n"
+  in
+  let run ~jobs =
+    Telemetry.reset ();
+    Telemetry.set_sink Telemetry.Memory;
+    let t = Namer.build { Namer.default_config with Namer.jobs } corpus in
+    (t, Telemetry.stages ())
+  in
+  let t, stages_seq = run ~jobs:1 in
   Printf.printf "corpus: %d files → %d patterns, %d violations\n\n"
     (List.length corpus.Corpus.files)
     (Namer_pattern.Pattern.Store.size t.Namer.store)
     (Array.length t.Namer.violations);
   print_string (Telemetry.stage_table ());
+  let jobs_parallel = 4 in
+  let t_par, stages_par = run ~jobs:jobs_parallel in
+  let reports_identical = String.equal (fingerprint t) (fingerprint t_par) in
+  let wall name st =
+    match List.find_opt (fun s -> s.Telemetry.stage = name) st with
+    | Some s -> s.Telemetry.wall_ms
+    | None -> 0.0
+  in
+  let speedup =
+    let par = wall "build" stages_par in
+    if par > 0.0 then wall "build" stages_seq /. par else 1.0
+  in
+  Printf.printf "\njobs=1 vs jobs=%d: build %.0f ms vs %.0f ms (%.2fx), reports %s\n"
+    jobs_parallel (wall "build" stages_seq) (wall "build" stages_par) speedup
+    (if reports_identical then "identical" else "DIFFERENT");
   let path = "BENCH_pipeline.json" in
+  let module J = Namer_util.Json in
   let oc = open_out path in
   output_string oc
-    (Namer_util.Json.to_string ~indent:2 (Telemetry.stages_json ()));
+    (J.to_string ~indent:2
+       (J.Obj
+          [
+            ("schema", J.Int 2);
+            ("jobs_parallel", J.Int jobs_parallel);
+            ("speedup", J.Float speedup);
+            ("reports_identical", J.Bool reports_identical);
+            ("stages", Telemetry.stages_to_json stages_seq);
+            ("stages_parallel", Telemetry.stages_to_json stages_par);
+          ]));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote per-stage wall_ms/alloc_mb/count to %s\n" path
+  Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) to %s\n"
+    jobs_parallel path;
+  if not reports_identical then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -112,6 +112,13 @@ let lang_arg =
   Arg.(value & opt lang_conv Corpus.Python & info [ "lang" ] ~docv:"LANG"
          ~doc:"Language: python or java.")
 
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the sharded pipeline (default: the \
+                 machine's recommended domain count).  Any value produces \
+                 byte-identical reports; 1 disables parallelism.")
+
 (* ---------------- generate ---------------- *)
 
 let generate lang repos seed out =
@@ -159,8 +166,8 @@ let rec walk_files dir =
          let path = Filename.concat dir entry in
          if Sys.is_directory path then walk_files path else [ path ])
 
-let scan lang dir max_reports save_patterns load_patterns apply_fixes json metrics
-    trace =
+let scan lang dir jobs max_reports save_patterns load_patterns apply_fixes json
+    metrics trace =
   let finish_telemetry = telemetry_setup ~metrics ~trace in
   let ext = match lang with Corpus.Python -> ".py" | Corpus.Java -> ".java" in
   let files =
@@ -195,6 +202,7 @@ let scan lang dir max_reports save_patterns load_patterns apply_fixes json metri
     {
       Namer.default_config with
       Namer.use_classifier = false;
+      jobs;
       miner =
         {
           Namer_mining.Miner.default_config with
@@ -312,18 +320,18 @@ let scan_cmd =
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Mine patterns from a source directory and report violations.")
-    Term.(const scan $ lang_arg $ dir $ max_reports $ save_patterns $ load_patterns
-          $ apply_fixes $ json $ metrics_arg $ trace_arg)
+    Term.(const scan $ lang_arg $ dir $ jobs_arg $ max_reports $ save_patterns
+          $ load_patterns $ apply_fixes $ json $ metrics_arg $ trace_arg)
 
 (* ---------------- demo ---------------- *)
 
-let demo repos metrics trace =
+let demo repos jobs metrics trace =
   let finish_telemetry = telemetry_setup ~metrics ~trace in
   let corpus =
     Corpus.generate
       { (Corpus.default_config Corpus.Python) with Corpus.n_repos = repos }
   in
-  let t = Namer.build Namer.default_config corpus in
+  let t = Namer.build { Namer.default_config with Namer.jobs } corpus in
   let o = Namer.evaluate ~n:300 t in
   Printf.printf
     "Namer on a synthetic Python corpus: %d patterns, %d violations;\n\
@@ -341,7 +349,7 @@ let demo_cmd =
            ~doc:"Number of synthetic repositories to generate.")
   in
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end demonstration on a synthetic corpus.")
-    Term.(const demo $ repos $ metrics_arg $ trace_arg)
+    Term.(const demo $ repos $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* ---------------- stats ---------------- *)
 

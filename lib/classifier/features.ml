@@ -77,6 +77,26 @@ module Agg = struct
 
   let lookup tbl key =
     Option.value (Hashtbl.find_opt tbl key) ~default:(fresh_counts ())
+
+  (** [merge ~into t] sums [t]'s aggregates into [into].  All five tables
+      accumulate integer tallies, so the merge commutes and a sharded scan
+      (one [Agg.t] per shard, merged afterwards) reproduces the sequential
+      aggregates exactly. *)
+  let merge ~into (t : t) =
+    let add_int tbl key n =
+      Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+    in
+    Hashtbl.iter (fun k n -> add_int into.identical_file k n) t.identical_file;
+    Hashtbl.iter (fun k n -> add_int into.identical_repo k n) t.identical_repo;
+    let add_counts tbl key (c : counts) =
+      let d = counts_of tbl key in
+      d.matches <- d.matches + c.matches;
+      d.sats <- d.sats + c.sats;
+      d.viols <- d.viols + c.viols
+    in
+    Hashtbl.iter (fun k c -> add_counts into.per_file k c) t.per_file;
+    Hashtbl.iter (fun k c -> add_counts into.per_repo k c) t.per_repo;
+    Hashtbl.iter (fun k c -> add_counts into.dataset k c) t.dataset
 end
 
 let n_features = 17

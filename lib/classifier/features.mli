@@ -33,6 +33,10 @@ module Agg : sig
 
   (** Record one pattern-check outcome (f4–f12). *)
   val add_outcome : t -> stmt_ctx -> pattern_id:int -> Pattern.relation -> unit
+
+  (** [merge ~into t] sums [t]'s aggregates into [into] (monoid merge for
+      the sharded scan; commutative). *)
+  val merge : into:t -> t -> unit
 end
 
 val n_features : int

@@ -27,6 +27,9 @@ module Features = Namer_classifier.Features
 module Corpus = Namer_corpus.Corpus
 module Prng = Namer_util.Prng
 module Telemetry = Namer_telemetry.Telemetry
+module Pool = Namer_parallel.Pool
+module Shard = Namer_parallel.Shard
+module Accumulator = Namer_parallel.Accumulator
 
 type config = {
   use_analysis : bool;
@@ -44,6 +47,10 @@ type config = {
           mined patterns still need corpus support and satisfaction ratio) *)
   algo : Namer_ml.Pipeline.algo option;  (** [None] = cross-validated selection *)
   seed : int;
+  jobs : int;
+      (** worker domains for the sharded pipeline; [1] = fully sequential.
+          Results are bit-identical for every value (deterministic shards,
+          shard-order merges) — parallelism changes only wall-clock. *)
 }
 
 let default_config =
@@ -61,6 +68,7 @@ let default_config =
       ];
     algo = Some Namer_ml.Pipeline.Svm;
     seed = 7;
+    jobs = 1;
   }
 
 (** One scanned statement: digest plus everything feature extraction and
@@ -169,7 +177,14 @@ let builtin_pairs = function
         ("name", "key"); ("min", "max");
       ]
 
-let mine_pairs ~cfg ~lang (corpus : Corpus.t) =
+module Pairs_acc = struct
+  type t = Confusing_pairs.t
+
+  let empty () = Confusing_pairs.create ()
+  let merge = Confusing_pairs.merge
+end
+
+let mine_pairs ?pool ~shards ~cfg ~lang (corpus : Corpus.t) =
   if corpus.Corpus.commits = [] then begin
     let pairs = Confusing_pairs.create () in
     List.iter
@@ -178,13 +193,26 @@ let mine_pairs ~cfg ~lang (corpus : Corpus.t) =
     pairs
   end
   else begin
-    let pairs = Confusing_pairs.create () in
-    List.iter
-      (fun (before_src, after_src) ->
-        match (Frontend.whole_tree lang before_src, Frontend.whole_tree lang after_src) with
-        | Some before, Some after -> Confusing_pairs.add_commit pairs ~before ~after
-        | _ -> ())
-      corpus.Corpus.commits;
+    (* one commit is independent of the next, so shards of the history are
+       diffed on separate domains into per-shard pair sets; the pair merge
+       sums commutative tallies, so any shard plan yields the same pairs *)
+    let pairs =
+      Accumulator.sharded_reduce
+        (module Pairs_acc)
+        ?pool ~shards
+        (fun commits ->
+          let local = Confusing_pairs.create () in
+          List.iter
+            (fun (before_src, after_src) ->
+              match
+                (Frontend.whole_tree lang before_src, Frontend.whole_tree lang after_src)
+              with
+              | Some before, Some after -> Confusing_pairs.add_commit local ~before ~after
+              | _ -> ())
+            commits;
+          local)
+        corpus.Corpus.commits
+    in
     Confusing_pairs.prune pairs ~min_count:cfg.pair_min_count
   end
 
@@ -238,20 +266,36 @@ let train_classifier ~(cfg : config) ~prng ~(violations : violation array) ~grad
 
 (** [build cfg corpus] runs the full training pipeline.  [patterns]
     short-circuits mining with a pre-mined store (e.g. loaded from disk via
-    {!Namer_pattern.Pattern_io}) — the mine-once / scan-many workflow. *)
+    {!Namer_pattern.Pattern_io}) — the mine-once / scan-many workflow.
+
+    With [cfg.jobs > 1], the per-file stages (digest), the per-commit stage
+    (pair mining), the corpus-wide counting passes inside mining, the scan
+    and feature extraction all run sharded over a domain pool.  Every shard
+    plan is deterministic and every merge happens in shard order over
+    commutative accumulators, so a [jobs = N] build is bit-identical to a
+    [jobs = 1] build — only wall-clock changes. *)
 let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
+  Pool.run ~jobs:cfg.jobs @@ fun pool ->
+  let shards = Shard.oversubscribe ~jobs:cfg.jobs in
   Telemetry.with_span "build" @@ fun () ->
   let lang = corpus.Corpus.lang in
   let prng = Prng.create cfg.seed in
-  (* 1. digest every file *)
+  (* 1. digest every file: parse → analyze → AST+ → name paths, each shard
+     (contiguous, repo-aligned) on its own domain.  Flattening the
+     per-shard statement lists in shard order reproduces the sequential
+     statement order exactly, which everything downstream depends on. *)
   let stmts =
-    List.concat_map (fun file -> digest_file ~cfg ~lang ~file) corpus.Corpus.files
+    Accumulator.sharded_concat_map ?pool ~shards
+      ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
+      (fun files -> List.concat_map (fun file -> digest_file ~cfg ~lang ~file) files)
+      corpus.Corpus.files
   in
   Telemetry.count ~by:(List.length stmts) "build.statements_digested";
   Log.info (fun m -> m "digested %d statements" (List.length stmts));
   (* 2. confusing word pairs from history *)
   let pairs =
-    Telemetry.with_span "pair-mining" @@ fun () -> mine_pairs ~cfg ~lang corpus
+    Telemetry.with_span "pair-mining" @@ fun () ->
+    mine_pairs ?pool ~shards ~cfg ~lang corpus
   in
   Telemetry.count ~by:(Confusing_pairs.total_pairs pairs) "build.confusing_pairs";
   Log.info (fun m -> m "mined %d confusing pairs" (Confusing_pairs.total_pairs pairs));
@@ -263,11 +307,13 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     | None ->
         let digests = List.map (fun s -> s.digest) stmts in
         let consistency =
-          Miner.mine ~config:cfg.miner ~kind:`Consistency ~pairs digests
+          Miner.mine ?pool ~config:cfg.miner ~kind:`Consistency ~pairs digests
         in
-        let confusing = Miner.mine ~config:cfg.miner ~kind:`Confusing ~pairs digests in
+        let confusing =
+          Miner.mine ?pool ~config:cfg.miner ~kind:`Confusing ~pairs digests
+        in
         let ordering =
-          Miner.mine ~config:cfg.miner ~kind:(`Ordering cfg.ordering_vocab) ~pairs
+          Miner.mine ?pool ~config:cfg.miner ~kind:(`Ordering cfg.ordering_vocab) ~pairs
             digests
         in
         let store = Pattern.Store.create () in
@@ -284,28 +330,48 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
   Telemetry.count ~by:n_candidates "build.pattern_candidates";
   Telemetry.count ~by:(Pattern.Store.size store) "build.patterns_kept";
   Log.info (fun m -> m "kept %d patterns" (Pattern.Store.size store));
-  (* 4. scan: aggregates + violations *)
+  (* 4. scan: aggregates + violations.  The store is read-only during the
+     scan, so shards match concurrently, each into a private aggregate and
+     violation list; aggregates merge commutatively and violation lists
+     concatenate in shard order, reproducing the sequential scan order. *)
   let agg = Features.Agg.create () in
-  let violations = ref [] in
   let violating_files = Hashtbl.create 64 and violating_repos = Hashtbl.create 64 in
-  Telemetry.with_span "scan" (fun () ->
-      List.iter
-        (fun s ->
-          Features.Agg.add_stmt agg s.sctx;
-          Pattern.Store.candidates store s.digest
-          |> List.iter (fun (p : Pattern.t) ->
-                 let rel = Pattern.check p s.digest in
-                 Features.Agg.add_outcome agg s.sctx ~pattern_id:p.id rel;
-                 match rel with
-                 | Pattern.Violated info ->
-                     Hashtbl.replace violating_files s.sctx.Features.file ();
-                     Hashtbl.replace violating_repos s.sctx.Features.repo ();
-                     violations :=
-                       { v_stmt = s; v_pattern = p; v_info = info; v_features = [||] }
-                       :: !violations
-                 | _ -> ()))
-        stmts);
-  Telemetry.count ~by:(List.length !violations) "build.violations_raw";
+  let violations_in_order =
+    Telemetry.with_span "scan" @@ fun () ->
+    let parts =
+      Accumulator.sharded_map ?pool ~shards
+        (fun shard ->
+          let agg = Features.Agg.create () in
+          let viols_rev = ref [] in
+          let vfiles = Hashtbl.create 64 and vrepos = Hashtbl.create 64 in
+          List.iter
+            (fun s ->
+              Features.Agg.add_stmt agg s.sctx;
+              Pattern.Store.candidates store s.digest
+              |> List.iter (fun (p : Pattern.t) ->
+                     let rel = Pattern.check p s.digest in
+                     Features.Agg.add_outcome agg s.sctx ~pattern_id:p.id rel;
+                     match rel with
+                     | Pattern.Violated info ->
+                         Hashtbl.replace vfiles s.sctx.Features.file ();
+                         Hashtbl.replace vrepos s.sctx.Features.repo ();
+                         viols_rev :=
+                           { v_stmt = s; v_pattern = p; v_info = info; v_features = [||] }
+                           :: !viols_rev
+                     | _ -> ()))
+            shard;
+          (agg, List.rev !viols_rev, vfiles, vrepos))
+        stmts
+    in
+    List.concat_map
+      (fun (part_agg, part_viols, part_files, part_repos) ->
+        Features.Agg.merge ~into:agg part_agg;
+        Hashtbl.iter (fun k () -> Hashtbl.replace violating_files k ()) part_files;
+        Hashtbl.iter (fun k () -> Hashtbl.replace violating_repos k ()) part_repos;
+        part_viols)
+      parts
+  in
+  Telemetry.count ~by:(List.length violations_in_order) "build.violations_raw";
   (* Deduplicate: subset-condition variants of one rule all fire on the same
      statement with the same fix; a user sees one report per
      (statement, offending name, suggestion, pattern type).  Keep the variant
@@ -330,7 +396,7 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
              >= List.length v.v_pattern.Pattern.condition ->
           ()
       | _ -> Hashtbl.replace dedup key v)
-    (List.rev !violations);
+    violations_in_order;
   let violations =
     Hashtbl.fold (fun _ v acc -> v :: acc) dedup []
     |> List.sort (fun a b ->
@@ -341,12 +407,25 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
   in
   Telemetry.count ~by:(Array.length violations) "build.violations_deduped";
   Log.info (fun m -> m "triggered %d violations (deduplicated)" (Array.length violations));
-  (* 5. features *)
+  (* 5. features: every vector is independent (agg and pairs are read-only
+     by now), so chunk the index space and extract concurrently — each task
+     writes a disjoint slice of the array. *)
   Telemetry.with_span "features" (fun () ->
-      Array.iter
-        (fun v ->
-          v.v_features <- Features.extract agg pairs v.v_stmt.sctx v.v_pattern v.v_info)
-        violations);
+      let extract_range (lo, hi) =
+        for i = lo to hi - 1 do
+          let v = violations.(i) in
+          v.v_features <- Features.extract agg pairs v.v_stmt.sctx v.v_pattern v.v_info
+        done
+      in
+      let n = Array.length violations in
+      match pool with
+      | None -> extract_range (0, n)
+      | Some pool ->
+          let size = max 1 ((n + shards - 1) / shards) in
+          List.init shards (fun i -> (i * size, min n ((i + 1) * size)))
+          |> List.filter (fun (lo, hi) -> lo < hi)
+          |> Pool.map_list pool extract_range
+          |> ignore);
   (* 6. small supervision: balanced labeled sample, graded by the oracle
      (standing in for the paper's manual labeling). *)
   let oracle, classifier, cv_reports, training_set =

@@ -23,6 +23,11 @@ type config = {
   ordering_vocab : (string * string) list;  (** seeds for ordering patterns *)
   algo : Namer_ml.Pipeline.algo option;  (** [None] = cross-validated selection *)
   seed : int;
+  jobs : int;
+      (** worker domains for the sharded pipeline ([1] = fully sequential).
+          Any [jobs] value produces bit-identical results: shards are
+          deterministic ({!Namer_parallel.Shard}) and per-shard accumulators
+          merge in shard order, so parallelism changes only wall-clock. *)
 }
 
 val default_config : config
@@ -70,7 +75,10 @@ val builtin_pairs : Corpus.lang -> (string * string) list
 
 (** [build ?patterns cfg corpus] runs the full training pipeline.
     [patterns] short-circuits mining with a pre-mined store (the
-    mine-once / scan-many workflow of the CLI). *)
+    mine-once / scan-many workflow of the CLI).  With [cfg.jobs > 1] the
+    per-file digesting, pair mining, mining statistics, scan and feature
+    extraction run sharded on a domain pool, merged deterministically —
+    the result is bit-identical to a [jobs = 1] build. *)
 val build : ?patterns:Pattern.Store.t -> config -> Corpus.t -> t
 
 (** Re-draw the labeled sample and re-train the classifier on the same

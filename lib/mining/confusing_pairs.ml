@@ -52,6 +52,15 @@ let mem t pair = Namer_util.Counter.count t.folded (norm pair) > 0
     eligible deduction ends for confusing-word patterns. *)
 let is_correct_word t w = Hashtbl.mem t.correct_words w
 
+(** [merge ~into t] folds the pair tallies and correct-word set of [t] into
+    [into] — the monoid merge that lets commit history be diffed shard by
+    shard on separate domains.  Counter merges are commutative, so the
+    result is independent of the shard plan. *)
+let merge ~into t =
+  Namer_util.Counter.merge ~into:into.counts t.counts;
+  Namer_util.Counter.merge ~into:into.folded t.folded;
+  Hashtbl.iter (fun w () -> Hashtbl.replace into.correct_words w ()) t.correct_words
+
 let total_pairs t = Namer_util.Counter.distinct t.counts
 let top n t = Namer_util.Counter.top n t.counts
 

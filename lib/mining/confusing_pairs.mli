@@ -21,6 +21,10 @@ val mem : t -> string * string -> bool
     eligible confusing-word deduction end). *)
 val is_correct_word : t -> string -> bool
 
+(** [merge ~into t] folds [t]'s tallies and correct-word set into [into]
+    (monoid merge for sharded pair mining; commutative). *)
+val merge : into:t -> t -> unit
+
 val total_pairs : t -> int
 
 (** The [n] most frequent pairs with their commit counts. *)

@@ -161,11 +161,53 @@ let combinations ~max_subset_size (conds : 'a list) : 'a list list =
 
 let serialize = Namepath.to_string
 
-(** [mine ~config ~kind ~pairs stmts] runs the full pipeline:
+(* Per-shard pattern statistics merge: plain integer sums, so the merged
+   table is independent of the shard plan. *)
+module Stats_acc = struct
+  type t = (int, pattern_stats) Hashtbl.t
+
+  let empty () : t = Hashtbl.create (1 lsl 10)
+
+  let stat (t : t) id =
+    match Hashtbl.find_opt t id with
+    | Some s -> s
+    | None ->
+        let s = { matches = 0; sats = 0; viols = 0 } in
+        Hashtbl.replace t id s;
+        s
+
+  let merge ~into (t : t) =
+    Hashtbl.iter
+      (fun id (s : pattern_stats) ->
+        let d = stat into id in
+        d.matches <- d.matches + s.matches;
+        d.sats <- d.sats + s.sats;
+        d.viols <- d.viols + s.viols)
+      t
+end
+
+module Freq_acc = struct
+  type t = string Namer_util.Counter.t
+
+  let empty () : t = Namer_util.Counter.create ~size:(1 lsl 16) ()
+  let merge ~into t = Namer_util.Counter.merge ~into t
+end
+
+(** [mine ?pool ~config ~kind ~pairs stmts] runs the full pipeline:
     frequency filter → FP-tree growth → pattern generation → pruning.
-    [stmts] are the digests of every statement in the mining corpus. *)
-let mine ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
+    [stmts] are the digests of every statement in the mining corpus.
+    With [pool], the two corpus-wide counting passes (path frequencies and
+    [pruneUncommon] statistics) run sharded across its domains; both
+    accumulate commutative sums, so the mined store is identical to the
+    sequential run.  FP-tree growth stays sequential: the tree's node order
+    (and hence pattern-id assignment downstream) depends on insertion
+    order, which sharding would perturb. *)
+let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
     (stmts : Pattern.Stmt_paths.t list) : result =
+  let shards =
+    Namer_parallel.Shard.oversubscribe
+      ~jobs:(match pool with Some p -> Namer_parallel.Pool.size p | None -> 1)
+  in
   let kind_label =
     match kind with
     | `Consistency -> "consistency"
@@ -178,16 +220,21 @@ let mine ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
      symbolic form used by consistency deductions). *)
   let freq =
     Telemetry.with_span "mine:path-freq" @@ fun () ->
-    let freq = Namer_util.Counter.create ~size:(1 lsl 16) () in
-    List.iter
-      (fun (s : Pattern.Stmt_paths.t) ->
+    Namer_parallel.Accumulator.sharded_reduce
+      (module Freq_acc)
+      ?pool ~shards
+      (fun shard ->
+        let freq = Freq_acc.empty () in
         List.iter
-          (fun np ->
-            Namer_util.Counter.add freq (serialize np);
-            Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
-          s.Pattern.Stmt_paths.paths)
-      stmts;
-    freq
+          (fun (s : Pattern.Stmt_paths.t) ->
+            List.iter
+              (fun np ->
+                Namer_util.Counter.add freq (serialize np);
+                Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
+              s.Pattern.Stmt_paths.paths)
+          shard;
+        freq)
+      stmts
   in
   let frequent np = Namer_util.Counter.count freq (serialize np) > config.min_path_freq in
   (* Grow the FP-tree (lines 4–7).  The line-5 frequency filter applies to
@@ -270,30 +317,32 @@ let mine ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
   Telemetry.with_span "mine:prune" @@ fun () ->
   let candidate_store = Pattern.Store.create () in
   Hashtbl.iter (fun _ p -> ignore (Pattern.Store.add candidate_store p)) candidates;
-  let counts : (int, pattern_stats) Hashtbl.t = Hashtbl.create (1 lsl 14) in
-  let stat id =
-    match Hashtbl.find_opt counts id with
-    | Some s -> s
-    | None ->
-        let s = { matches = 0; sats = 0; viols = 0 } in
-        Hashtbl.replace counts id s;
-        s
+  (* The store is fully built and read-only from here on, so shards can
+     match against it concurrently; each shard tallies into its own table. *)
+  let counts =
+    Namer_parallel.Accumulator.sharded_reduce
+      (module Stats_acc)
+      ?pool ~shards
+      (fun shard ->
+        let counts = Stats_acc.empty () in
+        List.iter
+          (fun s ->
+            Pattern.Store.candidates candidate_store s
+            |> List.iter (fun (p : Pattern.t) ->
+                   match Pattern.check p s with
+                   | Pattern.No_match -> ()
+                   | Pattern.Satisfied ->
+                       let st = Stats_acc.stat counts p.id in
+                       st.matches <- st.matches + 1;
+                       st.sats <- st.sats + 1
+                   | Pattern.Violated _ ->
+                       let st = Stats_acc.stat counts p.id in
+                       st.matches <- st.matches + 1;
+                       st.viols <- st.viols + 1))
+          shard;
+        counts)
+      stmts
   in
-  List.iter
-    (fun s ->
-      Pattern.Store.candidates candidate_store s
-      |> List.iter (fun (p : Pattern.t) ->
-             match Pattern.check p s with
-             | Pattern.No_match -> ()
-             | Pattern.Satisfied ->
-                 let st = stat p.id in
-                 st.matches <- st.matches + 1;
-                 st.sats <- st.sats + 1
-             | Pattern.Violated _ ->
-                 let st = stat p.id in
-                 st.matches <- st.matches + 1;
-                 st.viols <- st.viols + 1))
-    stmts;
   let store = Pattern.Store.create () in
   let dataset_stats = Hashtbl.create (1 lsl 12) in
   Pattern.Store.iter

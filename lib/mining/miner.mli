@@ -39,9 +39,14 @@ val split_paths :
     Exposed for tests. *)
 val combinations : max_subset_size:int -> 'a list -> 'a list list
 
-(** [mine ~config ~kind ~pairs stmts] runs the full mining pipeline over
-    the digests of every statement in the corpus. *)
+(** [mine ?pool ~config ~kind ~pairs stmts] runs the full mining pipeline
+    over the digests of every statement in the corpus.  With [pool], the
+    corpus-wide counting passes (path frequencies, [pruneUncommon]
+    statistics) run sharded across its domains; the mined store is
+    identical to the sequential run because both passes accumulate
+    commutative sums. *)
 val mine :
+  ?pool:Namer_parallel.Pool.t ->
   config:config ->
   kind:[ `Confusing | `Consistency | `Ordering of (string * string) list ] ->
   pairs:Confusing_pairs.t ->

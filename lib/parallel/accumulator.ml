@@ -1,0 +1,30 @@
+(** Mergeable accumulators and the shard → map → merge-in-order combinators.
+    See the interface for the determinism contract. *)
+
+module type MERGEABLE = sig
+  type t
+
+  val empty : unit -> t
+  val merge : into:t -> t -> unit
+end
+
+let plan ?key ~shards xs =
+  match key with
+  | Some key -> Shard.contiguous_by_key ~shards ~key xs
+  | None -> Shard.contiguous ~shards xs
+
+let sharded_map ?pool ?key ~shards f xs =
+  let shards_l = plan ?key ~shards xs in
+  match pool with
+  | None -> List.map f shards_l
+  | Some pool -> Pool.map_list pool f shards_l
+
+let sharded_concat_map ?pool ?key ~shards f xs =
+  List.concat (sharded_map ?pool ?key ~shards f xs)
+
+let sharded_reduce (type acc) (module M : MERGEABLE with type t = acc) ?pool ?key
+    ~shards (f : 'a list -> acc) (xs : 'a list) : acc =
+  let parts = sharded_map ?pool ?key ~shards f xs in
+  let into = M.empty () in
+  List.iter (fun part -> M.merge ~into part) parts;
+  into

@@ -1,0 +1,225 @@
+(** Fixed-size domain pool with per-worker work-stealing deques.  See the
+    interface for the execution/determinism contract. *)
+
+module Telemetry = Namer_telemetry.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing deque                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = struct
+  (* A mutex-protected ring buffer.  The owner pushes and pops at the
+     bottom; thieves take from the top.  A lock per operation is plenty
+     here: tasks are shard-sized (milliseconds of work), so deque traffic
+     is a few dozen operations per pipeline stage, not a hot path. *)
+  type 'a t = {
+    m : Mutex.t;
+    mutable buf : 'a option array;
+    mutable top : int;  (** index of the oldest element *)
+    mutable size : int;
+  }
+
+  let create () = { m = Mutex.create (); buf = Array.make 64 None; top = 0; size = 0 }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let grow t =
+    let cap = Array.length t.buf in
+    let bigger = Array.make (2 * cap) None in
+    for k = 0 to t.size - 1 do
+      bigger.(k) <- t.buf.((t.top + k) mod cap)
+    done;
+    t.buf <- bigger;
+    t.top <- 0
+
+  let push_bottom t x =
+    locked t (fun () ->
+        if t.size = Array.length t.buf then grow t;
+        t.buf.((t.top + t.size) mod Array.length t.buf) <- Some x;
+        t.size <- t.size + 1)
+
+  let pop_bottom t =
+    locked t (fun () ->
+        if t.size = 0 then None
+        else begin
+          let i = (t.top + t.size - 1) mod Array.length t.buf in
+          let x = t.buf.(i) in
+          t.buf.(i) <- None;
+          t.size <- t.size - 1;
+          x
+        end)
+
+  let steal_top t =
+    locked t (fun () ->
+        if t.size = 0 then None
+        else begin
+          let x = t.buf.(t.top) in
+          t.buf.(t.top) <- None;
+          t.top <- (t.top + 1) mod Array.length t.buf;
+          t.size <- t.size - 1;
+          x
+        end)
+
+  let length t = locked t (fun () -> t.size)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Futures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = { fm : Mutex.t; fc : Condition.t; mutable state : 'a state }
+
+let await fut =
+  Mutex.lock fut.fm;
+  while fut.state = Pending do
+    Condition.wait fut.fc fut.fm
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let resolve fut st =
+  Mutex.lock fut.fm;
+  fut.state <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  deques : (unit -> unit) Deque.t array;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;  (** protects [stop] and the sleep condition *)
+  work : Condition.t;
+  mutable stop : bool;
+  queued : int Atomic.t;  (** tasks pushed but not yet taken *)
+  rr : int Atomic.t;
+  n_steals : int Atomic.t;
+  n_executed : int Atomic.t array;
+}
+
+let size t = Array.length t.deques
+
+(* Take work: own deque first (bottom), then sweep the other deques
+   (top).  Decrements [queued] exactly once per task taken. *)
+let find_task t i =
+  let took task =
+    Atomic.decr t.queued;
+    Some task
+  in
+  match Deque.pop_bottom t.deques.(i) with
+  | Some task -> took task
+  | None ->
+      let n = Array.length t.deques in
+      let rec sweep k =
+        if k >= n then None
+        else
+          match Deque.steal_top t.deques.((i + k) mod n) with
+          | Some task ->
+              Atomic.incr t.n_steals;
+              Telemetry.count "pool.steals";
+              took task
+          | None -> sweep (k + 1)
+      in
+      sweep 1
+
+let worker t i () =
+  Telemetry.with_span ~args:[ ("worker", string_of_int i) ] "domain-worker"
+  @@ fun () ->
+  let rec loop () =
+    match find_task t i with
+    | Some task ->
+        task ();
+        Atomic.incr t.n_executed.(i);
+        loop ()
+    | None ->
+        Mutex.lock t.m;
+        (* Re-check under the lock: a submit between [find_task] and here
+           broadcast before we were waiting, so never sleep while work (or
+           shutdown) is pending. *)
+        let continue_ =
+          if t.stop && Atomic.get t.queued = 0 then false
+          else begin
+            if Atomic.get t.queued = 0 then Condition.wait t.work t.m;
+            true
+          end
+        in
+        Mutex.unlock t.m;
+        if continue_ then loop ()
+  in
+  loop ()
+
+let create ~domains () =
+  let n = max 1 domains in
+  let t =
+    {
+      deques = Array.init n (fun _ -> Deque.create ());
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      stop = false;
+      queued = Atomic.make 0;
+      rr = Atomic.make 0;
+      n_steals = Atomic.make 0;
+      n_executed = Array.init n (fun _ -> Atomic.make 0);
+    }
+  in
+  t.workers <- Array.init n (fun i -> Domain.spawn (worker t i));
+  Telemetry.count ~by:n "pool.domains_spawned";
+  t
+
+let submit ?on t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let task () =
+    let st = match f () with v -> Done v | exception e -> Failed e in
+    resolve fut st
+  in
+  let n = Array.length t.deques in
+  let i =
+    match on with
+    | Some i -> ((i mod n) + n) mod n
+    | None -> Atomic.fetch_and_add t.rr 1 mod n
+  in
+  Deque.push_bottom t.deques.(i) task;
+  Atomic.incr t.queued;
+  Telemetry.count "pool.tasks";
+  Mutex.lock t.m;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  fut
+
+let map_list t f xs =
+  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+  (* settle every future before raising, so no task is left running with a
+     reference to data the caller believes is dead *)
+  let settled =
+    List.map (fun fut -> match await fut with v -> Ok v | exception e -> Error e) futs
+  in
+  List.map (function Ok v -> v | Error e -> raise e) settled
+
+let steals t = Atomic.get t.n_steals
+let executed t = Array.map Atomic.get t.n_executed
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  if not already then Array.iter Domain.join t.workers
+
+let run ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = create ~domains:jobs () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end

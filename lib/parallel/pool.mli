@@ -1,0 +1,71 @@
+(** A fixed-size pool of OCaml 5 domains with per-worker work-stealing
+    deques — the execution engine of the sharded pipeline.
+
+    Each worker owns one deque: it pushes and pops work at the bottom
+    (LIFO, cache-friendly) while idle workers steal from the top (FIFO, so
+    the oldest — typically largest — shard migrates first).  Submissions
+    from outside the pool are distributed round-robin across deques, which
+    keeps the initial assignment deterministic; work stealing then
+    rebalances dynamically without affecting results, because callers merge
+    futures in submission order (see {!Namer_parallel.Shard}).
+
+    The pool is an execution mechanism only: it makes no ordering promises
+    about when tasks run.  Determinism is the contract of the *merge*
+    performed by the caller, which is why {!map_list} returns results in
+    input order regardless of completion order. *)
+
+type t
+
+(** [create ~domains ()] spawns [domains] worker domains (clamped to ≥ 1).
+    The creating domain is not a worker; it submits and awaits. *)
+val create : domains:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+type 'a future
+
+(** [submit ?on pool f] enqueues [f] and returns its future.  [on] pins the
+    task to worker [on mod size] (used by tests to force stealing);
+    otherwise tasks are distributed round-robin. *)
+val submit : ?on:int -> t -> (unit -> 'a) -> 'a future
+
+(** [await fut] blocks until the task completes; re-raises the task's
+    exception if it failed. *)
+val await : 'a future -> 'a
+
+(** [map_list pool f xs] runs [f] on every element concurrently and returns
+    the results in input order.  If any task raised, the first (by input
+    order) exception is re-raised after all tasks have settled. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Total successful steals since creation (fairness telemetry). *)
+val steals : t -> int
+
+(** Per-worker executed-task counts, index = worker id. *)
+val executed : t -> int array
+
+(** Drain remaining work, stop and join all workers.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [run ~jobs f] calls [f None] when [jobs <= 1] (sequential path) and
+    otherwise [f (Some pool)] with a fresh [jobs]-domain pool that is shut
+    down when [f] returns or raises. *)
+val run : jobs:int -> (t option -> 'a) -> 'a
+
+(** The work-stealing deque itself, exposed for deterministic unit tests. *)
+module Deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** Owner end: LIFO. *)
+  val push_bottom : 'a t -> 'a -> unit
+
+  val pop_bottom : 'a t -> 'a option
+
+  (** Thief end: FIFO. *)
+  val steal_top : 'a t -> 'a option
+
+  val length : 'a t -> int
+end

@@ -1,0 +1,26 @@
+(** Deterministic corpus sharding.
+
+    A shard plan is a *pure function* of the input list and the requested
+    shard count — never of timing, domain count or scheduling — and every
+    plan is contiguous: concatenating the shards in index order
+    reconstructs the input exactly.  Those two properties are what let the
+    parallel pipeline merge per-shard results in shard order and produce
+    output bit-identical to the sequential run (the [--jobs 1] /
+    [--jobs N] byte-equality guarantee). *)
+
+(** [contiguous ~shards xs] splits [xs] into at most [shards] contiguous
+    chunks of near-equal length.  Empty shards are dropped;
+    [List.concat (contiguous ~shards xs) = xs]. *)
+val contiguous : shards:int -> 'a list -> 'a list list
+
+(** [contiguous_by_key ~shards ~key xs] additionally never splits a run of
+    consecutive elements with the same key, so a repository whose files are
+    stored contiguously (as corpus generators and directory walks produce
+    them) is digested whole by a single domain and its per-shard interners
+    and counters stay repo-local.  Chunk count may slightly exceed or fall
+    short of [shards] when key runs are coarse. *)
+val contiguous_by_key : shards:int -> key:('a -> string) -> 'a list -> 'a list list
+
+(** Shard count heuristic: [oversubscribe ~jobs] = [4 × jobs], enough
+    slack for the work-stealing pool to rebalance uneven shards. *)
+val oversubscribe : jobs:int -> int

@@ -12,8 +12,10 @@
     load of an [enabled] flag, so instrumented code pays one branch and no
     allocation when telemetry is off.  When the sink is {!Memory}, all state
     lives behind one mutex, making the recorder safe to call from multiple
-    domains (spans keep a per-recorder depth, so concurrent spans interleave
-    but never corrupt state). *)
+    domains; span nesting depth is tracked per domain (domain-local
+    storage), and every span records the id of the domain that opened it
+    ([tid]), so a parallel [--jobs N] run exports one timeline lane per
+    domain in the Chrome trace. *)
 
 type sink = Null | Memory
 
@@ -29,6 +31,7 @@ type span = {
   ts_us : float;
   dur_us : float;
   depth : int;
+  tid : int;  (** id of the domain that opened the span *)
   alloc_bytes : float;
   args : (string * string) list;
 }
@@ -57,7 +60,11 @@ let mutex = Mutex.create ()
 let enabled_flag = ref false
 let epoch = ref 0.0
 let spans_rev : span list ref = ref []
-let depth = ref 0
+
+(* Span nesting depth is a per-domain notion: each domain nests its own
+   spans independently, so depth lives in domain-local storage rather than
+   behind the mutex. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
 let hists_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16
 
@@ -67,7 +74,7 @@ let locked f =
 
 let clear_unlocked () =
   spans_rev := [];
-  depth := 0;
+  Domain.DLS.get depth_key := 0;
   Hashtbl.reset counters_tbl;
   Hashtbl.reset hists_tbl;
   epoch := Unix.gettimeofday ()
@@ -102,20 +109,24 @@ let bytes_per_word = float_of_int (Sys.word_size / 8)
 let with_span ?(args = []) ?record_ms name f =
   if not !enabled_flag then f ()
   else begin
-    let d = locked (fun () -> let d = !depth in depth := d + 1; d) in
+    let depth_ref = Domain.DLS.get depth_key in
+    let d = !depth_ref in
+    depth_ref := d + 1;
+    let tid = (Domain.self () :> int) in
     let g0 = alloc_words (Gc.quick_stat ()) in
     let t0 = Unix.gettimeofday () in
     let finish () =
       let t1 = Unix.gettimeofday () in
       let g1 = alloc_words (Gc.quick_stat ()) in
+      depth_ref := d;
       locked (fun () ->
-          depth := !depth - 1;
           spans_rev :=
             {
               name;
               ts_us = (t0 -. !epoch) *. 1e6;
               dur_us = (t1 -. t0) *. 1e6;
               depth = d;
+              tid;
               alloc_bytes = (g1 -. g0) *. bytes_per_word;
               args;
             }
@@ -256,7 +267,7 @@ let to_chrome_json () =
         ("ts", J.Float s.ts_us);
         ("dur", J.Float s.dur_us);
         ("pid", J.Int 1);
-        ("tid", J.Int 1);
+        ("tid", J.Int s.tid);
         ( "args",
           J.Obj
             (("alloc_bytes", J.Float s.alloc_bytes)
@@ -280,7 +291,9 @@ let summary_json (s : summary) =
       ("p99", J.Float s.p99);
     ]
 
-let stages_json () =
+(** [stages_to_json stages] renders a captured stage list (e.g. a snapshot
+    taken between two instrumented runs being compared) as JSON. *)
+let stages_to_json stage_list =
   J.Obj
     (List.map
        (fun s ->
@@ -291,7 +304,9 @@ let stages_json () =
                ("wall_ms", J.Float s.wall_ms);
                ("alloc_mb", J.Float s.alloc_mb);
              ] ))
-       (stages ()))
+       stage_list)
+
+let stages_json () = stages_to_json (stages ())
 
 (** The whole metric registry — counters, histogram summaries and stage
     aggregates — as one JSON object ([namer stats], [BENCH_pipeline.json]). *)

@@ -38,6 +38,12 @@ let top n t =
 let iter f t = Hashtbl.iter f t
 let fold f t init = Hashtbl.fold f t init
 
+(** [merge ~into t] adds every tally of [t] into [into].  Integer addition
+    commutes, so merging per-shard counters yields the same multiset no
+    matter how the corpus was sharded — the mining pipeline's determinism
+    rests on this. *)
+let merge ~into t = Hashtbl.iter (fun k by -> add ~by into k) t
+
 (** Elements whose count meets [min_count], unordered. *)
 let filter_min t ~min_count =
   Hashtbl.fold (fun k v acc -> if v >= min_count then (k, v) :: acc else acc) t []

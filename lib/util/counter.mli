@@ -22,5 +22,9 @@ val top : int -> 'a t -> ('a * int) list
 val iter : ('a -> int -> unit) -> 'a t -> unit
 val fold : ('a -> int -> 'b -> 'b) -> 'a t -> 'b -> 'b
 
+(** [merge ~into t] adds every tally of [t] into [into] (monoid merge for
+    the sharded pipeline; commutative, so shard order is irrelevant). *)
+val merge : into:'a t -> 'a t -> unit
+
 (** Elements with count ≥ [min_count], unordered. *)
 val filter_min : 'a t -> min_count:int -> ('a * int) list

@@ -1,0 +1,80 @@
+(* Bench-regression gate (the @bench-smoke alias): compares a freshly
+   measured BENCH_pipeline.json against the committed baseline and fails
+   if any pipeline stage's wall clock regressed more than 3x (plus a 50 ms
+   absolute floor, so microsecond stages don't trip on noise), or if the
+   fresh run's jobs=1 / jobs=N reports diverged.
+
+   Accepts both baseline schemas: the original flat stage map (schema 1)
+   and the {schema: 2, stages, stages_parallel, ...} envelope, so the gate
+   keeps working across baseline refreshes.
+
+   Usage: check_bench FRESH.json BASELINE.json *)
+
+module J = Namer_util.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let read_json path =
+  let content =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  match J.parse content with
+  | Ok j -> j
+  | Error msg -> fail "%s is not valid JSON: %s" path msg
+
+let assoc name = function
+  | J.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* stage name → wall_ms, from either schema *)
+let stage_walls path json =
+  let stages =
+    match assoc "schema" json with
+    | Some (J.Int _) -> (
+        match assoc "stages" json with
+        | Some (J.Obj fields) -> fields
+        | _ -> fail "%s: schema >= 2 but no stages object" path)
+    | _ -> ( match json with J.Obj fields -> fields | _ -> fail "%s: not an object" path)
+  in
+  List.filter_map
+    (fun (name, v) ->
+      match assoc "wall_ms" v with
+      | Some (J.Float f) -> Some (name, f)
+      | Some (J.Int i) -> Some (name, float_of_int i)
+      | _ -> None)
+    stages
+
+let () =
+  let fresh_path, baseline_path =
+    match Sys.argv with
+    | [| _; f; b |] -> (f, b)
+    | _ -> fail "usage: check_bench FRESH.json BASELINE.json"
+  in
+  let fresh = read_json fresh_path and baseline = read_json baseline_path in
+  (match assoc "reports_identical" fresh with
+  | Some (J.Bool false) ->
+      fail "%s: jobs=1 and parallel reports diverged — determinism broken" fresh_path
+  | _ -> ());
+  let fresh_walls = stage_walls fresh_path fresh in
+  if fresh_walls = [] then fail "%s records no stages" fresh_path;
+  let regressions = ref [] in
+  List.iter
+    (fun (stage, base_ms) ->
+      match List.assoc_opt stage fresh_walls with
+      | None -> ()
+      | Some fresh_ms ->
+          let limit = (base_ms *. 3.0) +. 50.0 in
+          if fresh_ms > limit then
+            regressions :=
+              Printf.sprintf "%s: %.1f ms vs baseline %.1f ms (limit %.1f ms)" stage
+                fresh_ms base_ms limit
+              :: !regressions)
+    (stage_walls baseline_path baseline);
+  if !regressions <> [] then
+    fail "wall-clock regression >3x:\n  %s" (String.concat "\n  " (List.rev !regressions));
+  Printf.printf "OK: %d stages within 3x of baseline\n" (List.length fresh_walls)
