@@ -32,10 +32,13 @@ bench:
 	dune exec bench/main.exe
 
 # Re-measure the pipeline and gate against the committed baseline
-# (test/check_bench.ml: >3x per-stage wall-clock regression, or jobs=1 vs
-# jobs=4 report divergence, fails the build).
+# (test/check_bench.ml: >3x per-stage wall-clock regression, jobs=1 vs
+# jobs=4 report divergence, speedup < 1.0x, or >1.5x build allocation
+# growth, fails the build).  The second line re-runs the checker so the
+# speedup and allocation deltas print even when the alias was cached.
 bench-smoke:
 	dune build @bench-smoke
+	dune exec test/check_bench.exe -- _build/default/test/BENCH_pipeline.json BENCH_pipeline.json
 
 # Everything the CI workflow checks, in order.
 ci: build test fmt bench-smoke

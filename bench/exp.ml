@@ -375,21 +375,24 @@ let print_baselines_table ~caption rows ~(namer_outcome : Namer.outcome) =
 let print_figure3 () =
   let module Fptree = Namer_mining.Fptree in
   let t = Fptree.create () in
+  (* the tree holds interned ids; render id [i] as "NP<i>" for the table *)
+  let label i = Printf.sprintf "NP%d" i in
   let ins items n =
     for _ = 1 to n do
       Fptree.insert t items
     done
   in
-  ins [ "NP1"; "NP2" ] 33;
-  ins [ "NP1"; "NP3"; "NP5" ] 15;
-  ins [ "NP1"; "NP3"; "NP4" ] 14;
-  ins [ "NP1"; "NP3"; "NP4"; "NP6" ] 13;
+  ins [ 1; 2 ] 33;
+  ins [ 1; 3; 5 ] 15;
+  ins [ 1; 3; 4 ] 14;
+  ins [ 1; 3; 4; 6 ] 13;
   let rows =
     Fptree.fold_last_nodes t
       ~f:(fun acc ~path_items ~support ->
         let rev = List.rev path_items in
         let deduction = List.hd rev and cond = List.rev (List.tl rev) in
-        [ String.concat ", " cond; deduction; string_of_int support ] :: acc)
+        [ String.concat ", " (List.map label cond); label deduction; string_of_int support ]
+        :: acc)
       []
     |> List.sort compare
   in

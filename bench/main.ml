@@ -19,8 +19,9 @@ module Telemetry = Namer_telemetry.Telemetry
 (* Instrumented end-to-end build on a 15-repo Python corpus, once with
    jobs=1 and once with jobs=4: prints the sequential per-stage cost table,
    verifies the two runs report identical violations, and writes both stage
-   maps plus the speedup to BENCH_pipeline.json (schema 2), the
-   machine-readable trajectory file that perf PRs compare against. *)
+   maps, the speedup and the interning micro-benchmarks to
+   BENCH_pipeline.json (schema 3), the machine-readable trajectory file
+   that perf PRs compare against. *)
 let telemetry_bench () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
   let corpus =
@@ -42,27 +43,56 @@ let telemetry_bench () =
     let t = Namer.build { Namer.default_config with Namer.jobs } corpus in
     (t, Telemetry.stages ())
   in
-  let t, stages_seq = run ~jobs:1 in
+  let build_wall stages =
+    match List.find_opt (fun s -> s.Telemetry.stage = "build") stages with
+    | Some s -> s.Telemetry.wall_ms
+    | None -> infinity
+  in
+  (* one untimed warmup build so every timed run sees warm caches and a
+     grown heap, then interleaved best-of-3 per jobs setting: the min wall
+     is the standard noise-free estimator, and interleaving keeps thermal /
+     paging drift from favoring whichever setting runs last *)
+  ignore (run ~jobs:1);
+  let best ~jobs previous =
+    let fresh = run ~jobs in
+    match previous with
+    | Some prev when build_wall (snd prev) <= build_wall (snd fresh) -> Some prev
+    | _ -> Some fresh
+  in
+  let jobs_parallel = 4 in
+  let rec measure k seq par =
+    if k = 0 then (Option.get seq, Option.get par)
+    else measure (k - 1) (best ~jobs:1 seq) (best ~jobs:jobs_parallel par)
+  in
+  let (t, stages_seq), (t_par, stages_par) = measure 3 None None in
   Printf.printf "corpus: %d files → %d patterns, %d violations\n\n"
     (List.length corpus.Corpus.files)
     (Namer_pattern.Pattern.Store.size t.Namer.store)
     (Array.length t.Namer.violations);
-  print_string (Telemetry.stage_table ());
-  let jobs_parallel = 4 in
-  let t_par, stages_par = run ~jobs:jobs_parallel in
+  print_string (Telemetry.stage_table ~stages:stages_seq ());
   let reports_identical = String.equal (fingerprint t) (fingerprint t_par) in
-  let wall name st =
-    match List.find_opt (fun s -> s.Telemetry.stage = name) st with
-    | Some s -> s.Telemetry.wall_ms
-    | None -> 0.0
+  (* cap_domains clamps the worker count to the hardware; when that
+     collapses jobs=N to the sequential path (a 1-core machine), the two
+     timed configurations are the same program and their ratio is pure
+     measurement noise — the honest speedup is 1.0 by construction *)
+  let effective_jobs =
+    if Namer.default_config.Namer.cap_domains then
+      min jobs_parallel (Domain.recommended_domain_count ())
+    else jobs_parallel
   in
   let speedup =
-    let par = wall "build" stages_par in
-    if par > 0.0 then wall "build" stages_seq /. par else 1.0
+    let par = build_wall stages_par in
+    if effective_jobs <= 1 then 1.0
+    else if par > 0.0 && par < infinity then build_wall stages_seq /. par
+    else 1.0
   in
-  Printf.printf "\njobs=1 vs jobs=%d: build %.0f ms vs %.0f ms (%.2fx), reports %s\n"
-    jobs_parallel (wall "build" stages_seq) (wall "build" stages_par) speedup
+  Printf.printf "\njobs=1 vs jobs=%d: build %.0f ms vs %.0f ms (%.2fx, best of 3%s), reports %s\n"
+    jobs_parallel (build_wall stages_seq) (build_wall stages_par) speedup
+    (if effective_jobs <= 1 then "; capped to 1 domain — same configuration, speedup 1.0 by construction"
+     else "")
     (if reports_identical then "identical" else "DIFFERENT");
+  let micro = Perf.micro_estimates () in
+  List.iter (fun (name, ns) -> Printf.printf "micro %-32s %s\n" name (Perf.pretty_ns ns)) micro;
   let path = "BENCH_pipeline.json" in
   let module J = Namer_util.Json in
   let oc = open_out path in
@@ -70,16 +100,18 @@ let telemetry_bench () =
     (J.to_string ~indent:2
        (J.Obj
           [
-            ("schema", J.Int 2);
+            ("schema", J.Int 3);
             ("jobs_parallel", J.Int jobs_parallel);
+            ("jobs_parallel_effective", J.Int effective_jobs);
             ("speedup", J.Float speedup);
             ("reports_identical", J.Bool reports_identical);
             ("stages", Telemetry.stages_to_json stages_seq);
             ("stages_parallel", Telemetry.stages_to_json stages_par);
+            ("micro", J.Obj (List.map (fun (name, ns) -> (name, J.Float ns)) micro));
           ]));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) to %s\n"
+  Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) + micro to %s\n"
     jobs_parallel path;
   if not reports_identical then exit 1
 

@@ -85,7 +85,7 @@ let tests () =
            |> List.iter (fun p -> ignore (Pattern.check p digest))))
   in
   let fptree_insert =
-    let items = List.init 8 (fun i -> Printf.sprintf "path-%d" i) in
+    let items = List.init 8 (fun i -> i) in
     let tree = Namer_mining.Fptree.create () in
     Test.make ~name:"fp-tree: one insertion"
       (Staged.stage (fun () -> Namer_mining.Fptree.insert tree items))
@@ -101,30 +101,81 @@ let tests () =
   Test.make_grouped ~name:"namer"
     [ parse_py; analyze_py; parse_java; analyze_java; match_stmt; fptree_insert; classify ]
 
-let run () =
-  print_endline "\n### Micro-benchmarks (§5.1 speed; Bechamel, monotonic clock) ###\n";
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (tests ()) in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+(* ---------------- interning micro-benchmarks ---------------- *)
+
+(* The hot-path primitives behind the hash-consed pipeline, plus the
+   canonical-text-vs-interned-id comparison they replace.  Estimates feed
+   the "micro" section of BENCH_pipeline.json (schema 3). *)
+let micro_tests () =
+  let module Interner = Namer_util.Interner in
+  let module Namepath = Namer_namepath.Namepath in
+  let words = Array.init 256 (fun i -> Printf.sprintf "sub_token_%d" i) in
+  let populated =
+    let i = Interner.create () in
+    Array.iter (fun w -> ignore (Interner.intern i w)) words;
+    i
   in
+  let intern_hit =
+    Test.make ~name:"intern: hit"
+      (Staged.stage (fun () -> ignore (Interner.intern populated words.(57))))
+  in
+  let lookup_hit =
+    Test.make ~name:"intern: lookup"
+      (Staged.stage (fun () -> ignore (Interner.lookup populated words.(191))))
+  in
+  let remap_merge =
+    Test.make ~name:"intern: remap-merge 256 ids"
+      (Staged.stage (fun () ->
+           let into = Interner.create () in
+           ignore (Interner.remap ~into populated)))
+  in
+  (* what one hot-loop key operation used to cost (render the canonical
+     text, hash it) vs what it costs now (hash a machine int) *)
+  let path =
+    Namepath.of_string
+      "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 True"
+  in
+  let interned = Namepath.Interned.of_path ~table:(Namepath.Interned.create_table ()) path in
+  let key_text =
+    Test.make ~name:"key: canonical text render+hash"
+      (Staged.stage (fun () -> ignore (Hashtbl.hash (Namepath.to_string path))))
+  in
+  let key_id =
+    Test.make ~name:"key: interned id hash"
+      (Staged.stage (fun () -> ignore (Hashtbl.hash interned.Namepath.Interned.pid)))
+  in
+  Test.make_grouped ~name:"intern"
+    [ intern_hit; lookup_hit; remap_merge; key_text; key_id ]
+
+let estimates ?(quota = 1.0) tests =
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] ->
-          let pretty =
-            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
-            else Printf.sprintf "%.0f ns" ns
-          in
-          rows := [ name; pretty ] :: !rows
+      | Some [ ns ] -> rows := (name, ns) :: !rows
       | _ -> ())
     results;
+  List.sort compare !rows
+
+(* (benchmark, ns/run) for the interning primitives — exported for the
+   telemetry bench's BENCH_pipeline.json "micro" section. *)
+let micro_estimates () = estimates ~quota:0.25 (micro_tests ())
+
+let pretty_ns ns =
+  if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run () =
+  print_endline "\n### Micro-benchmarks (§5.1 speed; Bechamel, monotonic clock) ###\n";
+  let rows = estimates (tests ()) @ estimates ~quota:0.25 (micro_tests ()) in
   Namer_util.Tablefmt.print ~caption:"time per run (OLS estimate)"
     ~header:[ "benchmark"; "time/run" ]
-    (List.sort compare !rows);
+    (List.map (fun (name, ns) -> [ name; pretty_ns ns ]) rows);
   print_endline
     "  paper's reference: 39 ms/file Python, 20 ms/file Java on a 28-core Xeon\n\
      (absolute values are machine-dependent; see EXPERIMENTS.md)"

@@ -14,6 +14,8 @@ module Confusing_pairs = Namer_mining.Confusing_pairs
 type stmt_ctx = {
   file : string;
   repo : string;
+  mutable file_id : int;  (** dense corpus-wide file id; -1 until assigned *)
+  mutable repo_id : int;  (** dense corpus-wide repo id; -1 until assigned *)
   tree_hash : int;  (** structural hash of the parsed statement tree *)
   n_paths : int;  (** number of extracted name paths (feature 1) *)
 }
@@ -24,11 +26,13 @@ let fresh_counts () = { matches = 0; sats = 0; viols = 0 }
 
 (** Corpus-level aggregates, accumulated during the scan pass. *)
 module Agg = struct
+  (* All keys are dense ids ((file id, hash), (pattern id, repo id), …):
+     int-pair hashing in the scan hot loop, no string keys. *)
   type t = {
-    identical_file : (string * int, int) Hashtbl.t;  (** (file, hash) → count *)
-    identical_repo : (string * int, int) Hashtbl.t;  (** (repo, hash) → count *)
-    per_file : (int * string, counts) Hashtbl.t;  (** (pattern, file) *)
-    per_repo : (int * string, counts) Hashtbl.t;  (** (pattern, repo) *)
+    identical_file : (int * int, int) Hashtbl.t;  (** (file id, hash) → count *)
+    identical_repo : (int * int, int) Hashtbl.t;  (** (repo id, hash) → count *)
+    per_file : (int * int, counts) Hashtbl.t;  (** (pattern, file id) *)
+    per_repo : (int * int, counts) Hashtbl.t;  (** (pattern, repo id) *)
     dataset : (int, counts) Hashtbl.t;  (** pattern → corpus-wide *)
   }
 
@@ -47,8 +51,8 @@ module Agg = struct
   (** Record one scanned statement (for identical-statement counts). *)
   let add_stmt t (s : stmt_ctx) =
     Namer_telemetry.Telemetry.count "agg.stmts";
-    bump t.identical_file (s.file, s.tree_hash);
-    bump t.identical_repo (s.repo, s.tree_hash)
+    bump t.identical_file (s.file_id, s.tree_hash);
+    bump t.identical_repo (s.repo_id, s.tree_hash)
 
   let counts_of tbl key =
     match Hashtbl.find_opt tbl key with
@@ -71,8 +75,8 @@ module Agg = struct
           | Pattern.Violated _ -> c.viols <- c.viols + 1
           | Pattern.No_match -> ()
         in
-        update (counts_of t.per_file (pattern_id, s.file));
-        update (counts_of t.per_repo (pattern_id, s.repo));
+        update (counts_of t.per_file (pattern_id, s.file_id));
+        update (counts_of t.per_repo (pattern_id, s.repo_id));
         update (counts_of t.dataset pattern_id)
 
   let lookup tbl key =
@@ -128,8 +132,8 @@ let names =
 let extract (agg : Agg.t) (pairs : Confusing_pairs.t) (s : stmt_ctx)
     (p : Pattern.t) (info : Pattern.violation_info) : float array =
   let fi = float_of_int in
-  let file_c = Agg.lookup agg.Agg.per_file (p.id, s.file) in
-  let repo_c = Agg.lookup agg.Agg.per_repo (p.id, s.repo) in
+  let file_c = Agg.lookup agg.Agg.per_file (p.id, s.file_id) in
+  let repo_c = Agg.lookup agg.Agg.per_repo (p.id, s.repo_id) in
   let data_c = Agg.lookup agg.Agg.dataset p.id in
   let rate (c : counts) = if c.matches = 0 then 0.0 else fi c.sats /. fi c.matches in
   let n_cond = List.length p.condition in
@@ -140,8 +144,8 @@ let extract (agg : Agg.t) (pairs : Confusing_pairs.t) (s : stmt_ctx)
   in
   [|
     (* 1 *) fi s.n_paths;
-    (* 2 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_file (s.file, s.tree_hash)) ~default:1);
-    (* 3 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_repo (s.repo, s.tree_hash)) ~default:1);
+    (* 2 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_file (s.file_id, s.tree_hash)) ~default:1);
+    (* 3 *) fi (Option.value (Hashtbl.find_opt agg.Agg.identical_repo (s.repo_id, s.tree_hash)) ~default:1);
     (* 4 *) rate file_c;
     (* 5 *) rate repo_c;
     (* 6 *) rate data_c;

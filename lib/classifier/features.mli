@@ -8,8 +8,10 @@ module Confusing_pairs = Namer_mining.Confusing_pairs
 
 (** Feature-relevant context of the violating statement. *)
 type stmt_ctx = {
-  file : string;
+  file : string;  (** for report rendering — not a hot-path key *)
   repo : string;
+  mutable file_id : int;  (** dense corpus-wide file id; -1 until assigned *)
+  mutable repo_id : int;  (** dense corpus-wide repo id; -1 until assigned *)
   tree_hash : int;  (** structural hash of the parsed statement tree *)
   n_paths : int;  (** number of extracted name paths (feature 1) *)
 }
@@ -19,10 +21,10 @@ type counts = { mutable matches : int; mutable sats : int; mutable viols : int }
 (** Corpus-level aggregates, accumulated during the scan pass. *)
 module Agg : sig
   type t = {
-    identical_file : (string * int, int) Hashtbl.t;
-    identical_repo : (string * int, int) Hashtbl.t;
-    per_file : (int * string, counts) Hashtbl.t;
-    per_repo : (int * string, counts) Hashtbl.t;
+    identical_file : (int * int, int) Hashtbl.t;  (** (file id, hash) *)
+    identical_repo : (int * int, int) Hashtbl.t;  (** (repo id, hash) *)
+    per_file : (int * int, counts) Hashtbl.t;  (** (pattern id, file id) *)
+    per_repo : (int * int, counts) Hashtbl.t;  (** (pattern id, repo id) *)
     dataset : (int, counts) Hashtbl.t;
   }
 

@@ -30,6 +30,7 @@ module Telemetry = Namer_telemetry.Telemetry
 module Pool = Namer_parallel.Pool
 module Shard = Namer_parallel.Shard
 module Accumulator = Namer_parallel.Accumulator
+module Interner = Namer_util.Interner
 
 type config = {
   use_analysis : bool;
@@ -51,6 +52,11 @@ type config = {
       (** worker domains for the sharded pipeline; [1] = fully sequential.
           Results are bit-identical for every value (deterministic shards,
           shard-order merges) — parallelism changes only wall-clock. *)
+  cap_domains : bool;
+      (** clamp [jobs] to the hardware ([Domain.recommended_domain_count]);
+          oversubscribing domains beyond cores makes OCaml 5 slower
+          (stop-the-world minor GCs) without changing any result.  Tests
+          that need real domains on small machines switch it off. *)
 }
 
 let default_config =
@@ -69,6 +75,7 @@ let default_config =
     algo = Some Namer_ml.Pipeline.Svm;
     seed = 7;
     jobs = 1;
+    cap_domains = true;
   }
 
 (** One scanned statement: digest plus everything feature extraction and
@@ -120,7 +127,7 @@ module Log = (val Logs.src_log log)
 (* Digesting a corpus                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let digest_file ~cfg ~lang ~(file : Corpus.file) : scanned_stmt list =
+let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () : scanned_stmt list =
   match Frontend.parse_file_opt lang ~use_analysis:cfg.use_analysis file.Corpus.source with
   | None ->
       Telemetry.count "frontend.files_skipped";
@@ -141,13 +148,16 @@ let digest_file ~cfg ~lang ~(file : Corpus.file) : scanned_stmt list =
       List.map
         (fun ((s : Frontend.stmt), ast_plus) ->
           let digest =
-            Pattern.Stmt_paths.of_tree ~limit:cfg.miner.Miner.max_stmt_paths ast_plus
+            Pattern.Stmt_paths.of_tree ?table ~limit:cfg.miner.Miner.max_stmt_paths
+              ast_plus
           in
           {
             sctx =
               {
                 Features.file = file.Corpus.path;
                 repo = file.Corpus.repo;
+                file_id = -1;
+                repo_id = -1;
                 tree_hash = Tree.hash s.tree;
                 n_paths = digest.Pattern.Stmt_paths.n_paths;
               };
@@ -275,23 +285,69 @@ let train_classifier ~(cfg : config) ~prng ~(violations : violation array) ~grad
     commutative accumulators, so a [jobs = N] build is bit-identical to a
     [jobs = 1] build — only wall-clock changes. *)
 let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
-  Pool.run ~jobs:cfg.jobs @@ fun pool ->
-  let shards = Shard.oversubscribe ~jobs:cfg.jobs in
+  Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+  let shards =
+    Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
+  in
   Telemetry.with_span "build" @@ fun () ->
   let lang = corpus.Corpus.lang in
   let prng = Prng.create cfg.seed in
   (* 1. digest every file: parse → analyze → AST+ → name paths, each shard
      (contiguous, repo-aligned) on its own domain.  Flattening the
      per-shard statement lists in shard order reproduces the sequential
-     statement order exactly, which everything downstream depends on. *)
+     statement order exactly, which everything downstream depends on.
+     With a pool, each shard interns name paths into its own local table —
+     worker domains never touch the shared one — and the tables merge into
+     the global id space in shard order afterwards, reproducing the exact
+     id assignment of the sequential pass. *)
   let stmts =
-    Accumulator.sharded_concat_map ?pool ~shards
-      ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
-      (fun files -> List.concat_map (fun file -> digest_file ~cfg ~lang ~file) files)
-      corpus.Corpus.files
+    match pool with
+    | None ->
+        Accumulator.sharded_concat_map ~shards
+          ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
+          (fun files ->
+            List.concat_map (fun file -> digest_file ~cfg ~lang ~file ()) files)
+          corpus.Corpus.files
+    | Some _ ->
+        let parts =
+          Accumulator.sharded_map ?pool ~shards
+            ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
+            (fun files ->
+              let table = Namepath.Interned.create_table () in
+              let stmts =
+                List.concat_map
+                  (fun file -> digest_file ~table ~cfg ~lang ~file ())
+                  files
+              in
+              (table, stmts))
+            corpus.Corpus.files
+        in
+        Telemetry.with_span "digest:remap" @@ fun () ->
+        List.concat_map
+          (fun (table, shard_stmts) ->
+            let m = Namepath.Interned.remap_into_global table in
+            List.map
+              (fun s -> { s with digest = Pattern.Stmt_paths.remap m s.digest })
+              shard_stmts)
+          parts
   in
+  (* Dense per-build file/repo ids: the scan aggregates key on ints, not
+     paths.  First-seen order over the statement list, so ids are shard-plan
+     independent. *)
+  let file_ids = Interner.create () and repo_ids = Interner.create () in
+  List.iter
+    (fun s ->
+      s.sctx.Features.file_id <- Interner.intern file_ids s.sctx.Features.file;
+      s.sctx.Features.repo_id <- Interner.intern repo_ids s.sctx.Features.repo)
+    stmts;
   Telemetry.count ~by:(List.length stmts) "build.statements_digested";
   Log.info (fun m -> m "digested %d statements" (List.length stmts));
+  (* The corpus is fully interned: freeze the global table so the mining
+     and scan stages — including their sharded passes — run against a
+     read-only id space, and thaw on the way out (later builds or tests
+     digest new statements against the same global table). *)
+  Namepath.Interned.freeze ();
+  Fun.protect ~finally:Namepath.Interned.thaw @@ fun () ->
   (* 2. confusing word pairs from history *)
   let pairs =
     Telemetry.with_span "pair-mining" @@ fun () ->
@@ -335,7 +391,8 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
      violation list; aggregates merge commutatively and violation lists
      concatenate in shard order, reproducing the sequential scan order. *)
   let agg = Features.Agg.create () in
-  let violating_files = Hashtbl.create 64 and violating_repos = Hashtbl.create 64 in
+  let violating_files : (int, unit) Hashtbl.t = Hashtbl.create 64
+  and violating_repos : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let violations_in_order =
     Telemetry.with_span "scan" @@ fun () ->
     let parts =
@@ -353,8 +410,8 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
                      Features.Agg.add_outcome agg s.sctx ~pattern_id:p.id rel;
                      match rel with
                      | Pattern.Violated info ->
-                         Hashtbl.replace vfiles s.sctx.Features.file ();
-                         Hashtbl.replace vrepos s.sctx.Features.repo ();
+                         Hashtbl.replace vfiles s.sctx.Features.file_id ();
+                         Hashtbl.replace vrepos s.sctx.Features.repo_id ();
                          viols_rev :=
                            { v_stmt = s; v_pattern = p; v_info = info; v_features = [||] }
                            :: !viols_rev

@@ -28,6 +28,11 @@ type config = {
           Any [jobs] value produces bit-identical results: shards are
           deterministic ({!Namer_parallel.Shard}) and per-shard accumulators
           merge in shard order, so parallelism changes only wall-clock. *)
+  cap_domains : bool;
+      (** clamp [jobs] to [Domain.recommended_domain_count ()] (default
+          [true]): more domains than cores is a pure pessimization in
+          OCaml 5 and results are identical anyway.  Tests that must
+          exercise real worker domains on small machines turn it off. *)
 }
 
 val default_config : config

@@ -1,38 +1,35 @@
 (** Frequent-pattern trees (Han, Pei & Yin, SIGMOD 2000), specialized for
     name-pattern mining (§3.3).
 
-    Items are interned serialized name paths.  Each [insert]ed list is the
-    concatenation [sort(condition) @ sort(deduction)] of one split of a
-    statement's paths (Algorithm 1, line 7); the node reached by the last
-    item gets its [is_last] flag set, marking where Algorithm 2 assembles a
-    pattern, and every node on the way counts one occurrence.  The paper's
-    Figure 3(a) corresponds exactly to this structure — see the unit test
-    reproducing it. *)
+    Items are interned name-path ids ({!Namepath.Interned} pids) — the tree
+    itself never sees a string.  Each [insert]ed list is the concatenation
+    [sort(condition) @ sort(deduction)] of one split of a statement's paths
+    (Algorithm 1, line 7); the node reached by the last item gets its
+    [is_last] flag set, marking where Algorithm 2 assembles a pattern, and
+    every node on the way counts one occurrence.  The paper's Figure 3(a)
+    corresponds exactly to this structure — see the unit test reproducing
+    it. *)
 
 type node = {
-  item : int;  (** interned path string; -1 at the root *)
+  item : int;  (** interned path id; -1 at the root *)
   mutable count : int;
   mutable is_last : bool;
   children : (int, node) Hashtbl.t;
 }
 
-type t = { root : node; items : Namer_util.Interner.t }
+type t = { root : node }
 
 let create () =
-  {
-    root = { item = -1; count = 0; is_last = false; children = Hashtbl.create 64 };
-    items = Namer_util.Interner.create ();
-  }
+  { root = { item = -1; count = 0; is_last = false; children = Hashtbl.create 64 } }
 
-(** [insert t items] adds one ordered item list (serialized paths). *)
-let insert t (items : string list) =
+(** [insert t items] adds one ordered item-id list. *)
+let insert t (items : int list) =
   match items with
   | [] -> ()
   | _ ->
       let node = ref t.root in
       List.iter
-        (fun s ->
-          let id = Namer_util.Interner.intern t.items s in
+        (fun id ->
           let child =
             match Hashtbl.find_opt !node.children id with
             | Some c -> c
@@ -54,13 +51,12 @@ let rec node_count n =
 let size t = node_count t.root - 1
 
 (** [fold_last_nodes t ~f acc] visits every [is_last] node, passing the item
-    strings on the path from the root (in insertion order) and the node's
+    ids on the path from the root (in insertion order) and the node's
     occurrence count — the support of the would-be pattern.  This is the
     traversal skeleton of Algorithm 2 ([genPatterns]). *)
 let fold_last_nodes t ~f acc =
-  let name id = Namer_util.Interner.name t.items id in
   let rec go rev_path n acc =
-    let rev_path = if n.item >= 0 then name n.item :: rev_path else rev_path in
+    let rev_path = if n.item >= 0 then n.item :: rev_path else rev_path in
     let acc =
       if n.is_last then f acc ~path_items:(List.rev rev_path) ~support:n.count
       else acc

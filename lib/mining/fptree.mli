@@ -1,19 +1,19 @@
 (** Frequent-pattern trees (Han, Pei & Yin, SIGMOD 2000) specialized for
-    name-pattern mining: items are serialized name paths; each inserted list
-    is one [sort(condition) @ sort(deduction)] split, with the last node
-    flagged as a pattern-assembly point (Figure 3(a)). *)
+    name-pattern mining: items are interned name-path ids; each inserted
+    list is one [sort(condition) @ sort(deduction)] split, with the last
+    node flagged as a pattern-assembly point (Figure 3(a)). *)
 
 type t
 
 val create : unit -> t
 
-(** Insert one ordered item list; empty lists are ignored. *)
-val insert : t -> string list -> unit
+(** Insert one ordered item-id list; empty lists are ignored. *)
+val insert : t -> int list -> unit
 
 (** Number of nodes (excluding the root). *)
 val size : t -> int
 
-(** Visit every flagged node with the item strings from the root and the
-    node's occurrence count — the traversal skeleton of Algorithm 2. *)
+(** Visit every flagged node with the item ids from the root and the node's
+    occurrence count — the traversal skeleton of Algorithm 2. *)
 val fold_last_nodes :
-  t -> f:('a -> path_items:string list -> support:int -> 'a) -> 'a -> 'a
+  t -> f:('a -> path_items:int list -> support:int -> 'a) -> 'a -> 'a

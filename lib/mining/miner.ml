@@ -17,9 +17,16 @@
       beyond exact statement shapes without an exponential blow-up;
     - kept patterns need match support ≥ [min_support] (paper: 100 Python /
       500 Java at GitHub scale) and satisfaction ratio ≥
-      [min_satisfaction_ratio] (paper: 0.8). *)
+      [min_satisfaction_ratio] (paper: 0.8).
+
+    The whole pipeline runs in the hash-consed {!Namepath.Interned} id
+    space: path frequencies are counted per pid, splits compare end ids,
+    the FP-tree holds pid lists, and candidate dedup keys are pid lists —
+    no canonical text is rendered until a surviving pattern reaches the
+    final store. *)
 
 module Namepath = Namer_namepath.Namepath
+module I = Namepath.Interned
 module Pattern = Namer_pattern.Pattern
 module Telemetry = Namer_telemetry.Telemetry
 
@@ -63,70 +70,114 @@ let is_name_end e =
 (* splitPaths (Algorithm 1, line 6)                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** All (condition, deduction) splits of one statement's frequent paths.
-    Confusing-word splits single out each path ending in a correct word of a
-    mined pair; consistency splits single out each pair of paths with equal
-    name ends, symbolized. *)
-let split_paths ~kind ~(pairs : Confusing_pairs.t) (paths : Namepath.t list) :
-    (Namepath.t list * Namepath.t list) list =
+(* Per-mine-run split context: the per-end predicates of each split kind,
+   precomputed once over the end-id space instead of re-derived from
+   strings inside the statement loop. *)
+type split_ctx =
+  | Sc_consistency of bool array  (* end id → is a name end *)
+  | Sc_confusing of bool array  (* end id → correct word of a mined pair *)
+  | Sc_ordering of (int * int) list * (int, bool) Hashtbl.t
+      (* vocab as end-id pairs; prefix id → is-call-argument memo *)
+
+let make_split_ctx ~kind ~(pairs : Confusing_pairs.t) () =
+  let n = I.n_ends () in
   match kind with
+  | `Consistency -> Sc_consistency (Array.init n (fun e -> is_name_end (I.end_name e)))
+  | `Confusing ->
+      Sc_confusing
+        (Array.init n (fun e -> Confusing_pairs.is_correct_word pairs (I.end_name e)))
   | `Ordering vocab ->
-      (* ordered word pairs appearing at two distinct *call-argument*
-         prefixes, in canonical order, become a two-path concrete deduction.
-         Argument-swap patterns only make sense at call sites: parameter
-         declaration order, field order etc. are free. *)
-      let is_call_argument (np : Namepath.t) =
-        let rec scan = function
-          | { Namepath.value = "Call"; index } :: _ when index > 0 -> true
-          | _ :: rest -> scan rest
-          | [] -> false
-        in
-        scan np.Namepath.prefix
+      (* a vocab word absent from the end-id space occurs in no statement,
+         so dropping its pairs loses nothing *)
+      let ids =
+        List.filter_map
+          (fun (a, b) ->
+            match (I.lookup_end a, I.lookup_end b) with
+            | Some x, Some y -> Some (x, y)
+            | _ -> None)
+          vocab
       in
-      let arr = Array.of_list paths in
+      Sc_ordering (ids, Hashtbl.create 256)
+
+(* Argument-swap patterns only make sense at call sites: parameter
+   declaration order, field order etc. are free. *)
+let is_call_argument_np (np : Namepath.t) =
+  let rec scan = function
+    | { Namepath.value = "Call"; index } :: _ when index > 0 -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan np.Namepath.prefix
+
+(** All (condition, deduction) splits of one statement's interned paths.
+    The deduction is returned as pids — symbolic pids for consistency
+    (the symbolized pair), concrete pids otherwise. *)
+let split_interned ctx (ipaths : I.t list) : (I.t list * int list) list =
+  match ctx with
+  | Sc_ordering (vocab_ids, memo) ->
+      (* ordered word pairs appearing at two distinct *call-argument*
+         prefixes, in canonical order, become a two-path concrete
+         deduction *)
+      let is_call_argument (it : I.t) =
+        match Hashtbl.find_opt memo it.I.prefix with
+        | Some b -> b
+        | None ->
+            let b = is_call_argument_np it.I.np in
+            Hashtbl.replace memo it.I.prefix b;
+            b
+      in
+      let arr = Array.of_list ipaths in
       let n = Array.length arr in
       let out = ref [] in
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
-          if i <> j && is_call_argument arr.(i) && is_call_argument arr.(j) then
-            match (arr.(i).Namepath.end_node, arr.(j).Namepath.end_node) with
-            | Some e1, Some e2 when List.mem (e1, e2) vocab ->
-                let cond = List.filter (fun a -> a != arr.(i) && a != arr.(j)) paths in
-                out := (cond, [ arr.(i); arr.(j) ]) :: !out
-            | _ -> ()
+          if i <> j && is_call_argument arr.(i) && is_call_argument arr.(j) then begin
+            let e1 = arr.(i).I.end_ and e2 = arr.(j).I.end_ in
+            if
+              e1 >= 0 && e2 >= 0
+              && List.exists (fun (a, b) -> a = e1 && b = e2) vocab_ids
+            then begin
+              let cond = List.filter (fun a -> a != arr.(i) && a != arr.(j)) ipaths in
+              out := (cond, [ arr.(i).I.pid; arr.(j).I.pid ]) :: !out
+            end
+          end
         done
       done;
       List.rev !out
-  | `Confusing ->
+  | Sc_confusing correct ->
       List.filter_map
-        (fun (d : Namepath.t) ->
-          match d.Namepath.end_node with
-          | Some e when Confusing_pairs.is_correct_word pairs e ->
-              let cond = List.filter (fun a -> a != d) paths in
-              Some (cond, [ d ])
-          | _ -> None)
-        paths
-  | `Consistency ->
-      let arr = Array.of_list paths in
+        (fun (d : I.t) ->
+          if d.I.end_ >= 0 && correct.(d.I.end_) then
+            Some (List.filter (fun a -> a != d) ipaths, [ d.I.pid ])
+          else None)
+        ipaths
+  | Sc_consistency name_end ->
+      let arr = Array.of_list ipaths in
       let n = Array.length arr in
       let out = ref [] in
       for i = 0 to n - 1 do
         for j = i + 1 to n - 1 do
-          match (arr.(i).Namepath.end_node, arr.(j).Namepath.end_node) with
+          let e1 = arr.(i).I.end_ and e2 = arr.(j).I.end_ in
           (* case-insensitive, matching the satisfaction check *)
-          | Some e1, Some e2
-            when String.equal (String.lowercase_ascii e1) (String.lowercase_ascii e2)
-                 && is_name_end e1 ->
-              let cond =
-                List.filter (fun a -> a != arr.(i) && a != arr.(j)) paths
-              in
-              out :=
-                (cond, [ Namepath.to_symbolic arr.(i); Namepath.to_symbolic arr.(j) ])
-                :: !out
-          | _ -> ()
+          if e1 >= 0 && e2 >= 0 && I.lower_end e1 = I.lower_end e2 && name_end.(e1)
+          then begin
+            let cond = List.filter (fun a -> a != arr.(i) && a != arr.(j)) ipaths in
+            out := (cond, [ arr.(i).I.sym; arr.(j).I.sym ]) :: !out
+          end
         done
       done;
       List.rev !out
+
+(** String-level view of {!split_interned} — the historical interface,
+    kept for tests: interns [paths] against the global table on the fly. *)
+let split_paths ~kind ~(pairs : Confusing_pairs.t) (paths : Namepath.t list) :
+    (Namepath.t list * Namepath.t list) list =
+  let ipaths = I.of_paths paths in
+  let ctx = make_split_ctx ~kind ~pairs () in
+  split_interned ctx ipaths
+  |> List.map (fun (cond, ded_pids) ->
+         ( List.map (fun (it : I.t) -> it.I.np) cond,
+           List.map I.path_of_pid ded_pids ))
 
 (* ------------------------------------------------------------------ *)
 (* combinations (Algorithm 2, line 7)                                  *)
@@ -159,8 +210,6 @@ let combinations ~max_subset_size (conds : 'a list) : 'a list list =
 (* minePatterns (Algorithm 1)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let serialize = Namepath.to_string
-
 (* Per-shard pattern statistics merge: plain integer sums, so the merged
    table is independent of the shard plan. *)
 module Stats_acc = struct
@@ -187,7 +236,7 @@ module Stats_acc = struct
 end
 
 module Freq_acc = struct
-  type t = string Namer_util.Counter.t
+  type t = int Namer_util.Counter.t
 
   let empty () : t = Namer_util.Counter.create ~size:(1 lsl 16) ()
   let merge ~into t = Namer_util.Counter.merge ~into t
@@ -216,8 +265,9 @@ let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
   in
   Telemetry.with_span ~args:[ ("kind", kind_label) ] ("mine:" ^ kind_label)
   @@ fun () ->
-  (* Line 5 regularization: global path frequencies (concrete form, and the
-     symbolic form used by consistency deductions). *)
+  (* Line 5 regularization: global path frequencies — one count per pid
+     (concrete form) plus one per symbolic pid, the form consistency
+     deductions are checked in. *)
   let freq =
     Telemetry.with_span "mine:path-freq" @@ fun () ->
     Namer_parallel.Accumulator.sharded_reduce
@@ -227,48 +277,56 @@ let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
         let freq = Freq_acc.empty () in
         List.iter
           (fun (s : Pattern.Stmt_paths.t) ->
-            List.iter
-              (fun np ->
-                Namer_util.Counter.add freq (serialize np);
-                Namer_util.Counter.add freq (serialize (Namepath.to_symbolic np)))
-              s.Pattern.Stmt_paths.paths)
+            Array.iter
+              (fun (it : I.t) ->
+                Namer_util.Counter.add freq it.I.pid;
+                Namer_util.Counter.add freq it.I.sym)
+              s.Pattern.Stmt_paths.ipaths)
           shard;
         freq)
       stmts
   in
-  let frequent np = Namer_util.Counter.count freq (serialize np) > config.min_path_freq in
+  let frequent_pid pid = Namer_util.Counter.count freq pid > config.min_path_freq in
   (* Grow the FP-tree (lines 4–7).  The line-5 frequency filter applies to
      condition paths in their concrete form; deduction paths are checked in
      the form they take inside the pattern (symbolic for consistency
      deductions, whose *prefix* must be a common shape even when the
      concrete name at its end is file-specific). *)
+  let ctx = make_split_ctx ~kind ~pairs () in
   let tree =
     Telemetry.with_span "mine:fptree-grow" @@ fun () ->
     let tree = Fptree.create () in
     List.iter
       (fun (s : Pattern.Stmt_paths.t) ->
-        let paths =
-          List.filteri (fun i _ -> i < config.max_stmt_paths) s.Pattern.Stmt_paths.paths
+        let ipaths =
+          if Array.length s.Pattern.Stmt_paths.ipaths <= config.max_stmt_paths then
+            Array.to_list s.Pattern.Stmt_paths.ipaths
+          else
+            List.init config.max_stmt_paths (fun i -> s.Pattern.Stmt_paths.ipaths.(i))
         in
-        split_paths ~kind ~pairs paths
-        |> List.iter (fun (cond, deduct) ->
-               if List.for_all frequent deduct then begin
+        split_interned ctx ipaths
+        |> List.iter (fun (cond, ded_pids) ->
+               if List.for_all frequent_pid ded_pids then begin
                  let cond =
-                   List.filter frequent cond
-                   |> List.sort Namepath.compare_canonical
+                   List.filter (fun (it : I.t) -> frequent_pid it.I.pid) cond
+                   |> List.sort I.compare_rank
                    |> List.filteri (fun i _ -> i < config.max_condition_paths)
                  in
-                 let deduct = List.sort Namepath.compare_canonical deduct in
-                 let items = List.map serialize (cond @ deduct) in
-                 Fptree.insert tree items
+                 let ded = List.sort I.compare_pids ded_pids in
+                 Fptree.insert tree
+                   (List.map (fun (it : I.t) -> it.I.pid) cond @ ded)
                end))
       stmts;
     tree
   in
   Telemetry.count ~by:(Fptree.size tree) "mine.fptree_nodes";
-  (* genPatterns (line 8 / Algorithm 2). *)
+  (* genPatterns (line 8 / Algorithm 2).  Candidates are deduplicated by
+     their pid lists — deduction arity is fixed per kind, so the item list
+     [cond @ ded] is an unambiguous identity, equivalent to the canonical
+     text without rendering it. *)
   let n_deduct = match kind with `Confusing -> 1 | `Consistency | `Ordering _ -> 2 in
-  let candidates : (string, Pattern.t) Hashtbl.t = Hashtbl.create (1 lsl 14) in
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create (1 lsl 14) in
+  let cand_rev = ref [] in
   Telemetry.with_span "mine:gen-patterns" (fun () ->
       Fptree.fold_last_nodes tree
         ~f:(fun () ~path_items ~support ->
@@ -284,8 +342,8 @@ let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
                     let a, b = split_at (k - 1) rest in
                     (x :: a, b)
             in
-            let conds_s, deduct_s = split_at (n - n_deduct) path_items in
-            let deduction = List.map Namepath.of_string deduct_s in
+            let conds_p, ded_p = split_at (n - n_deduct) path_items in
+            let deduction = List.map I.path_of_pid ded_p in
             let kind_v =
               match (kind, deduction) with
               | `Consistency, _ -> Pattern.Consistency
@@ -299,24 +357,28 @@ let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
                   | _ -> Pattern.Consistency (* unreachable *))
               | _ -> Pattern.Consistency (* unreachable *)
             in
-            combinations ~max_subset_size:config.max_subset_size conds_s
-            |> List.iter (fun cond_s ->
-                   let p =
-                     Pattern.make ~kind:kind_v
-                       ~condition:(List.map Namepath.of_string cond_s)
-                       ~deduction
-                   in
-                   let key = Pattern.canonical p in
-                   if not (Hashtbl.mem candidates key) then
-                     Hashtbl.replace candidates key p)
+            combinations ~max_subset_size:config.max_subset_size conds_p
+            |> List.iter (fun cond_p ->
+                   let key = cond_p @ ded_p in
+                   if not (Hashtbl.mem seen key) then begin
+                     Hashtbl.replace seen key ();
+                     cand_rev :=
+                       Pattern.make ~kind:kind_v
+                         ~condition:(List.map I.path_of_pid cond_p)
+                         ~deduction
+                       :: !cand_rev
+                   end)
           end)
         ());
+  let n_candidates = Hashtbl.length seen in
   (* pruneUncommon (line 9): count matches and satisfactions over the
      corpus, keep patterns with enough support and a high enough
      satisfaction ratio. *)
   Telemetry.with_span "mine:prune" @@ fun () ->
   let candidate_store = Pattern.Store.create () in
-  Hashtbl.iter (fun _ p -> ignore (Pattern.Store.add candidate_store p)) candidates;
+  List.iter
+    (fun p -> ignore (Pattern.Store.add_nodedup candidate_store p))
+    (List.rev !cand_rev);
   (* The store is fully built and read-only from here on, so shards can
      match against it concurrently; each shard tallies into its own table. *)
   let counts =
@@ -357,4 +419,4 @@ let mine ?pool ~(config : config) ~kind ~(pairs : Confusing_pairs.t)
             { matches = st.matches; sats = st.sats; viols = st.viols }
       | _ -> ())
     candidate_store;
-  { store; dataset_stats; n_candidates = Hashtbl.length candidates }
+  { store; dataset_stats; n_candidates }

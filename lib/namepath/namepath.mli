@@ -48,3 +48,84 @@ val extract : ?limit:int -> Namer_tree.Tree.t -> t list
 
 (** Inverse of {!to_string}.  @raise Invalid_argument on malformed input. *)
 val of_string : string -> t
+
+(** Hash-consed name paths: canonical texts, prefixes and end subtokens
+    become dense integer ids, rendered exactly once at extraction time, so
+    the mining/scan hot loops compare, hash and sort machine integers.
+
+    Interning normally targets the implicit {!Interned.global} table.  The
+    multicore contract: populate sequentially — or digest into
+    {!Interned.create_table} shard-local tables on worker domains and
+    {!Interned.remap_into_global}-merge them in shard order, which
+    reproduces the sequential id assignment exactly — then
+    {!Interned.freeze} before domains fan out; a frozen table is read-only
+    and safe to share.  Strings survive only at the serialization boundary
+    ({!of_string}/{!to_string}, pattern persistence, report rendering). *)
+module Interned : sig
+  type path := t
+
+  type t = {
+    np : path;  (** the underlying name path *)
+    pid : int;  (** id of the whole canonical text *)
+    prefix : int;  (** id of the prefix text — the memoized prefix key *)
+    end_ : int;  (** id of the end subtoken; [-1] is ϵ *)
+    sym : int;  (** pid of the symbolic form (= [pid] when already ϵ) *)
+  }
+
+  (** One id space: interners for whole paths / prefixes / ends plus the
+      derived lowercase-fold, path-of-pid and canonical-rank maps. *)
+  type table
+
+  val create_table : unit -> table
+  val global : table
+
+  (** Intern one path ([table] defaults to {!global}), rendering its texts
+      exactly once.  @raise Invalid_argument on a frozen table when new. *)
+  val of_path : ?table:table -> path -> t
+
+  val of_paths : ?table:table -> path list -> t list
+
+  (** Global-table ids for pattern compilation: intern when unfrozen; when
+      frozen, unknown strings map to the never-matching sentinel [-2]. *)
+  val prefix_id : path -> int
+
+  val path_id : path -> int
+  val end_id : string -> int
+
+  (** String views (global table).  @raise Invalid_argument on unknown ids. *)
+  val end_name : int -> string
+
+  val prefix_name : int -> string
+  val lookup_prefix : string -> int option
+  val lookup_end : string -> int option
+  val n_ends : unit -> int
+
+  (** Lowercase-folded end id — consistency checks are case-insensitive. *)
+  val lower_end : int -> int
+
+  (** The name path behind a global path id. *)
+  val path_of_pid : int -> path
+
+  (** Freeze the global table read-only and precompute canonical-text ranks
+      so {!compare_rank} is an integer comparison.  Pair with {!thaw}. *)
+  val freeze : unit -> unit
+
+  val thaw : unit -> unit
+  val is_frozen : unit -> bool
+
+  (** Canonical-text order ({!compare_canonical}) on interned paths; rank
+      ints when frozen, text otherwise — identical sort either way. *)
+  val compare_rank : t -> t -> int
+
+  (** Same order on bare global path ids. *)
+  val compare_pids : int -> int -> int
+
+  (** Id translations from a shard-local table into the global one. *)
+  type remap = { path_map : int array; prefix_map : int array; end_map : int array }
+
+  (** Merge a shard-local table into {!global} (in first-seen order; call in
+      shard order to reproduce the sequential id assignment). *)
+  val remap_into_global : table -> remap
+
+  val apply_remap : remap -> t -> t
+end

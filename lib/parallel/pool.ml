@@ -138,8 +138,11 @@ let worker t i () =
   let rec loop () =
     match find_task t i with
     | Some task ->
-        task ();
+        (* count before running: [task ()] resolves a future someone may be
+           awaiting, and the counters must already include that task when
+           the awaiter wakes up *)
         Atomic.incr t.n_executed.(i);
+        task ();
         loop ()
     | None ->
         Mutex.lock t.m;
@@ -217,7 +220,14 @@ let shutdown t =
   Mutex.unlock t.m;
   if not already then Array.iter Domain.join t.workers
 
-let run ~jobs f =
+let run ?(cap_to_cores = false) ~jobs f =
+  (* More domains than cores is a pessimization in OCaml 5 (every minor GC
+     is a stop-the-world barrier across all domains), so callers that care
+     about wall-clock cap at the hardware; callers that need a pool of an
+     exact size (tests) leave the cap off. *)
+  let jobs =
+    if cap_to_cores then min jobs (Domain.recommended_domain_count ()) else jobs
+  in
   if jobs <= 1 then f None
   else begin
     let pool = create ~domains:jobs () in

@@ -48,10 +48,14 @@ val executed : t -> int array
 (** Drain remaining work, stop and join all workers.  Idempotent. *)
 val shutdown : t -> unit
 
-(** [run ~jobs f] calls [f None] when [jobs <= 1] (sequential path) and
-    otherwise [f (Some pool)] with a fresh [jobs]-domain pool that is shut
-    down when [f] returns or raises. *)
-val run : jobs:int -> (t option -> 'a) -> 'a
+(** [run ?cap_to_cores ~jobs f] calls [f None] when [jobs <= 1] (sequential
+    path) and otherwise [f (Some pool)] with a fresh [jobs]-domain pool that
+    is shut down when [f] returns or raises.  [cap_to_cores] (default
+    [false]) first clamps [jobs] to [Domain.recommended_domain_count ()]:
+    oversubscribing domains beyond cores makes OCaml 5 programs *slower*
+    (stop-the-world minor GCs), and results are identical for every job
+    count anyway. *)
+val run : ?cap_to_cores:bool -> jobs:int -> (t option -> 'a) -> 'a
 
 (** The work-stealing deque itself, exposed for deterministic unit tests. *)
 module Deque : sig

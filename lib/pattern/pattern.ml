@@ -14,11 +14,14 @@
       that prefix violates the pattern (Figure 2(e): second subtoken of the
       assert callee must be [Equal]).
 
-    Statements are pre-digested into {!Stmt_paths.t} — a prefix-keyed map of
-    the statement's concrete name paths — making every relationship check a
-    handful of hash lookups. *)
+    Statements are pre-digested into {!Stmt_paths.t} — their name paths in
+    the hash-consed {!Namepath.Interned} representation plus a tiny
+    prefix-id → end-id index — and patterns are lazily *compiled* to the
+    same id space, making every relationship check a handful of integer
+    comparisons with no string rendering. *)
 
 module Namepath = Namer_namepath.Namepath
+module I = Namepath.Interned
 
 type kind =
   | Consistency
@@ -33,15 +36,34 @@ type kind =
           is the violation (the argument-swap defect class of Rice et al.
           and DeepBugs, both discussed in the paper's related work) *)
 
+(** A pattern compiled to the global interned-id space: condition and
+    deduction prefixes as prefix ids, constrained ends as end ids.  The
+    sentinel [-1] in a condition's want-slot is ϵ (any end); [-2] anywhere
+    is "unknown while frozen" and never matches. *)
+type compiled = {
+  c_cond : (int * int) array;  (** (prefix id, wanted end id or -1 for ϵ) *)
+  c_ded : int array;  (** deduction prefix ids, in deduction order *)
+  c_kind : ckind;
+}
+
+and ckind =
+  | C_consistency
+  | C_confusing of int  (** correct end id *)
+  | C_ordering of int * int  (** (first, second) end ids *)
+  | C_malformed  (** deduction arity does not match kind; {!check} raises *)
+
 type t = {
   kind : kind;
   condition : Namepath.t list;  (** concrete paths *)
   deduction : Namepath.t list;
       (** symbolic ×2 for consistency; concrete ×1 for confusing word *)
   id : int;  (** dense id assigned by the store; -1 before registration *)
+  mutable compiled : compiled option;
+      (** lazy int-space form; memoized so scans never re-render prefixes *)
 }
 
-let make ~kind ~condition ~deduction = { kind; condition; deduction; id = -1 }
+let make ~kind ~condition ~deduction =
+  { kind; condition; deduction; id = -1; compiled = None }
 
 (** Canonical text: condition and deduction in canonical order, separated by
     ["=>"]; stable across runs, used for de-duplication and persistence. *)
@@ -83,33 +105,114 @@ let targets_function_name p =
   List.exists prefix_has_call_attr p.deduction
 
 (* ------------------------------------------------------------------ *)
+(* Compilation to the interned-id space                                *)
+(* ------------------------------------------------------------------ *)
+
+let compile (p : t) : compiled =
+  let want (np : Namepath.t) =
+    match np.Namepath.end_node with None -> -1 | Some e -> I.end_id e
+  in
+  let c_cond =
+    Array.of_list (List.map (fun c -> (I.prefix_id c, want c)) p.condition)
+  in
+  let c_ded = Array.of_list (List.map I.prefix_id p.deduction) in
+  let c_kind =
+    match (p.kind, p.deduction) with
+    | Consistency, [ _; _ ] -> C_consistency
+    | Confusing_word { correct }, [ _ ] -> C_confusing (I.end_id correct)
+    | Ordering { first; second }, [ _; _ ] ->
+        C_ordering (I.end_id first, I.end_id second)
+    | _ -> C_malformed
+  in
+  { c_cond; c_ded; c_kind }
+
+(** The memoized compiled form.  Compilation interns against the global
+    table when it is unfrozen (pattern loading), and falls back to
+    never-matching [-2] sentinels for unknown strings when frozen — so it is
+    safe, but only useful, to compile before worker domains fan out;
+    {!Store.add} does exactly that. *)
+let ensure_compiled p =
+  match p.compiled with
+  | Some c -> c
+  | None ->
+      let c = compile p in
+      p.compiled <- Some c;
+      c
+
+(* ------------------------------------------------------------------ *)
 (* Statement digests                                                   *)
 (* ------------------------------------------------------------------ *)
 
 module Stmt_paths = struct
-  (** A statement digested for pattern checking: its concrete name paths
-      indexed by prefix key. *)
+  (** A statement digested for pattern checking: its name paths in interned
+      form, plus the concrete prefix → end index as two parallel int arrays
+      in leaf order (statements hold ≤ 10 paths, so a linear scan over an
+      int array beats a hash lookup and allocates nothing). *)
   type t = {
-    by_prefix : (string, string) Hashtbl.t;  (** prefix key → end subtoken *)
-    paths : Namepath.t list;
+    ipaths : I.t array;  (** all paths, original order *)
+    index_prefix : int array;  (** distinct concrete-path prefix ids, leaf order *)
+    index_end : int array;  (** end id of the first path at that prefix *)
     n_paths : int;
   }
 
-  let of_paths (paths : Namepath.t list) =
-    let by_prefix = Hashtbl.create (List.length paths * 2) in
-    List.iter
-      (fun (np : Namepath.t) ->
-        match np.Namepath.end_node with
-        | Some e ->
-            let key = Namepath.prefix_key np in
-            if not (Hashtbl.mem by_prefix key) then Hashtbl.add by_prefix key e
-        | None -> ())
-      paths;
-    { by_prefix; paths; n_paths = List.length paths }
+  let of_paths ?table (paths : Namepath.t list) =
+    let ipaths = Array.of_list (I.of_paths ?table paths) in
+    let n = Array.length ipaths in
+    let ip = Array.make n 0 and ie = Array.make n 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun (it : I.t) ->
+        if it.I.end_ >= 0 then begin
+          let dup = ref false in
+          for j = 0 to !k - 1 do
+            if ip.(j) = it.I.prefix then dup := true
+          done;
+          if not !dup then begin
+            ip.(!k) <- it.I.prefix;
+            ie.(!k) <- it.I.end_;
+            incr k
+          end
+        end)
+      ipaths;
+    { ipaths; index_prefix = Array.sub ip 0 !k; index_end = Array.sub ie 0 !k; n_paths = n }
 
-  let of_tree ?limit tree = of_paths (Namepath.extract ?limit tree)
-  let end_at t ~prefix_key = Hashtbl.find_opt t.by_prefix prefix_key
-  let prefix_keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_prefix []
+  let of_tree ?table ?limit tree = of_paths ?table (Namepath.extract ?limit tree)
+  let paths t = Array.to_list (Array.map (fun (it : I.t) -> it.I.np) t.ipaths)
+
+  (** End id at [prefix], or [-1] when the prefix does not occur. *)
+  let end_id t ~prefix =
+    let n = Array.length t.index_prefix in
+    let rec go i =
+      if i >= n then -1
+      else if t.index_prefix.(i) = prefix then t.index_end.(i)
+      else go (i + 1)
+    in
+    go 0
+
+  (** The distinct concrete prefix ids, leaf order — the digest's own index,
+      shared, not rebuilt per call. *)
+  let prefix_ids t = t.index_prefix
+
+  (* String views for the serialization boundary; only meaningful for
+     digests interned against the global table. *)
+  let end_at t ~prefix_key =
+    match I.lookup_prefix prefix_key with
+    | None -> None
+    | Some p ->
+        let e = end_id t ~prefix:p in
+        if e < 0 then None else Some (I.end_name e)
+
+  let prefix_keys t =
+    Array.to_list (Array.map I.prefix_name t.index_prefix)
+
+  (** Translate a digest built on a shard-local table into global ids. *)
+  let remap (m : I.remap) t =
+    {
+      ipaths = Array.map (I.apply_remap m) t.ipaths;
+      index_prefix = Array.map (fun p -> m.I.prefix_map.(p)) t.index_prefix;
+      index_end = Array.map (fun e -> m.I.end_map.(e)) t.index_end;
+      n_paths = t.n_paths;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -128,62 +231,70 @@ type violation_info = {
 
 type relation = No_match | Satisfied | Violated of violation_info
 
-(** [check p s] classifies statement digest [s] against pattern [p]. *)
+(** [check p s] classifies statement digest [s] against pattern [p].  Pure
+    integer comparisons on the hot path; strings are only rendered for the
+    [Violated] payload. *)
 let check (p : t) (s : Stmt_paths.t) : relation =
+  let c = ensure_compiled p in
   let condition_holds =
-    List.for_all
-      (fun (c : Namepath.t) ->
-        match
-          (c.Namepath.end_node, Stmt_paths.end_at s ~prefix_key:(Namepath.prefix_key c))
-        with
-        | Some want, Some got -> String.equal want got
-        | None, Some _ -> true (* ϵ in a condition matches any end *)
-        | _, None -> false)
-      p.condition
+    Array.for_all
+      (fun (pfx, want) ->
+        let got = Stmt_paths.end_id s ~prefix:pfx in
+        got >= 0 && (want = -1 || want = got))
+      c.c_cond
   in
   if not condition_holds then No_match
   else
-    let deduction_prefixes_present =
-      List.for_all
-        (fun (d : Namepath.t) ->
-          Stmt_paths.end_at s ~prefix_key:(Namepath.prefix_key d) <> None)
-        p.deduction
-    in
-    if not deduction_prefixes_present then No_match
-    else
-      match (p.kind, p.deduction) with
-      | Consistency, [ d1; d2 ] -> (
-          let k1 = Namepath.prefix_key d1 and k2 = Namepath.prefix_key d2 in
-          match (Stmt_paths.end_at s ~prefix_key:k1, Stmt_paths.end_at s ~prefix_key:k2) with
+    match c.c_kind with
+    | C_consistency ->
+        let e1 = Stmt_paths.end_id s ~prefix:c.c_ded.(0)
+        and e2 = Stmt_paths.end_id s ~prefix:c.c_ded.(1) in
+        if e1 < 0 || e2 < 0 then No_match
           (* Case-insensitive: [stringWriter] is consistent with its
              [StringWriter] type; [camelCase] with [snake_case] renderings. *)
-          | Some e1, Some e2
-            when String.equal (String.lowercase_ascii e1) (String.lowercase_ascii e2)
-            ->
-              Satisfied
-          | Some e1, Some e2 ->
-              Violated { offending_prefix = k2; found = e2; suggested = e1 }
-          | _ -> No_match)
-      | Confusing_word { correct; _ }, [ d ] -> (
-          let k = Namepath.prefix_key d in
-          match Stmt_paths.end_at s ~prefix_key:k with
-          | Some e when String.equal e correct -> Satisfied
-          | Some e -> Violated { offending_prefix = k; found = e; suggested = correct }
-          | None -> No_match)
-      | Ordering { first; second }, [ d1; d2 ] -> (
-          let k1 = Namepath.prefix_key d1 and k2 = Namepath.prefix_key d2 in
-          match (Stmt_paths.end_at s ~prefix_key:k1, Stmt_paths.end_at s ~prefix_key:k2) with
-          | Some e1, Some e2 when String.equal e1 first && String.equal e2 second ->
-              Satisfied
+        else if I.lower_end e1 = I.lower_end e2 then Satisfied
+        else
+          Violated
+            {
+              offending_prefix = I.prefix_name c.c_ded.(1);
+              found = I.end_name e2;
+              suggested = I.end_name e1;
+            }
+    | C_confusing correct -> (
+        let e = Stmt_paths.end_id s ~prefix:c.c_ded.(0) in
+        if e < 0 then No_match
+        else if e = correct then Satisfied
+        else
+          match p.kind with
+          | Confusing_word { correct } ->
+              Violated
+                {
+                  offending_prefix = I.prefix_name c.c_ded.(0);
+                  found = I.end_name e;
+                  suggested = correct;
+                }
+          | _ -> assert false)
+    | C_ordering (first, second) ->
+        let e1 = Stmt_paths.end_id s ~prefix:c.c_ded.(0)
+        and e2 = Stmt_paths.end_id s ~prefix:c.c_ded.(1) in
+        if e1 < 0 || e2 < 0 then No_match
+        else if e1 = first && e2 = second then Satisfied
           (* only the exact swap is a violation; unrelated words at these
              positions are not this pattern's business *)
-          | Some e1, Some e2 when String.equal e1 second && String.equal e2 first ->
-              Violated { offending_prefix = k1; found = second; suggested = first }
-          | Some _, Some _ -> No_match
-          | _ -> No_match)
-      | _ ->
-          invalid_arg
-            "Pattern.check: malformed pattern (deduction arity does not match kind)"
+        else if e1 = second && e2 = first then (
+          match p.kind with
+          | Ordering { first; second } ->
+              Violated
+                {
+                  offending_prefix = I.prefix_name c.c_ded.(0);
+                  found = second;
+                  suggested = first;
+                }
+          | _ -> assert false)
+        else No_match
+    | C_malformed ->
+        invalid_arg
+          "Pattern.check: malformed pattern (deduction arity does not match kind)"
 
 (* ------------------------------------------------------------------ *)
 (* Pattern store and matching index                                    *)
@@ -191,20 +302,23 @@ let check (p : t) (s : Stmt_paths.t) : relation =
 
 module Store = struct
   (** A deduplicated collection of patterns with an inverted index from
-      deduction-prefix keys to the patterns constraining them.  Every
+      deduction-prefix ids to the patterns constraining them.  Every
       pattern's deduction prefix must be present in a statement for the
-      pattern to match, so bucketing by that key lets a scan consider only
+      pattern to match, so bucketing by that id lets a scan consider only
       the patterns that could possibly match each statement. *)
   type nonrec t = {
     mutable patterns : t array;
     mutable n : int;
     by_canonical : (string, int) Hashtbl.t;
-    by_deduction_prefix : (string, int list ref) Hashtbl.t;
+    by_deduction_prefix : (int, int list ref) Hashtbl.t;
   }
+
+  let dummy =
+    { kind = Consistency; condition = []; deduction = []; id = -1; compiled = None }
 
   let create () =
     {
-      patterns = Array.make 256 { kind = Consistency; condition = []; deduction = []; id = -1 };
+      patterns = Array.make 256 dummy;
       n = 0;
       by_canonical = Hashtbl.create 1024;
       by_deduction_prefix = Hashtbl.create 1024;
@@ -213,6 +327,27 @@ module Store = struct
   let size t = t.n
   let get t id = t.patterns.(id)
 
+  (* Insert without canonical-text dedup: the caller guarantees uniqueness.
+     Compiles eagerly so later (possibly sharded) checks never intern. *)
+  let insert t p =
+    let id = t.n in
+    if id >= Array.length t.patterns then begin
+      let bigger = Array.make (2 * Array.length t.patterns) dummy in
+      Array.blit t.patterns 0 bigger 0 t.n;
+      t.patterns <- bigger
+    end;
+    let p = { p with id } in
+    let c = ensure_compiled p in
+    t.patterns.(id) <- p;
+    t.n <- id + 1;
+    if Array.length c.c_ded > 0 then begin
+      let dkey = c.c_ded.(0) in
+      match Hashtbl.find_opt t.by_deduction_prefix dkey with
+      | Some l -> l := id :: !l
+      | None -> Hashtbl.replace t.by_deduction_prefix dkey (ref [ id ])
+    end;
+    id
+
   (** [add t p] registers [p] (deduplicating by canonical form) and returns
       its id. *)
   let add t p =
@@ -220,40 +355,36 @@ module Store = struct
     match Hashtbl.find_opt t.by_canonical key with
     | Some id -> id
     | None ->
-        let id = t.n in
-        if id >= Array.length t.patterns then begin
-          let bigger = Array.make (2 * Array.length t.patterns) t.patterns.(0) in
-          Array.blit t.patterns 0 bigger 0 t.n;
-          t.patterns <- bigger
-        end;
-        t.patterns.(id) <- { p with id };
-        t.n <- id + 1;
+        let id = insert t p in
         Hashtbl.replace t.by_canonical key id;
-        (match p.deduction with
-        | d :: _ -> (
-            let dkey = Namepath.prefix_key d in
-            match Hashtbl.find_opt t.by_deduction_prefix dkey with
-            | Some l -> l := id :: !l
-            | None -> Hashtbl.replace t.by_deduction_prefix dkey (ref [ id ]))
-        | [] -> ());
         id
 
-    (** All patterns whose deduction prefix occurs in the statement — the
-      candidate set for a full {!check}. *)
+  (** [add_nodedup t p] registers [p] without rendering its canonical text —
+      the fast path for callers (the miner's candidate store) that already
+      deduplicated in id space.  Patterns added this way are invisible to
+      {!add}'s canonical dedup. *)
+  let add_nodedup t p = insert t p
+
+  (** All patterns whose deduction prefix occurs in the statement — the
+      candidate set for a full {!check}.  Drives off the digest's prefix-id
+      index; no strings, no per-call key list. *)
   let candidates t (s : Stmt_paths.t) =
     let seen = Hashtbl.create 16 in
-    Stmt_paths.prefix_keys s
-    |> List.concat_map (fun key ->
-           match Hashtbl.find_opt t.by_deduction_prefix key with
-           | Some l -> !l
-           | None -> [])
-    |> List.filter (fun id ->
-           if Hashtbl.mem seen id then false
-           else begin
-             Hashtbl.replace seen id ();
-             true
-           end)
-    |> List.map (get t)
+    let acc = ref [] in
+    Array.iter
+      (fun pfx ->
+        match Hashtbl.find_opt t.by_deduction_prefix pfx with
+        | Some l ->
+            List.iter
+              (fun id ->
+                if not (Hashtbl.mem seen id) then begin
+                  Hashtbl.replace seen id ();
+                  acc := get t id :: !acc
+                end)
+              !l
+        | None -> ())
+      (Stmt_paths.prefix_ids s);
+    List.rev !acc
 
   let iter f t =
     for i = 0 to t.n - 1 do

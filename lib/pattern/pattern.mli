@@ -1,6 +1,8 @@
 (** Name patterns (Definitions 3.6–3.9) and their match / satisfaction /
     violation relationships, plus the deduplicating pattern store with its
-    inverted matching index. *)
+    inverted matching index.  Digests and pattern checks run in the
+    hash-consed {!Namepath.Interned} id space; strings appear only in the
+    [Violated] payloads and the persistence layer. *)
 
 module Namepath = Namer_namepath.Namepath
 
@@ -17,11 +19,15 @@ type kind =
           violates — the argument-swap defect class of the paper's related
           work (Rice et al., DeepBugs) *)
 
+(** A pattern lowered to the interned-id space; built lazily, memoized. *)
+type compiled
+
 type t = {
   kind : kind;
   condition : Namepath.t list;
   deduction : Namepath.t list;
   id : int;  (** dense id assigned by {!Store.add}; -1 before registration *)
+  mutable compiled : compiled option;
 }
 
 val make : kind:kind -> condition:Namepath.t list -> deduction:Namepath.t list -> t
@@ -38,15 +44,33 @@ val targets_function_name : t -> bool
 (** Statements pre-digested for pattern checking. *)
 module Stmt_paths : sig
   type t = {
-    by_prefix : (string, string) Hashtbl.t;  (** prefix key → end subtoken *)
-    paths : Namepath.t list;
+    ipaths : Namepath.Interned.t array;  (** all paths, original order *)
+    index_prefix : int array;
+        (** distinct concrete-path prefix ids, leaf order *)
+    index_end : int array;  (** end id of the first path at that prefix *)
     n_paths : int;
   }
 
-  val of_paths : Namepath.t list -> t
-  val of_tree : ?limit:int -> Namer_tree.Tree.t -> t
+  (** Digest a path list; [table] (default the global table) lets worker
+      domains intern into shard-local tables and {!remap} later. *)
+  val of_paths : ?table:Namepath.Interned.table -> Namepath.t list -> t
+
+  val of_tree : ?table:Namepath.Interned.table -> ?limit:int -> Namer_tree.Tree.t -> t
+  val paths : t -> Namepath.t list
+
+  (** End id at a prefix id, [-1] when absent — the hot-path lookup. *)
+  val end_id : t -> prefix:int -> int
+
+  (** The digest's own prefix-id index (shared array — do not mutate). *)
+  val prefix_ids : t -> int array
+
+  (** String views, valid for digests interned against the global table. *)
   val end_at : t -> prefix_key:string -> string option
+
   val prefix_keys : t -> string list
+
+  (** Translate a shard-local digest into global ids. *)
+  val remap : Namepath.Interned.remap -> t -> t
 end
 
 (** One violated occurrence: the offending subtoken and the deduced fix. *)
@@ -58,14 +82,19 @@ type violation_info = {
 
 type relation = No_match | Satisfied | Violated of violation_info
 
-(** Classify a statement against a pattern per Definitions 3.7/3.9. *)
+(** Classify a statement against a pattern per Definitions 3.7/3.9 —
+    integer comparisons only on the hot path. *)
 val check : t -> Stmt_paths.t -> relation
+
+(** Force the memoized compiled form (done automatically by {!Store.add}
+    and {!check}); call before sharing a pattern across domains. *)
+val ensure_compiled : t -> compiled
 
 module Store : sig
   type pattern := t
 
   (** A deduplicated pattern collection with an inverted index from
-      deduction prefixes to patterns. *)
+      deduction-prefix ids to patterns. *)
   type t
 
   val create : unit -> t
@@ -74,6 +103,10 @@ module Store : sig
 
   (** Register (deduplicating by canonical form); returns the pattern id. *)
   val add : t -> pattern -> int
+
+  (** Register without rendering canonical text — for callers that already
+      deduplicated in id space (the miner's candidate store). *)
+  val add_nodedup : t -> pattern -> int
 
   (** Patterns whose deduction prefix occurs in the statement — the
       candidate set for {!check}. *)

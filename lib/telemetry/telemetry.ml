@@ -65,17 +65,34 @@ let spans_rev : span list ref = ref []
    spans independently, so depth lives in domain-local storage rather than
    behind the mutex. *)
 let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
 let hists_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16
 
 let locked f =
   Mutex.lock mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
+(* Counters are sharded per domain: [count] fires in scan/mining hot loops
+   (e.g. once per pattern match) from every worker, and a process-wide
+   mutex per increment serializes the domains exactly where the pipeline is
+   supposed to be parallel.  Each domain owns a DLS table it increments
+   lock-free; tables are registered (under the mutex, once per domain) in
+   [counter_tables] and summed at read time.  Reads happen after the domain
+   pool has been joined, so the merged view is consistent; a mid-flight
+   read would at worst miss in-progress increments, never corrupt. *)
+let counter_tables : (string, int ref) Hashtbl.t list ref = ref []
+
+let counters_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let tbl = Hashtbl.create 64 in
+      locked (fun () -> counter_tables := tbl :: !counter_tables);
+      tbl)
+
 let clear_unlocked () =
   spans_rev := [];
   Domain.DLS.get depth_key := 0;
-  Hashtbl.reset counters_tbl;
+  (* Clear contents but keep every table registered: live domains hold DLS
+     references to theirs and would otherwise increment orphans. *)
+  List.iter Hashtbl.reset !counter_tables;
   Hashtbl.reset hists_tbl;
   epoch := Unix.gettimeofday ()
 
@@ -142,13 +159,15 @@ let with_span ?(args = []) ?record_ms name f =
     Fun.protect ~finally:finish f
   end
 
-(** Increment the named process-wide counter. *)
+(** Increment the named process-wide counter — lock-free on the calling
+    domain's own shard. *)
 let count ?(by = 1) name =
-  if !enabled_flag then
-    locked (fun () ->
-        match Hashtbl.find_opt counters_tbl name with
-        | Some r -> r := !r + by
-        | None -> Hashtbl.replace counters_tbl name (ref by))
+  if !enabled_flag then begin
+    let tbl = Domain.DLS.get counters_key in
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace tbl name (ref by)
+  end
 
 (** Record one observation into the named histogram. *)
 let observe name v =
@@ -169,12 +188,24 @@ let spans () =
 
 let counters () =
   locked (fun () ->
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl [])
+      let merged : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun tbl ->
+          Hashtbl.iter
+            (fun k r ->
+              Hashtbl.replace merged k
+                (!r + Option.value (Hashtbl.find_opt merged k) ~default:0))
+            tbl)
+        !counter_tables;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
   |> List.sort compare
 
 let counter name =
   locked (fun () ->
-      match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0)
+      List.fold_left
+        (fun acc tbl ->
+          match Hashtbl.find_opt tbl name with Some r -> acc + !r | None -> acc)
+        0 !counter_tables)
 
 let summarize xs =
   let module S = Namer_util.Stats in
@@ -235,8 +266,10 @@ let stages () =
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Human-readable per-stage cost table (one row per distinct span name). *)
-let stage_table () =
+(** Human-readable per-stage cost table (one row per distinct span name).
+    [stages] overrides the live span buffer with a previously captured
+    stage list. *)
+let stage_table ?stages:captured () =
   let rows =
     List.map
       (fun s ->
@@ -246,7 +279,7 @@ let stage_table () =
           Printf.sprintf "%.3f" s.wall_ms;
           Printf.sprintf "%.2f" s.alloc_mb;
         ])
-      (stages ())
+      (match captured with Some l -> l | None -> stages ())
   in
   Namer_util.Tablefmt.render ~caption:"telemetry: pipeline stages"
     ~header:[ "stage"; "count"; "wall ms"; "alloc MB" ]

@@ -1,12 +1,16 @@
 (* Bench-regression gate (the @bench-smoke alias): compares a freshly
    measured BENCH_pipeline.json against the committed baseline and fails
    if any pipeline stage's wall clock regressed more than 3x (plus a 50 ms
-   absolute floor, so microsecond stages don't trip on noise), or if the
-   fresh run's jobs=1 / jobs=N reports diverged.
+   absolute floor, so microsecond stages don't trip on noise), if the
+   fresh run's jobs=1 / jobs=N reports diverged, if the fresh parallel
+   speedup dropped below 1.0 (a jobs=N build must never be slower than
+   jobs=1), or if the fresh build's allocation regressed more than 1.5x
+   over the committed baseline (the hash-consed hot path is an allocation
+   win; this keeps it one).
 
-   Accepts both baseline schemas: the original flat stage map (schema 1)
-   and the {schema: 2, stages, stages_parallel, ...} envelope, so the gate
-   keeps working across baseline refreshes.
+   Accepts every baseline schema: the original flat stage map (schema 1)
+   and the {schema: 2|3, stages, stages_parallel, ...} envelopes, so the
+   gate keeps working across baseline refreshes.
 
    Usage: check_bench FRESH.json BASELINE.json *)
 
@@ -31,8 +35,13 @@ let assoc name = function
   | J.Obj fields -> List.assoc_opt name fields
   | _ -> None
 
-(* stage name → wall_ms, from either schema *)
-let stage_walls path json =
+let number = function
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* stage name → field value, from any schema *)
+let stage_field field path json =
   let stages =
     match assoc "schema" json with
     | Some (J.Int _) -> (
@@ -42,12 +51,10 @@ let stage_walls path json =
     | _ -> ( match json with J.Obj fields -> fields | _ -> fail "%s: not an object" path)
   in
   List.filter_map
-    (fun (name, v) ->
-      match assoc "wall_ms" v with
-      | Some (J.Float f) -> Some (name, f)
-      | Some (J.Int i) -> Some (name, float_of_int i)
-      | _ -> None)
+    (fun (name, v) -> Option.map (fun f -> (name, f)) (number (assoc field v)))
     stages
+
+let stage_walls = stage_field "wall_ms"
 
 let () =
   let fresh_path, baseline_path =
@@ -77,4 +84,23 @@ let () =
     (stage_walls baseline_path baseline);
   if !regressions <> [] then
     fail "wall-clock regression >3x:\n  %s" (String.concat "\n  " (List.rev !regressions));
+  (* the parallel build must at least break even with the sequential one *)
+  (match number (assoc "speedup" fresh) with
+  | Some s when s < 1.0 ->
+      fail "%s: jobs=N speedup %.2fx < 1.0x — parallel build slower than sequential"
+        fresh_path s
+  | Some s -> Printf.printf "speedup: %.2fx (jobs=N vs jobs=1)\n" s
+  | None -> ());
+  (* build allocation: a schema>=2 baseline pins it; a 1.5x growth fails *)
+  (match
+     ( List.assoc_opt "build" (stage_field "alloc_mb" fresh_path fresh),
+       List.assoc_opt "build" (stage_field "alloc_mb" baseline_path baseline) )
+   with
+  | Some fresh_mb, Some base_mb ->
+      Printf.printf "build alloc: %.0f MB vs baseline %.0f MB (%+.0f%%)\n" fresh_mb base_mb
+        (100.0 *. ((fresh_mb /. base_mb) -. 1.0));
+      if fresh_mb > base_mb *. 1.5 then
+        fail "build allocation regression: %.0f MB vs baseline %.0f MB (limit 1.5x)"
+          fresh_mb base_mb
+  | _ -> ());
   Printf.printf "OK: %d stages within 3x of baseline\n" (List.length fresh_walls)

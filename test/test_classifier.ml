@@ -10,9 +10,14 @@ let checkf = Alcotest.(check (float 1e-9))
 
 let np = Namepath.of_string
 
-let stmt_a : Features.stmt_ctx = { file = "r1/a.py"; repo = "r1"; tree_hash = 111; n_paths = 5 }
-let stmt_b : Features.stmt_ctx = { file = "r1/b.py"; repo = "r1"; tree_hash = 111; n_paths = 7 }
-let stmt_c : Features.stmt_ctx = { file = "r2/c.py"; repo = "r2"; tree_hash = 222; n_paths = 4 }
+let stmt_a : Features.stmt_ctx =
+  { file = "r1/a.py"; repo = "r1"; file_id = 0; repo_id = 0; tree_hash = 111; n_paths = 5 }
+
+let stmt_b : Features.stmt_ctx =
+  { file = "r1/b.py"; repo = "r1"; file_id = 1; repo_id = 0; tree_hash = 111; n_paths = 7 }
+
+let stmt_c : Features.stmt_ctx =
+  { file = "r2/c.py"; repo = "r2"; file_id = 2; repo_id = 1; tree_hash = 222; n_paths = 4 }
 
 let pattern =
   let p =

@@ -14,12 +14,16 @@ let check_bool = Alcotest.(check bool)
 (* ---------------- FP-tree (Figure 3) ---------------- *)
 
 (* Insert the item lists behind Figure 3(a); [fold_last_nodes] must surface
-   the four (condition, deduction) rows of Figure 3(b). *)
+   the four (condition, deduction) rows of Figure 3(b).  The tree stores
+   interned item ids, so the test keeps its own label table. *)
+let fig3_label = [| "NP1"; "NP2"; "NP3"; "NP4"; "NP5"; "NP6" |]
+let fig3_id s = 1 + (Array.to_list fig3_label |> List.mapi (fun i l -> (l, i)) |> List.assoc s)
+
 let build_figure3 () =
   let t = Fptree.create () in
   let ins items n =
     for _ = 1 to n do
-      Fptree.insert t items
+      Fptree.insert t (List.map fig3_id items)
     done
   in
   ins [ "NP1"; "NP2" ] 33;
@@ -36,7 +40,8 @@ let test_figure3_patterns () =
   let t = build_figure3 () in
   let rows =
     Fptree.fold_last_nodes t
-      ~f:(fun acc ~path_items ~support -> (path_items, support) :: acc)
+      ~f:(fun acc ~path_items ~support ->
+        (List.map (fun i -> fig3_label.(i - 1)) path_items, support) :: acc)
       []
     |> List.sort compare
   in
@@ -54,8 +59,8 @@ let test_figure3_patterns () =
 
 let test_fptree_shared_prefix () =
   let t = Fptree.create () in
-  Fptree.insert t [ "a"; "b" ];
-  Fptree.insert t [ "a"; "c" ];
+  Fptree.insert t [ 1; 2 ];
+  Fptree.insert t [ 1; 3 ];
   check_int "prefix shared" 3 (Fptree.size t)
 
 let test_fptree_empty_insert () =

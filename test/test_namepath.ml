@@ -153,6 +153,71 @@ let prop_extract_leaf_count =
       let t = Tree.node "R" (List.init n (fun i -> Tree.leaf (string_of_int (i mod 3)))) in
       List.length (Namepath.extract ~limit:10 t) <= min n 10)
 
+(* ---------------- serialization and interning properties ------------- *)
+
+(* Random well-formed paths: step values / end subtokens are space-free
+   tokens (the only well-formedness [to_string] requires). *)
+let path_gen =
+  let open QCheck.Gen in
+  let token =
+    oneofl [ "Call"; "Attr"; "NameLoad"; "NumST(1)"; "NumArgs(2)"; "self"; "rotate"; "NUM" ]
+  in
+  let step = map2 (fun value index -> { Namepath.value; index }) token (int_range 0 3) in
+  map2
+    (fun prefix end_node -> { Namepath.prefix; end_node })
+    (list_size (int_range 1 6) step)
+    (oneof [ return None; map Option.some token ])
+
+let path_arb = QCheck.make ~print:Namepath.to_string path_gen
+
+let prop_of_string_round_trip =
+  QCheck.Test.make ~name:"namepath: of_string ∘ to_string = id" ~count:300 path_arb
+    (fun p -> Namepath.of_string (Namepath.to_string p) = p)
+
+let prop_interned_pid_equality =
+  QCheck.Test.make ~name:"interned: pid equality ⟺ text equality" ~count:100
+    QCheck.(pair path_arb path_arb)
+    (fun (a, b) ->
+      let tb = Namepath.Interned.create_table () in
+      let ia = Namepath.Interned.of_path ~table:tb a
+      and ib = Namepath.Interned.of_path ~table:tb b in
+      (ia.Namepath.Interned.pid = ib.Namepath.Interned.pid)
+      = (Namepath.to_string a = Namepath.to_string b)
+      && (ia.Namepath.Interned.prefix = ib.Namepath.Interned.prefix)
+         = (Namepath.prefix_key a = Namepath.prefix_key b))
+
+let prop_interned_sym_sharing =
+  QCheck.Test.make ~name:"interned: symbolic form shares ids" ~count:100 path_arb
+    (fun p ->
+      let tb = Namepath.Interned.create_table () in
+      let ip = Namepath.Interned.of_path ~table:tb p in
+      let is_ = Namepath.Interned.of_path ~table:tb (Namepath.to_symbolic p) in
+      ip.Namepath.Interned.sym = is_.Namepath.Interned.pid
+      && ip.Namepath.Interned.prefix = is_.Namepath.Interned.prefix
+      && is_.Namepath.Interned.end_ = -1
+      && (Namepath.is_symbolic p = (ip.Namepath.Interned.end_ = -1)))
+
+let test_interned_rank_order () =
+  let module I = Namepath.Interned in
+  let paths = [ np1; np2; np3 ] @ Namepath.extract (figure2_plus ()) in
+  let interned = I.of_paths paths in
+  I.freeze ();
+  Fun.protect ~finally:I.thaw @@ fun () ->
+  check_bool "frozen" true (I.is_frozen ());
+  (* rank comparison must coincide with canonical-text comparison on every
+     pair — the sort in Algorithm 1 is unchanged by interning *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int "compare_rank ≡ compare_canonical"
+            (compare (Namepath.compare_canonical a.I.np b.I.np) 0)
+            (compare (I.compare_rank a b) 0))
+        interned)
+    interned;
+  (* unknown strings never match while frozen: the sentinel is -2 *)
+  check_int "unknown end while frozen" (-2) (I.end_id "no-such-subtoken-xyzzy")
+
 let suite =
   [
     Alcotest.test_case "figure 2(c): AST+" `Quick test_figure2_astplus;
@@ -168,4 +233,8 @@ let suite =
     Alcotest.test_case "distinct prefixes" `Quick test_extract_distinct_prefixes;
     Alcotest.test_case "all extracted paths concrete" `Quick test_extract_all_concrete;
     QCheck_alcotest.to_alcotest prop_extract_leaf_count;
+    QCheck_alcotest.to_alcotest prop_of_string_round_trip;
+    QCheck_alcotest.to_alcotest prop_interned_pid_equality;
+    QCheck_alcotest.to_alcotest prop_interned_sym_sharing;
+    Alcotest.test_case "interned: frozen rank order" `Quick test_interned_rank_order;
   ]

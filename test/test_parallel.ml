@@ -198,7 +198,13 @@ let test_jobs_byte_equality () =
     Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 8 }
   in
   let build ~jobs =
-    Namer.build { Namer.default_config with Namer.use_classifier = false; jobs } corpus
+    (* cap_domains off: on a 1-core runner the cap would collapse jobs=4 to
+       the inline path, and this test exists to exercise real worker
+       domains — shard-local interner tables, the remap merge, and the
+       frozen global table — against the sequential build. *)
+    Namer.build
+      { Namer.default_config with Namer.use_classifier = false; jobs; cap_domains = false }
+      corpus
   in
   let seq = build ~jobs:1 and par = build ~jobs:4 in
   Alcotest.(check int) "same pattern count"

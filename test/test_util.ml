@@ -213,6 +213,69 @@ let test_interner_growth () =
   check_int "dense ids" 1000 (Interner.size i);
   check_str "survives array growth" "512" (Interner.name i 512)
 
+let test_interner_freeze () =
+  let i = Interner.create () in
+  let a = Interner.intern i "foo" in
+  Interner.freeze i;
+  check_bool "frozen" true (Interner.is_frozen i);
+  check_int "known strings still intern" a (Interner.intern i "foo");
+  check_bool "lookup works frozen" true (Interner.lookup i "foo" = Some a);
+  Alcotest.check_raises "unknown string raises"
+    (Invalid_argument "Interner.intern: frozen") (fun () ->
+      ignore (Interner.intern i "baz"));
+  Interner.freeze i;
+  check_bool "freeze idempotent" true (Interner.is_frozen i);
+  Interner.thaw i;
+  check_bool "thawed" false (Interner.is_frozen i);
+  let b = Interner.intern i "baz" in
+  check_int "ids survive the cycle" a (Interner.intern i "foo");
+  check_int "allocation resumes densely" (a + 1) b
+
+let test_interner_remap () =
+  let global = Interner.create () in
+  ignore (Interner.intern global "x");
+  ignore (Interner.intern global "y");
+  let local = Interner.create () in
+  ignore (Interner.intern local "y");
+  ignore (Interner.intern local "z");
+  let m = Interner.remap ~into:global local in
+  check_int "translation length" (Interner.size local) (Array.length m);
+  Array.iteri
+    (fun id gid ->
+      check_str "remap preserves names" (Interner.name local id) (Interner.name global gid))
+    m;
+  check_int "shared string keeps its global id" 1 m.(0);
+  check_int "new string appended" 2 m.(1);
+  check_int "global grew by the new strings only" 3 (Interner.size global)
+
+let prop_interner_bijection =
+  QCheck.Test.make ~name:"interner: first-seen-order bijection" ~count:200
+    QCheck.(list (string_gen_of_size (Gen.int_range 0 6) Gen.printable))
+    (fun strings ->
+      let i = Interner.create () in
+      let ids = List.map (Interner.intern i) strings in
+      (* same string ⟺ same id *)
+      List.for_all2
+        (fun s id ->
+          Interner.name i id = s
+          && List.for_all2
+               (fun s' id' -> s = s' = (id = id'))
+               strings ids)
+        strings ids
+      (* ids are dense and in first-seen order *)
+      && Interner.size i = List.length (List.sort_uniq compare strings)
+      &&
+      let seen = ref [] in
+      List.for_all
+        (fun id ->
+          if List.mem id !seen then true
+          else begin
+            let expected = List.length !seen in
+            seen := !seen @ [ id ];
+            id = expected
+          end)
+        ids)
+
 let test_tablefmt () =
   let s =
     Tablefmt.render ~caption:"Cap" ~header:[ "a"; "b" ]
@@ -250,6 +313,9 @@ let suite =
     Alcotest.test_case "stats: empty/singleton guards" `Quick test_stats_guards;
     Alcotest.test_case "interner: basics" `Quick test_interner;
     Alcotest.test_case "interner: growth" `Quick test_interner_growth;
+    Alcotest.test_case "interner: freeze/thaw" `Quick test_interner_freeze;
+    Alcotest.test_case "interner: remap merge" `Quick test_interner_remap;
+    QCheck_alcotest.to_alcotest prop_interner_bijection;
     Alcotest.test_case "tablefmt: render" `Quick test_tablefmt;
   ]
 
