@@ -19,9 +19,96 @@ module Telemetry = Namer_telemetry.Telemetry
 (* Instrumented end-to-end build on a 15-repo Python corpus, once with
    jobs=1 and once with jobs=4: prints the sequential per-stage cost table,
    verifies the two runs report identical violations, and writes both stage
-   maps, the speedup and the interning micro-benchmarks to
-   BENCH_pipeline.json (schema 3), the machine-readable trajectory file
-   that perf PRs compare against. *)
+   maps, the speedup, the snapshot save/load and scan-cache measurements,
+   and the interning micro-benchmarks to BENCH_pipeline.json (schema 4),
+   the machine-readable trajectory file that perf PRs compare against. *)
+let stage_wall name stages =
+  match List.find_opt (fun s -> s.Telemetry.stage = name) stages with
+  | Some s -> s.Telemetry.wall_ms
+  | None -> infinity
+
+let stage_count name stages =
+  match List.find_opt (fun s -> s.Telemetry.stage = name) stages with
+  | Some s -> s.Telemetry.s_count
+  | None -> 0
+
+(* Snapshot + cache instrumentation for the train-once / scan-many path:
+   save the trained model, time [load_model] (best of 3), then scan the
+   corpus files cold (empty cache) and warm (fully cached) and record what
+   the warm scan skipped.  Returns the JSON object for the bench file. *)
+let snapshot_bench (t : Namer.t) (corpus : Corpus.t) ~cold_build_ms =
+  let module J = Namer_util.Json in
+  let model_path = Filename.temp_file "namer_model" ".nmdl" in
+  let cache_dir =
+    let d = Filename.temp_file "namer_cache" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s %s" model_path cache_dir)))
+  @@ fun () ->
+  ignore (Namer.save_model t ~path:model_path);
+  let model_bytes = (Unix.stat model_path).Unix.st_size in
+  let timed f =
+    Telemetry.reset ();
+    Telemetry.set_sink Telemetry.Memory;
+    let r = f () in
+    (r, Telemetry.stages ())
+  in
+  let load_once () = timed (fun () -> Namer.load_model ~path:model_path) in
+  (* best of 3, like the build measurement *)
+  let m, load_ms =
+    List.fold_left
+      (fun (m, best) () ->
+        let m', stages = load_once () in
+        let ms = stage_wall "model:load" stages in
+        if ms < best then (m', ms) else (m, best))
+      (fst (load_once ()), infinity)
+      [ (); (); () ]
+  in
+  let files = corpus.Corpus.files in
+  let _cold, cold_stages =
+    timed (fun () -> Namer.scan_with_model ~jobs:1 ~cache_dir m files)
+  in
+  let warm, warm_stages =
+    timed (fun () -> Namer.scan_with_model ~jobs:1 ~cache_dir m files)
+  in
+  let nocache, _ = timed (fun () -> Namer.scan_with_model ~jobs:1 m files) in
+  let reports_identical = warm.Namer.sr_reports = nocache.Namer.sr_reports in
+  let load_speedup = if load_ms > 0.0 then cold_build_ms /. load_ms else 0.0 in
+  Printf.printf
+    "\nsnapshot: cold build %.0f ms vs load %.2f ms (%.0fx), model %d bytes\n"
+    cold_build_ms load_ms load_speedup model_bytes;
+  Printf.printf
+    "scan cache: cold %.1f ms → warm %.1f ms (%d hits, %d misses, %d files parsed \
+     warm), reports %s\n"
+    (stage_wall "scan:model" cold_stages)
+    (stage_wall "scan:model" warm_stages)
+    warm.Namer.sr_cache_hits warm.Namer.sr_cache_misses
+    (stage_count "parse" warm_stages)
+    (if reports_identical then "identical" else "DIFFERENT");
+  ( J.Obj
+      [
+        ("cold_build_ms", J.Float cold_build_ms);
+        ("load_ms", J.Float load_ms);
+        ("load_speedup", J.Float load_speedup);
+        ("model_bytes", J.Int model_bytes);
+      ],
+    J.Obj
+      [
+        ("cold_scan_ms", J.Float (stage_wall "scan:model" cold_stages));
+        ("warm_scan_ms", J.Float (stage_wall "scan:model" warm_stages));
+        ("warm_hits", J.Int warm.Namer.sr_cache_hits);
+        ("warm_misses", J.Int warm.Namer.sr_cache_misses);
+        ("warm_parse_count", J.Int (stage_count "parse" warm_stages));
+        ("warm_analyze_count", J.Int (stage_count "analyze" warm_stages));
+        ("warm_namepaths_count", J.Int (stage_count "namepaths" warm_stages));
+        ("reports_identical", J.Bool reports_identical);
+      ],
+    reports_identical )
+
 let telemetry_bench () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
   let corpus =
@@ -91,6 +178,9 @@ let telemetry_bench () =
     (if effective_jobs <= 1 then "; capped to 1 domain — same configuration, speedup 1.0 by construction"
      else "")
     (if reports_identical then "identical" else "DIFFERENT");
+  let snapshot_json, cache_json, cache_identical =
+    snapshot_bench t corpus ~cold_build_ms:(build_wall stages_seq)
+  in
   let micro = Perf.micro_estimates () in
   List.iter (fun (name, ns) -> Printf.printf "micro %-32s %s\n" name (Perf.pretty_ns ns)) micro;
   let path = "BENCH_pipeline.json" in
@@ -100,20 +190,24 @@ let telemetry_bench () =
     (J.to_string ~indent:2
        (J.Obj
           [
-            ("schema", J.Int 3);
+            ("schema", J.Int 4);
+            ("cores", J.Int (Domain.recommended_domain_count ()));
+            ("cap_domains", J.Bool Namer.default_config.Namer.cap_domains);
             ("jobs_parallel", J.Int jobs_parallel);
             ("jobs_parallel_effective", J.Int effective_jobs);
             ("speedup", J.Float speedup);
             ("reports_identical", J.Bool reports_identical);
+            ("snapshot", snapshot_json);
+            ("scan_cache", cache_json);
             ("stages", Telemetry.stages_to_json stages_seq);
             ("stages_parallel", Telemetry.stages_to_json stages_par);
             ("micro", J.Obj (List.map (fun (name, ns) -> (name, J.Float ns)) micro));
           ]));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) + micro to %s\n"
+  Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) + snapshot/cache to %s\n"
     jobs_parallel path;
-  if not reports_identical then exit 1
+  if not (reports_identical && cache_identical) then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -2,10 +2,14 @@
 
    Subcommands:
    - [namer generate]  write a synthetic Big Code corpus to disk;
-   - [namer scan]      mine name patterns from a directory of sources and
-                       report the violations found in the same directory
-                       (self-mining mode — the paper's "w/o C" pipeline,
-                       since real directories carry no labeled data);
+   - [namer train]     mine patterns from a directory and save the trained
+                       model as a binary snapshot (train once…);
+   - [namer scan]      report naming issues in a directory: either
+                       self-mining (mine and scan the same directory — the
+                       paper's "w/o C" pipeline, since real directories
+                       carry no labeled data), or against a [--model]
+                       snapshot, optionally through a [--cache-dir]
+                       per-file report cache (…scan many);
    - [namer demo]      one-paragraph end-to-end demonstration;
    - [namer stats]     dump the metric registry persisted by the last
                        [--metrics]/[--trace] run as JSON.
@@ -15,7 +19,8 @@
 
    Example:
      namer generate --lang python --repos 20 --out /tmp/bigcode
-     namer scan --lang python --metrics --trace trace.json /tmp/bigcode *)
+     namer train --lang python --model bigcode.nmdl /tmp/bigcode
+     namer scan --model bigcode.nmdl --cache-dir ~/.cache/namer /tmp/project *)
 
 open Cmdliner
 module Corpus = Namer_corpus.Corpus
@@ -151,7 +156,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a synthetic Big Code corpus on disk.")
     Term.(const generate $ lang_arg $ repos $ seed $ out)
 
-(* ---------------- scan ---------------- *)
+(* ---------------- train / scan ---------------- *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -166,9 +171,7 @@ let rec walk_files dir =
          let path = Filename.concat dir entry in
          if Sys.is_directory path then walk_files path else [ path ])
 
-let scan lang dir jobs max_reports save_patterns load_patterns apply_fixes json
-    metrics trace =
-  let finish_telemetry = telemetry_setup ~metrics ~trace in
+let collect_files lang dir =
   let ext = match lang with Corpus.Python -> ".py" | Corpus.Java -> ".java" in
   let files =
     walk_files dir
@@ -184,6 +187,147 @@ let scan lang dir jobs max_reports save_patterns load_patterns apply_fixes json
     progress "no %s files under %s" ext dir;
     exit 1
   end;
+  files
+
+(* Self-mining: no commit history and no labeled data on a raw directory,
+   so confusing pairs fall back to a built-in catalog and the classifier
+   is disabled (the paper's "w/o C" configuration).  [train] and the
+   mine-and-scan path share this so a saved model scans exactly like a
+   same-directory self-mining run. *)
+let self_mining_config ~n_files ~jobs =
+  {
+    Namer.default_config with
+    Namer.use_classifier = false;
+    jobs;
+    miner =
+      {
+        Namer_mining.Miner.default_config with
+        (* thresholds scale with corpus size so small directories still
+           yield patterns *)
+        min_support = max 5 (n_files / 20);
+        min_path_freq = max 3 (n_files / 50);
+      };
+  }
+
+(* ---------------- train ---------------- *)
+
+let train lang dir jobs model_path metrics trace =
+  let finish_telemetry = telemetry_setup ~metrics ~trace in
+  let files = collect_files lang dir in
+  progress "mining %d files…" (List.length files);
+  let corpus = { Corpus.lang; files; injections = []; benigns = []; commits = [] } in
+  let cfg = self_mining_config ~n_files:(List.length files) ~jobs in
+  let t = Namer.build cfg corpus in
+  let m = Namer.save_model t ~path:model_path in
+  progress "saved model %s (%d patterns, %d bytes) to %s" m.Namer.m_hash
+    (Namer_pattern.Pattern.Store.size m.Namer.m_store)
+    (try (Unix.stat model_path).Unix.st_size with Unix.Unix_error _ -> 0)
+    model_path;
+  finish_telemetry ()
+
+let train_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of source files to mine patterns from.")
+  in
+  let model =
+    Arg.(required & opt (some string) None & info [ "model"; "o" ] ~docv:"FILE"
+           ~doc:"Write the trained model snapshot to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Mine name patterns from a directory and save the trained model \
+             as a binary snapshot for later `namer scan --model` runs.")
+    Term.(const train $ lang_arg $ dir $ jobs_arg $ model $ metrics_arg $ trace_arg)
+
+(* ---------------- scan ---------------- *)
+
+(* Scan against a saved model: no mining, no corpus re-digest — load the
+   snapshot, digest only the target files, and optionally replay unchanged
+   files from the per-file report cache. *)
+let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
+  let m =
+    try Namer.load_model ~path:model_path
+    with Namer_model.Snapshot.Error msg ->
+      progress "error: %s" msg;
+      exit 1
+  in
+  let files = collect_files m.Namer.m_lang dir in
+  progress "scanning %d files against model %s…" (List.length files) m.Namer.m_hash;
+  let result = Namer.scan_with_model ~jobs ?cache_dir m files in
+  (match cache_dir with
+  | Some _ ->
+      let total = result.Namer.sr_cache_hits + result.Namer.sr_cache_misses in
+      progress "cache: %d hits, %d misses (%.1f%% hit rate)" result.Namer.sr_cache_hits
+        result.Namer.sr_cache_misses
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int result.Namer.sr_cache_hits /. float_of_int total)
+  | None -> ());
+  progress "%d potential naming issues" (Array.length result.Namer.sr_reports);
+  let sources = Hashtbl.create 256 in
+  List.iter (fun (f : Corpus.file) -> Hashtbl.replace sources f.Corpus.path f.Corpus.source) files;
+  let source_line (r : Namer.report) =
+    match Hashtbl.find_opt sources r.Namer.r_file with
+    | Some src -> (
+        match List.nth_opt (String.split_on_char '\n' src) (r.Namer.r_line - 1) with
+        | Some l -> String.trim l
+        | None -> "<line out of range>")
+    | None -> "<unknown file>"
+  in
+  if json then begin
+    let module J = Namer_util.Json in
+    let reports =
+      Array.to_list result.Namer.sr_reports
+      |> List.filteri (fun i _ -> i < max_reports)
+      |> List.map (fun (r : Namer.report) ->
+             J.Obj
+               [
+                 ("file", J.String r.Namer.r_file);
+                 ("line", J.Int r.Namer.r_line);
+                 ("statement", J.String (source_line r));
+                 ("found", J.String r.Namer.r_found);
+                 ("suggested", J.String r.Namer.r_suggested);
+                 ("pattern", J.String r.Namer.r_kind);
+               ])
+    in
+    print_endline
+      (J.to_string ~indent:2
+         (J.Obj
+            [
+              ("files", J.Int (List.length files));
+              ("model", J.String m.Namer.m_hash);
+              ("patterns", J.Int (Namer_pattern.Pattern.Store.size m.Namer.m_store));
+              ("violations", J.Int (Array.length result.Namer.sr_reports));
+              ("cache_hits", J.Int result.Namer.sr_cache_hits);
+              ("cache_misses", J.Int result.Namer.sr_cache_misses);
+              ("reports", J.List reports);
+            ]))
+  end
+  else
+    Array.iteri
+      (fun i (r : Namer.report) ->
+        if i < max_reports then
+          Printf.printf "%s:%d: %s\n    suggested fix: %s -> %s\n" r.Namer.r_file
+            r.Namer.r_line (source_line r) r.Namer.r_found r.Namer.r_suggested)
+      result.Namer.sr_reports
+
+let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_dir
+    apply_fixes json metrics trace =
+  let finish_telemetry = telemetry_setup ~metrics ~trace in
+  match model_path with
+  | Some model_path ->
+      if apply_fixes then begin
+        progress "error: --fix requires the self-mining scan (omit --model)";
+        exit 1
+      end;
+      scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json;
+      finish_telemetry ()
+  | None ->
+  if cache_dir <> None then begin
+    progress "error: --cache-dir requires --model (cached reports are keyed by model hash)";
+    exit 1
+  end;
+  let files = collect_files lang dir in
   (* progress goes to stderr so --json leaves stdout machine-readable *)
   progress "scanning %d files…" (List.length files);
   let corpus =
@@ -195,24 +339,7 @@ let scan lang dir jobs max_reports save_patterns load_patterns apply_fixes json
       commits = [];
     }
   in
-  (* Self-mining: no commit history and no labeled data on a raw directory,
-     so confusing pairs fall back to a built-in catalog and the classifier
-     is disabled (the paper's "w/o C" configuration). *)
-  let cfg =
-    {
-      Namer.default_config with
-      Namer.use_classifier = false;
-      jobs;
-      miner =
-        {
-          Namer_mining.Miner.default_config with
-          (* thresholds scale with corpus size so small directories still
-             yield patterns *)
-          min_support = max 5 (List.length files / 20);
-          min_path_freq = max 3 (List.length files / 50);
-        };
-    }
-  in
+  let cfg = self_mining_config ~n_files:(List.length files) ~jobs in
   let t = Namer.build ?patterns:(Option.map (fun p -> Namer_pattern.Pattern_io.load ~path:p) load_patterns) cfg corpus in
   (match save_patterns with
   | Some path ->
@@ -235,12 +362,7 @@ let scan lang dir jobs max_reports save_patterns load_patterns apply_fixes json
                   ("statement", J.String (Namer.source_line t v));
                   ("found", J.String v.Namer.v_info.Pattern.found);
                   ("suggested", J.String v.Namer.v_info.Pattern.suggested);
-                  ( "pattern",
-                    J.String
-                      (match v.Namer.v_pattern.Pattern.kind with
-                      | Pattern.Consistency -> "consistency"
-                      | Pattern.Confusing_word _ -> "confusing-word"
-                      | Pattern.Ordering _ -> "ordering") );
+                  ("pattern", J.String (Namer.kind_name v.Namer.v_pattern.Pattern.kind));
                 ])
      in
      print_endline
@@ -312,6 +434,18 @@ let scan_cmd =
     Arg.(value & opt (some string) None & info [ "patterns" ] ~docv:"FILE"
            ~doc:"Skip mining and match against the pattern store in FILE.")
   in
+  let model =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Skip mining entirely and scan against the model snapshot in \
+                 $(docv) (written by `namer train`).  The model's language \
+                 overrides --lang.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"With --model: cache per-file reports under $(docv), keyed by \
+                 (model hash, file content digest), so re-scans of unchanged \
+                 files skip parsing entirely and replay byte-identically.")
+  in
   let apply_fixes =
     Arg.(value & flag & info [ "fix" ] ~doc:"Rewrite the suggested fixes in place.")
   in
@@ -319,9 +453,12 @@ let scan_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit reports as JSON on stdout.")
   in
   Cmd.v
-    (Cmd.info "scan" ~doc:"Mine patterns from a source directory and report violations.")
+    (Cmd.info "scan"
+       ~doc:"Report naming issues in a source directory: mine patterns from \
+             the directory itself, or scan against a trained --model snapshot.")
     Term.(const scan $ lang_arg $ dir $ jobs_arg $ max_reports $ save_patterns
-          $ load_patterns $ apply_fixes $ json $ metrics_arg $ trace_arg)
+          $ load_patterns $ model $ cache_dir $ apply_fixes $ json $ metrics_arg
+          $ trace_arg)
 
 (* ---------------- demo ---------------- *)
 
@@ -386,4 +523,4 @@ let () =
     Cmd.info "namer" ~version:"1.0.0"
       ~doc:"Finding naming issues with Big Code and small supervision (PLDI 2021 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; scan_cmd; demo_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; train_cmd; scan_cmd; demo_cmd; stats_cmd ]))

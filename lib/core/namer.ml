@@ -622,3 +622,441 @@ let feature_weights (t : t) =
   match t.classifier with
   | Some c -> Namer_ml.Pipeline.effective_weights c
   | None -> [||]
+
+(* ------------------------------------------------------------------ *)
+(* Model snapshots: train once, scan many                              *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Namer_model.Snapshot
+module W = Namer_model.Binio.W
+module R = Namer_model.Binio.R
+
+(** The trained artifact of a build, detached from the corpus it was mined
+    on: everything a scan needs and nothing it re-derives.  The deployment
+    shape of §7 — mine over Big Code once, serve scans from the snapshot. *)
+type model = {
+  m_lang : Corpus.lang;
+  m_use_analysis : bool;
+  m_max_stmt_paths : int;
+  m_store : Pattern.Store.t;
+  m_pairs : Confusing_pairs.t;
+  m_classifier : Namer_ml.Pipeline.t option;
+  m_hash : string;  (** checksum identity of the serialized form *)
+}
+
+let model_magic = "NAMERMDL"
+let model_version = 1
+
+let kind_name = function
+  | Pattern.Consistency -> "consistency"
+  | Pattern.Confusing_word _ -> "confusing-word"
+  | Pattern.Ordering _ -> "ordering"
+
+let encode_model ~lang ~use_analysis ~max_stmt_paths ~(store : Pattern.Store.t) ~pairs
+    ~classifier =
+  let meta =
+    let w = W.create () in
+    W.u8 w (match lang with Corpus.Python -> 0 | Corpus.Java -> 1);
+    W.bool w use_analysis;
+    W.u32 w max_stmt_paths;
+    W.contents w
+  in
+  let interner =
+    let prefixes, ends = Namepath.Interned.export_global () in
+    let w = W.create ~size:(1 lsl 16) () in
+    W.u32 w (List.length prefixes);
+    List.iter (W.str w) prefixes;
+    W.u32 w (List.length ends);
+    List.iter (W.str w) ends;
+    W.contents w
+  in
+  let patterns =
+    let w = W.create ~size:(1 lsl 16) () in
+    W.u32 w (Pattern.Store.size store);
+    Pattern.Store.iter
+      (fun p ->
+        (match p.Pattern.kind with
+        | Pattern.Consistency -> W.u8 w 0
+        | Pattern.Confusing_word { correct } ->
+            W.u8 w 1;
+            W.str w correct
+        | Pattern.Ordering { first; second } ->
+            W.u8 w 2;
+            W.str w first;
+            W.str w second);
+        let paths ps =
+          W.u32 w (List.length ps);
+          List.iter (fun np -> W.str w (Namepath.to_string np)) ps
+        in
+        paths p.Pattern.condition;
+        paths p.Pattern.deduction)
+      store;
+    W.contents w
+  in
+  let pairs_sec =
+    let w = W.create () in
+    let bs = Confusing_pairs.bindings pairs in
+    W.u32 w (List.length bs);
+    List.iter
+      (fun ((w1, w2), c) ->
+        W.str w w1;
+        W.str w w2;
+        W.i64 w c)
+      bs;
+    W.contents w
+  in
+  let classifier_sec =
+    let w = W.create () in
+    (match classifier with
+    | None -> W.bool w false
+    | Some c ->
+        W.bool w true;
+        let (r : Namer_ml.Pipeline.repr) = Namer_ml.Pipeline.to_repr c in
+        W.u8 w
+          (match r.r_algo with
+          | Namer_ml.Pipeline.Svm -> 0
+          | Namer_ml.Pipeline.Logreg -> 1
+          | Namer_ml.Pipeline.Lda -> 2);
+        W.floats w r.r_mu;
+        W.floats w r.r_sigma;
+        W.matrix w r.r_components;
+        W.floats w r.r_mean;
+        W.floats w r.r_explained;
+        W.floats w r.r_weights;
+        W.f64 w r.r_bias);
+    W.contents w
+  in
+  Snapshot.encode ~magic:model_magic ~version:model_version
+    [
+      ("meta", meta); ("interner", interner); ("patterns", patterns);
+      ("pairs", pairs_sec); ("classifier", classifier_sec);
+    ]
+
+let encode_of (t : t) =
+  encode_model ~lang:t.lang ~use_analysis:t.cfg.use_analysis
+    ~max_stmt_paths:t.cfg.miner.Miner.max_stmt_paths ~store:t.store ~pairs:t.pairs
+    ~classifier:t.classifier
+
+let model_of (t : t) : model =
+  let _bytes, hash = encode_of t in
+  {
+    m_lang = t.lang;
+    m_use_analysis = t.cfg.use_analysis;
+    m_max_stmt_paths = t.cfg.miner.Miner.max_stmt_paths;
+    m_store = t.store;
+    m_pairs = t.pairs;
+    m_classifier = t.classifier;
+    m_hash = hash;
+  }
+
+let save_model (t : t) ~path : model =
+  Telemetry.with_span "model:save" @@ fun () ->
+  let bytes, hash = encode_of t in
+  Snapshot.write ~path bytes;
+  Telemetry.count ~by:(String.length bytes) "model.bytes_written";
+  Log.info (fun m ->
+      m "saved model %s (%d bytes, %d patterns) to %s" hash (String.length bytes)
+        (Pattern.Store.size t.store) path);
+  {
+    m_lang = t.lang;
+    m_use_analysis = t.cfg.use_analysis;
+    m_max_stmt_paths = t.cfg.miner.Miner.max_stmt_paths;
+    m_store = t.store;
+    m_pairs = t.pairs;
+    m_classifier = t.classifier;
+    m_hash = hash;
+  }
+
+let load_model ~path : model =
+  Telemetry.with_span "model:load" @@ fun () ->
+  let desc = "model snapshot" in
+  let bytes = Snapshot.read_file ~desc ~path in
+  let sections, hash =
+    Snapshot.decode ~magic:model_magic ~desc ~version:model_version ~path bytes
+  in
+  let sec = Snapshot.section ~desc:(Printf.sprintf "%s %s" desc path) sections in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Snapshot.Error s)) fmt in
+  try
+    let r = R.of_string (sec "meta") in
+    let lang =
+      match R.u8 r with
+      | 0 -> Corpus.Python
+      | 1 -> Corpus.Java
+      | k -> fail "%s %s: unknown language tag %d" desc path k
+    in
+    let use_analysis = R.bool r in
+    let max_stmt_paths = R.u32 r in
+    let read_strings r =
+      let n = R.u32 r in
+      let acc = ref [] in
+      for _ = 1 to n do
+        acc := R.str r :: !acc
+      done;
+      List.rev !acc
+    in
+    let r = R.of_string (sec "interner") in
+    let prefixes = read_strings r in
+    let ends = read_strings r in
+    if Namepath.Interned.is_frozen () then
+      fail "cannot load %s %s: the name-path interner is frozen (a build is in flight)"
+        desc path;
+    Namepath.Interned.preload_global ~prefixes ~ends;
+    let r = R.of_string (sec "patterns") in
+    let n = R.u32 r in
+    let store = Pattern.Store.create () in
+    for _ = 1 to n do
+      let kind =
+        match R.u8 r with
+        | 0 -> Pattern.Consistency
+        | 1 ->
+            let correct = R.str r in
+            Pattern.Confusing_word { correct }
+        | 2 ->
+            let first = R.str r in
+            let second = R.str r in
+            Pattern.Ordering { first; second }
+        | k -> fail "%s %s: unknown pattern kind tag %d" desc path k
+      in
+      let condition = List.map Namepath.of_string (read_strings r) in
+      let deduction = List.map Namepath.of_string (read_strings r) in
+      (* saved stores are already canonical-deduplicated; nodedup insertion
+         preserves the training-time pattern ids *)
+      ignore (Pattern.Store.add_nodedup store (Pattern.make ~kind ~condition ~deduction))
+    done;
+    let r = R.of_string (sec "pairs") in
+    let n = R.u32 r in
+    let pairs = Confusing_pairs.create () in
+    for _ = 1 to n do
+      let w1 = R.str r in
+      let w2 = R.str r in
+      let c = R.i64 r in
+      Confusing_pairs.add_pair ~count:c pairs (w1, w2)
+    done;
+    let r = R.of_string (sec "classifier") in
+    let classifier =
+      if not (R.bool r) then None
+      else begin
+        let r_algo =
+          match R.u8 r with
+          | 0 -> Namer_ml.Pipeline.Svm
+          | 1 -> Namer_ml.Pipeline.Logreg
+          | 2 -> Namer_ml.Pipeline.Lda
+          | k -> fail "%s %s: unknown classifier algorithm tag %d" desc path k
+        in
+        let r_mu = R.floats r in
+        let r_sigma = R.floats r in
+        let r_components = R.matrix r in
+        let r_mean = R.floats r in
+        let r_explained = R.floats r in
+        let r_weights = R.floats r in
+        let r_bias = R.f64 r in
+        Some
+          (Namer_ml.Pipeline.of_repr
+             {
+               Namer_ml.Pipeline.r_algo; r_mu; r_sigma; r_components; r_mean;
+               r_explained; r_weights; r_bias;
+             })
+      end
+    in
+    Telemetry.count "model.loads";
+    Log.info (fun m ->
+        m "loaded model %s (%d patterns) from %s" hash (Pattern.Store.size store) path);
+    {
+      m_lang = lang;
+      m_use_analysis = use_analysis;
+      m_max_stmt_paths = max_stmt_paths;
+      m_store = store;
+      m_pairs = pairs;
+      m_classifier = classifier;
+      m_hash = hash;
+    }
+  with
+  | R.Corrupt msg -> fail "%s %s is corrupt: %s" desc path msg
+  | Invalid_argument msg -> fail "%s %s holds malformed data: %s" desc path msg
+
+(* ------------------------------------------------------------------ *)
+(* Scanning against a model, with an incremental cache                 *)
+(* ------------------------------------------------------------------ *)
+
+(** One scan report: a violation rendered down to strings — the stable,
+    cacheable shape (no pattern ids, no interned ids). *)
+type report = {
+  r_file : string;
+  r_line : int;
+  r_prefix : string;  (** offending prefix key *)
+  r_found : string;
+  r_suggested : string;
+  r_kind : string;  (** {!kind_name} of the violated pattern *)
+}
+
+type scan_result = {
+  sr_reports : report array;  (** sorted by (file, line, prefix, …) *)
+  sr_cache_hits : int;
+  sr_cache_misses : int;  (** 0 unless a cache dir was given *)
+}
+
+let config_of_model (m : model) ~jobs ~cap_domains =
+  {
+    default_config with
+    use_analysis = m.m_use_analysis;
+    use_classifier = false;
+    jobs;
+    cap_domains;
+    miner = { Miner.default_config with Miner.max_stmt_paths = m.m_max_stmt_paths };
+  }
+
+(* Match one digested file against the store and render its deduplicated,
+   sorted reports — the per-file unit of work the cache persists.  Same
+   dedup rule as [build]: one report per (line, offending name, suggestion,
+   pattern type), keeping the most specific condition, first wins ties. *)
+let match_stmts (m : model) stmts : Scan_cache.entry list =
+  let raw = ref [] in
+  List.iter
+    (fun s ->
+      Pattern.Store.candidates m.m_store s.digest
+      |> List.iter (fun (p : Pattern.t) ->
+             match Pattern.check p s.digest with
+             | Pattern.Violated info -> raw := (s, p, info) :: !raw
+             | _ -> ()))
+    stmts;
+  let dedup = Hashtbl.create 16 in
+  List.iter
+    (fun ((s, (p : Pattern.t), (info : Pattern.violation_info)) as v) ->
+      let key =
+        (s.line, info.Pattern.offending_prefix, info.Pattern.suggested, kind_name p.kind)
+      in
+      match Hashtbl.find_opt dedup key with
+      | Some (_, (prev : Pattern.t), _)
+        when List.length prev.Pattern.condition >= List.length p.Pattern.condition ->
+          ()
+      | _ -> Hashtbl.replace dedup key v)
+    (List.rev !raw);
+  Hashtbl.fold (fun _ v acc -> v :: acc) dedup []
+  |> List.map (fun (s, (p : Pattern.t), (info : Pattern.violation_info)) ->
+         {
+           Scan_cache.e_line = s.line;
+           e_prefix = info.Pattern.offending_prefix;
+           e_found = info.Pattern.found;
+           e_suggested = info.Pattern.suggested;
+           e_kind = kind_name p.kind;
+         })
+  |> List.sort compare
+
+(** [scan_with_model m files] reports the violations of [files] against a
+    trained model: digest (parse → analyze → AST+ → name paths) only, no
+    mining, no training — the paper's "w/o C" reporting shape, like the
+    CLI's self-mining scan.  With [cache_dir], per-file reports are
+    persisted keyed by (model hash, content digest): files whose entry is
+    present skip digesting entirely and replay byte-identically, at any
+    [jobs].  Reports are sorted on (file, line, prefix, suggested, found,
+    kind) — a total order, so the output is deterministic however it was
+    produced. *)
+let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
+    (files : Corpus.file list) : scan_result =
+  let cfg = config_of_model m ~jobs ~cap_domains in
+  let lang = m.m_lang in
+  Telemetry.with_span "scan:model" @@ fun () ->
+  let probed =
+    List.map
+      (fun (f : Corpus.file) ->
+        match cache_dir with
+        | None -> (f, "", None)
+        | Some dir ->
+            let d = Scan_cache.src_digest f.Corpus.source in
+            (f, d, Scan_cache.find ~dir ~model_hash:m.m_hash ~src_digest:d))
+      files
+  in
+  let misses =
+    List.filter_map (fun (f, d, hit) -> if hit = None then Some (f, d) else None) probed
+  in
+  let n_hits = List.length files - List.length misses in
+  let n_misses = match cache_dir with None -> 0 | Some _ -> List.length misses in
+  (match cache_dir with
+  | Some _ ->
+      Telemetry.count ~by:n_hits "scan_cache.hits";
+      Telemetry.count ~by:n_misses "scan_cache.misses"
+  | None -> ());
+  let scanned =
+    Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+    let shards =
+      Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
+    in
+    (* two-phase, mirroring [build]: sharded digest into local tables,
+       remap into the global id space in shard order, then match sharded —
+       the store and interner are read-only by then *)
+    let digested =
+      match pool with
+      | None ->
+          List.map
+            (fun ((f : Corpus.file), d) -> (f, d, digest_file ~cfg ~lang ~file:f ()))
+            misses
+      | Some _ ->
+          let parts =
+            Accumulator.sharded_map ?pool ~shards
+              ~key:(fun ((f : Corpus.file), _) -> f.Corpus.repo)
+              (fun fs ->
+                let table = Namepath.Interned.create_table () in
+                ( table,
+                  List.map
+                    (fun ((f : Corpus.file), d) ->
+                      (f, d, digest_file ~table ~cfg ~lang ~file:f ()))
+                    fs ))
+              misses
+          in
+          Telemetry.with_span "digest:remap" @@ fun () ->
+          List.concat_map
+            (fun (table, shard_files) ->
+              let mp = Namepath.Interned.remap_into_global table in
+              List.map
+                (fun (f, d, stmts) ->
+                  ( f, d,
+                    List.map
+                      (fun s -> { s with digest = Pattern.Stmt_paths.remap mp s.digest })
+                      stmts ))
+                shard_files)
+            parts
+    in
+    Telemetry.with_span "scan" @@ fun () ->
+    Accumulator.sharded_concat_map ?pool ~shards
+      (fun part -> List.map (fun (f, d, stmts) -> (f, d, match_stmts m stmts)) part)
+      digested
+  in
+  (match cache_dir with
+  | Some dir ->
+      List.iter
+        (fun ((_ : Corpus.file), d, entries) ->
+          Scan_cache.store ~dir ~model_hash:m.m_hash ~src_digest:d entries)
+        scanned
+  | None -> ());
+  let computed = Hashtbl.create 64 in
+  List.iter
+    (fun ((f : Corpus.file), _, entries) -> Hashtbl.replace computed f.Corpus.path entries)
+    scanned;
+  let reports =
+    List.concat_map
+      (fun ((f : Corpus.file), _, hit) ->
+        let entries =
+          match hit with
+          | Some e -> e
+          | None -> Option.value (Hashtbl.find_opt computed f.Corpus.path) ~default:[]
+        in
+        List.map
+          (fun (e : Scan_cache.entry) ->
+            {
+              r_file = f.Corpus.path;
+              r_line = e.Scan_cache.e_line;
+              r_prefix = e.Scan_cache.e_prefix;
+              r_found = e.Scan_cache.e_found;
+              r_suggested = e.Scan_cache.e_suggested;
+              r_kind = e.Scan_cache.e_kind;
+            })
+          entries)
+      probed
+    |> List.sort (fun a b ->
+           compare
+             (a.r_file, a.r_line, a.r_prefix, a.r_suggested, a.r_found, a.r_kind)
+             (b.r_file, b.r_line, b.r_prefix, b.r_suggested, b.r_found, b.r_kind))
+    |> Array.of_list
+  in
+  Telemetry.count ~by:(Array.length reports) "scan_model.reports";
+  { sr_reports = reports; sr_cache_hits = n_hits; sr_cache_misses = n_misses }

@@ -116,3 +116,65 @@ val evaluate : ?n:int -> ?seed:int -> t -> outcome
 
 (** Trained classifier weights per original feature (Table 9). *)
 val feature_weights : t -> float array
+
+(** {1 Model snapshots — train once, scan many}
+
+    A {!model} is the trained artifact of a build detached from its corpus:
+    the compiled pattern store, the confusing-pair table, the classifier and
+    the interner vocabulary they reference.  {!save_model} persists it as a
+    versioned, checksummed binary snapshot (format: DESIGN.md §8) whose
+    checksum doubles as the model's identity hash; {!load_model} restores it
+    without re-digesting or re-mining anything.  {!scan_with_model} then
+    scans arbitrary files against it, optionally through a per-file report
+    cache keyed on (model hash, content digest). *)
+
+type model = {
+  m_lang : Corpus.lang;
+  m_use_analysis : bool;  (** the build's "A" ablation switch *)
+  m_max_stmt_paths : int;  (** paths kept per statement at digest time *)
+  m_store : Pattern.Store.t;
+  m_pairs : Confusing_pairs.t;
+  m_classifier : Namer_ml.Pipeline.t option;
+  m_hash : string;  (** checksum identity of the serialized form *)
+}
+
+(** ["consistency" | "confusing-word" | "ordering"] — the stable kind tag
+    used in reports, JSON output and cache entries. *)
+val kind_name : Pattern.kind -> string
+
+(** The model of a finished build (hash included; nothing touches disk). *)
+val model_of : t -> model
+
+(** Serialize the build's trained state to [path] (atomic write) and return
+    the model. *)
+val save_model : t -> path:string -> model
+
+(** Restore a model from a snapshot file.
+    @raise Namer_model.Snapshot.Error on unreadable, truncated, corrupted or
+    version-mismatched files, with a message naming the file and the fix. *)
+val load_model : path:string -> model
+
+(** One scan report, rendered down to strings — the cacheable shape. *)
+type report = {
+  r_file : string;
+  r_line : int;
+  r_prefix : string;  (** offending prefix key *)
+  r_found : string;
+  r_suggested : string;
+  r_kind : string;  (** {!kind_name} of the violated pattern *)
+}
+
+type scan_result = {
+  sr_reports : report array;  (** sorted by (file, line, prefix, …) *)
+  sr_cache_hits : int;
+  sr_cache_misses : int;  (** 0 unless a cache dir was given *)
+}
+
+(** [scan_with_model m files] digests and matches [files] against the model
+    — no mining, no training.  With [cache_dir], per-file reports persist
+    under [(model hash, content digest)] keys: unchanged files skip
+    parse/analyze/name-path extraction entirely and replay byte-identically
+    at any [jobs].  Deterministic: the report array is totally ordered. *)
+val scan_with_model :
+  ?jobs:int -> ?cap_domains:bool -> ?cache_dir:string -> model -> Corpus.file list ->
+  scan_result

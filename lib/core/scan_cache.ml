@@ -1,0 +1,74 @@
+module Snapshot = Namer_model.Snapshot
+module Binio = Namer_model.Binio
+module Telemetry = Namer_telemetry.Telemetry
+
+type entry = {
+  e_line : int;
+  e_prefix : string;
+  e_found : string;
+  e_suggested : string;
+  e_kind : string;
+}
+
+let magic = "NAMERRPT"
+let version = 1
+
+let src_digest source = Digest.to_hex (Digest.string source)
+
+let entry_path ~dir ~model_hash ~src_digest =
+  Filename.concat (Filename.concat dir model_hash) (src_digest ^ ".rpt")
+
+let encode entries =
+  let w = Binio.W.create () in
+  Binio.W.u32 w (List.length entries);
+  List.iter
+    (fun e ->
+      Binio.W.i64 w e.e_line;
+      Binio.W.str w e.e_prefix;
+      Binio.W.str w e.e_found;
+      Binio.W.str w e.e_suggested;
+      Binio.W.str w e.e_kind)
+    entries;
+  let bytes, _hash = Snapshot.encode ~magic ~version [ ("reports", Binio.W.contents w) ] in
+  bytes
+
+let decode ~path bytes =
+  let sections, _hash = Snapshot.decode ~magic ~desc:"cache entry" ~version ~path bytes in
+  let r = Binio.R.of_string (Snapshot.section ~desc:"cache entry" sections "reports") in
+  let n = Binio.R.u32 r in
+  (* explicit loop: the reader is stateful, so the read order must be the
+     entry order, which List.init does not promise *)
+  let entries = ref [] in
+  for _ = 1 to n do
+    let e_line = Binio.R.i64 r in
+    let e_prefix = Binio.R.str r in
+    let e_found = Binio.R.str r in
+    let e_suggested = Binio.R.str r in
+    let e_kind = Binio.R.str r in
+    entries := { e_line; e_prefix; e_found; e_suggested; e_kind } :: !entries
+  done;
+  List.rev !entries
+
+let find ~dir ~model_hash ~src_digest =
+  let path = entry_path ~dir ~model_hash ~src_digest in
+  if not (Sys.file_exists path) then None
+  else
+    match decode ~path (Snapshot.read_file ~desc:"cache entry" ~path) with
+    | entries -> Some entries
+    | exception (Snapshot.Error _ | Binio.R.Corrupt _) ->
+        (* undecodable = miss: the caller rescans and overwrites the entry *)
+        Telemetry.count "scan_cache.undecodable";
+        None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let store ~dir ~model_hash ~src_digest entries =
+  let path = entry_path ~dir ~model_hash ~src_digest in
+  try
+    mkdir_p (Filename.dirname path);
+    Snapshot.write ~path (encode entries)
+  with Sys_error _ -> Telemetry.count "scan_cache.write_failures"

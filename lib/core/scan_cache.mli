@@ -1,0 +1,35 @@
+(** Content-addressed per-file scan cache (the incremental half of the
+    train-once / scan-many workflow).
+
+    One entry holds the final per-file reports of a classifier-free scan —
+    a pure function of (file content, model), so the cache key is the pair
+    (model hash, MD5 of the source bytes) and the file's path on disk is
+    irrelevant to the entry.  Layout under the cache root:
+
+    {v <dir>/<model-hash>/<md5-of-source>.rpt v}
+
+    Entries are [NAMERRPT] {!Namer_model.Snapshot} containers; anything
+    that fails to decode — torn write, format drift, disk rot — is a
+    self-healing miss (the caller rescans and overwrites).  A model-hash
+    change changes the subdirectory, invalidating every entry at once. *)
+
+(** One cached report, file-path-free (the caller re-attaches the path):
+    content-identical files at different paths share one entry. *)
+type entry = {
+  e_line : int;
+  e_prefix : string;  (** offending prefix key *)
+  e_found : string;
+  e_suggested : string;
+  e_kind : string;  (** "consistency" | "confusing-word" | "ordering" *)
+}
+
+val src_digest : string -> string
+(** Cache key half for a file: hex MD5 of its source bytes. *)
+
+val find : dir:string -> model_hash:string -> src_digest:string -> entry list option
+(** [None] on absent or undecodable entries (a miss, never an error). *)
+
+val store : dir:string -> model_hash:string -> src_digest:string -> entry list -> unit
+(** Atomic write (temp + rename); creates the directory as needed.
+    Write failures are swallowed — a cache that cannot persist degrades to
+    scanning, it does not fail the scan. *)

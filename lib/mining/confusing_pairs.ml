@@ -64,6 +64,14 @@ let merge ~into t =
 let total_pairs t = Namer_util.Counter.distinct t.counts
 let top n t = Namer_util.Counter.top n t.counts
 
+(** All pair tallies sorted by pair — the deterministic serialization order
+    for model snapshots.  [create] plus [add_pair ~count] over the bindings
+    rebuilds an equal table (folded tallies and correct words are derived
+    from the counts, exactly as {!prune} rebuilds them). *)
+let bindings t =
+  Namer_util.Counter.fold (fun pair c acc -> (pair, c) :: acc) t.counts []
+  |> List.sort compare
+
 (** Keep only pairs seen at least [min_count] times (pruning one-off
     renames that do not indicate systematic confusion). *)
 let prune t ~min_count =

@@ -30,5 +30,9 @@ val total_pairs : t -> int
 (** The [n] most frequent pairs with their commit counts. *)
 val top : int -> t -> ((string * string) * int) list
 
+(** Every pair tally, sorted by pair — the deterministic serialization
+    order.  [add_pair ~count] over the bindings rebuilds an equal table. *)
+val bindings : t -> ((string * string) * int) list
+
 (** Keep only pairs seen at least [min_count] times. *)
 val prune : t -> min_count:int -> t

@@ -50,6 +50,49 @@ let effective_weights t =
   Array.mapi (fun i w -> w /. t.standardize.Preprocess.Standardize.sigma.(i)) back
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot representation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The trained pipeline flattened to plain arrays for persistence: the
+    standardization moments, the PCA basis and the linear model, nothing
+    else — [of_repr (to_repr t)] predicts identically to [t]. *)
+type repr = {
+  r_algo : algo;
+  r_mu : float array;
+  r_sigma : float array;
+  r_components : float array array;
+  r_mean : float array;
+  r_explained : float array;
+  r_weights : float array;
+  r_bias : float;
+}
+
+let to_repr t =
+  {
+    r_algo = t.algo;
+    r_mu = t.standardize.Preprocess.Standardize.mu;
+    r_sigma = t.standardize.Preprocess.Standardize.sigma;
+    r_components = t.pca.Preprocess.Pca.components;
+    r_mean = t.pca.Preprocess.Pca.mean;
+    r_explained = t.pca.Preprocess.Pca.explained;
+    r_weights = t.model.Linear_models.weights;
+    r_bias = t.model.Linear_models.bias;
+  }
+
+let of_repr r =
+  {
+    standardize = { Preprocess.Standardize.mu = r.r_mu; sigma = r.r_sigma };
+    pca =
+      {
+        Preprocess.Pca.components = r.r_components;
+        mean = r.r_mean;
+        explained = r.r_explained;
+      };
+    model = { Linear_models.weights = r.r_weights; bias = r.r_bias };
+    algo = r.r_algo;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Cross-validation and model selection                                *)
 (* ------------------------------------------------------------------ *)
 

@@ -20,6 +20,22 @@ val predict : t -> float array -> bool
     feature i is (Pᵀw)ᵢ / σᵢ. *)
 val effective_weights : t -> float array
 
+(** The trained pipeline flattened to plain arrays for persistence;
+    [of_repr (to_repr t)] predicts identically to [t]. *)
+type repr = {
+  r_algo : algo;
+  r_mu : float array;
+  r_sigma : float array;
+  r_components : float array array;
+  r_mean : float array;
+  r_explained : float array;
+  r_weights : float array;
+  r_bias : float;
+}
+
+val to_repr : t -> repr
+val of_repr : repr -> t
+
 type cv_report = { accuracy : float; precision : float; recall : float; f1 : float }
 
 (** Repeated random 80/20 splits (the paper: 30 repetitions), averaged. *)

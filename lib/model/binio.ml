@@ -1,0 +1,111 @@
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 4096) () = Buffer.create size
+
+  let u8 b v =
+    if v < 0 || v > 0xff then invalid_arg (Printf.sprintf "Binio.W.u8: %d" v);
+    Buffer.add_char b (Char.chr v)
+
+  let u32 b v =
+    if v < 0 || v > 0xffff_ffff then invalid_arg (Printf.sprintf "Binio.W.u32: %d" v);
+    Buffer.add_int32_le b (Int32.of_int v)
+
+  let i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+  let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+  let i64_bits b v = Buffer.add_int64_le b v
+
+  let floats b a =
+    u32 b (Array.length a);
+    Array.iter (f64 b) a
+
+  let matrix b m =
+    u32 b (Array.length m);
+    u32 b (if Array.length m = 0 then 0 else Array.length m.(0));
+    Array.iter (Array.iter (f64 b)) m
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let of_string src = { src; pos = 0 }
+  let pos r = r.pos
+  let remaining r = String.length r.src - r.pos
+
+  let need r n what =
+    if remaining r < n then
+      raise
+        (Corrupt
+           (Printf.sprintf "truncated input: wanted %d byte(s) for %s at offset %d, %d left"
+              n what r.pos (remaining r)))
+
+  let u8 r =
+    need r 1 "u8";
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    need r 4 "u32";
+    let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xffff_ffff in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8 "i64";
+    let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let f64 r =
+    need r 8 "f64";
+    let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> raise (Corrupt (Printf.sprintf "invalid bool byte %d at offset %d" v (r.pos - 1)))
+
+  let str r =
+    let n = u32 r in
+    need r n "string body";
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let floats r =
+    let n = u32 r in
+    need r (8 * n) "float array body";
+    Array.init n (fun _ -> f64 r)
+
+  let matrix r =
+    let rows = u32 r in
+    let cols = u32 r in
+    need r (8 * rows * cols) "matrix body";
+    Array.init rows (fun _ -> Array.init cols (fun _ -> f64 r))
+end
+
+let fnv1a64 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let hex64 h = Printf.sprintf "%016Lx" h

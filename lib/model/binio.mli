@@ -1,0 +1,68 @@
+(** Deterministic binary codec primitives for model snapshots and cache
+    entries: fixed-width little-endian integers, IEEE-754 doubles and
+    length-prefixed strings, plus the FNV-1a 64-bit checksum that seals
+    every {!Snapshot} container.  Hand-rolled on purpose — no [Marshal] —
+    so the on-disk bytes are a stable, versionable format rather than a
+    compiler-version-dependent heap image. *)
+
+(** Append-only writer over a {!Buffer}. *)
+module W : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  val u8 : t -> int -> unit
+  (** One byte.  @raise Invalid_argument outside [0, 255]. *)
+
+  val u32 : t -> int -> unit
+  (** Four bytes LE — lengths and counts.
+      @raise Invalid_argument outside [0, 2^32). *)
+
+  val i64 : t -> int -> unit
+  (** Eight bytes LE, two's complement (full OCaml [int] range). *)
+
+  val f64 : t -> float -> unit
+  (** Eight bytes LE, IEEE-754 bits. *)
+
+  val bool : t -> bool -> unit
+  val str : t -> string -> unit  (** [u32] byte length, then the bytes. *)
+
+  val raw : t -> string -> unit
+  (** Bytes verbatim, no length prefix — magic headers, checksum trailers. *)
+
+  val i64_bits : t -> int64 -> unit
+  (** Eight raw bytes LE of a full-range [int64] (checksums). *)
+
+  val floats : t -> float array -> unit
+  val matrix : t -> float array array -> unit  (** rows × cols, row-major. *)
+
+  val contents : t -> string
+end
+
+(** Cursor-based reader; every decoder raises {!Corrupt} instead of reading
+    past the end, so callers can turn malformed input into one actionable
+    error. *)
+module R : sig
+  type t
+
+  exception Corrupt of string
+
+  val of_string : string -> t
+  val pos : t -> int
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int
+  val f64 : t -> float
+  val bool : t -> bool
+  val str : t -> string
+  val floats : t -> float array
+  val matrix : t -> float array array
+end
+
+val fnv1a64 : ?pos:int -> ?len:int -> string -> int64
+(** FNV-1a over [s[pos, pos+len)] (default: the whole string). *)
+
+val hex64 : int64 -> string
+(** 16 lowercase hex digits. *)

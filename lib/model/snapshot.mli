@@ -1,0 +1,42 @@
+(** Versioned, checksummed section container shared by model snapshots
+    ([NAMERMDL]) and scan-cache entries ([NAMERRPT]).
+
+    Layout (all integers little-endian):
+
+    {v
+      magic     8 bytes  (e.g. "NAMERMDL")
+      version   u32
+      sections  u32                      -- section count
+      repeat sections times:
+        name    u32 len + bytes
+        payload u32 len + bytes
+      checksum  8 bytes                  -- FNV-1a64 of everything above
+    v}
+
+    The hex of the trailing checksum doubles as the artifact's identity
+    (the "model hash" used as the cache key). *)
+
+exception Error of string
+(** All decode failures — truncation, wrong magic, version skew, checksum
+    mismatch — raise this with a message that names the file and says what
+    to do about it. *)
+
+val encode : magic:string -> version:int -> (string * string) list -> string * string
+(** [encode ~magic ~version sections] is [(bytes, hash)] where [hash] is
+    the 16-hex-digit checksum identity.  [magic] must be 8 bytes. *)
+
+val decode :
+  magic:string -> desc:string -> version:int -> ?path:string -> string ->
+  (string * string) list * string
+(** Inverse of {!encode}: validates magic, version and checksum, and
+    returns [(sections, hash)].  [desc] names the artifact kind in errors
+    ("model snapshot", "cache entry"); [path] names its origin. *)
+
+val write : path:string -> string -> unit
+(** Atomic write: temp file in the target directory, then rename. *)
+
+val read_file : desc:string -> path:string -> string
+(** Read a whole file, turning [Sys_error] into {!Error}. *)
+
+val section : desc:string -> (string * string) list -> string -> string
+(** Look up a section by name.  @raise Error when absent. *)

@@ -283,6 +283,28 @@ module Interned = struct
     if global.frozen then compare global.rank.(a) global.rank.(b)
     else compare_canonical global.by_pid.(a) global.by_pid.(b)
 
+  (* ---------------- snapshot persistence ---------------- *)
+
+  let interner_strings i =
+    let acc = ref [] in
+    Interner.iter (fun _ s -> acc := s :: !acc) i;
+    List.rev !acc
+
+  (** The global prefix and end vocabularies in id order — the interner
+      state a compiled pattern store references, exported for model
+      snapshots.  Whole-path ids are per-scan digest state (every scan
+      re-derives them from its input), so they are not part of the model. *)
+  let export_global () = (interner_strings global.prefixes, interner_strings global.ends)
+
+  (** Re-populate the global table from a snapshot, in saved id order:
+      interning through the same {!intern_end} recursion that produced the
+      saved order reproduces the id assignment (and the lowercase-fold map)
+      exactly when the table is empty, and is a harmless warm-up merge when
+      it is not.  @raise Invalid_argument on a frozen table. *)
+  let preload_global ~prefixes ~ends =
+    List.iter (fun s -> ignore (Interner.intern global.prefixes s)) prefixes;
+    List.iter (fun e -> ignore (intern_end global e)) ends
+
   (** Id translations from a shard-local table into the global one. *)
   type remap = { path_map : int array; prefix_map : int array; end_map : int array }
 

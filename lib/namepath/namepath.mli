@@ -120,6 +120,15 @@ module Interned : sig
   (** Same order on bare global path ids. *)
   val compare_pids : int -> int -> int
 
+  (** Global prefix and end vocabularies in id order, for model snapshots
+      (whole-path ids are per-scan digest state and are not exported). *)
+  val export_global : unit -> string list * string list
+
+  (** Re-populate the global table from a snapshot in saved id order —
+      exact id (and lowercase-fold) reproduction on an empty table, a
+      harmless merge otherwise.  @raise Invalid_argument when frozen. *)
+  val preload_global : prefixes:string list -> ends:string list -> unit
+
   (** Id translations from a shard-local table into the global one. *)
   type remap = { path_map : int array; prefix_map : int array; end_map : int array }
 

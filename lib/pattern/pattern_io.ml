@@ -17,11 +17,21 @@ module Namepath = Namer_namepath.Namepath
 
 exception Parse_error of string
 
+(* Single-pass substring search: compare characters in place instead of
+   allocating a [String.sub] candidate at every position, so parsing a
+   large pattern file stays linear in its size (the separators here are
+   3–4 bytes, so the inner probe is a bounded constant). *)
 let split_on_substring ~sep s =
   let sl = String.length sep and n = String.length s in
+  if sl = 0 then invalid_arg "split_on_substring: empty separator";
+  let c0 = sep.[0] in
+  let matches_at i =
+    let rec go j = j >= sl || (s.[i + j] = sep.[j] && go (j + 1)) in
+    go 1
+  in
   let rec find i =
     if i + sl > n then None
-    else if String.sub s i sl = sep then Some i
+    else if s.[i] = c0 && matches_at i then Some i
     else find (i + 1)
   in
   match find 0 with

@@ -4,13 +4,20 @@
    absolute floor, so microsecond stages don't trip on noise), if the
    fresh run's jobs=1 / jobs=N reports diverged, if the fresh parallel
    speedup dropped below 1.0 (a jobs=N build must never be slower than
-   jobs=1), or if the fresh build's allocation regressed more than 1.5x
-   over the committed baseline (the hash-consed hot path is an allocation
-   win; this keeps it one).
+   jobs=1 — skipped with a notice when the run's effective parallel jobs
+   is 1, e.g. on a 1-core container where both configurations are the
+   same program), or if the fresh build's allocation regressed more than
+   1.5x over the committed baseline (the hash-consed hot path is an
+   allocation win; this keeps it one).
+
+   Schema-4 runs additionally gate the train-once / scan-many path:
+   loading a model snapshot must be >= 10x faster than the cold build it
+   replaces, and the warm cached scan must hit on every file, parse
+   nothing, and reproduce the uncached reports byte-identically.
 
    Accepts every baseline schema: the original flat stage map (schema 1)
-   and the {schema: 2|3, stages, stages_parallel, ...} envelopes, so the
-   gate keeps working across baseline refreshes.
+   and the {schema: 2|3|4, stages, stages_parallel, ...} envelopes, so
+   the gate keeps working across baseline refreshes.
 
    Usage: check_bench FRESH.json BASELINE.json *)
 
@@ -84,13 +91,68 @@ let () =
     (stage_walls baseline_path baseline);
   if !regressions <> [] then
     fail "wall-clock regression >3x:\n  %s" (String.concat "\n  " (List.rev !regressions));
-  (* the parallel build must at least break even with the sequential one *)
+  (* the parallel build must at least break even with the sequential one —
+     unless the run had no real parallelism to measure (effective jobs 1),
+     in which case the ratio is noise and the gate is skipped, loudly *)
+  let effective_jobs =
+    match number (assoc "jobs_parallel_effective" fresh) with
+    | Some e -> int_of_float e
+    | None -> max_int (* old schema: provenance absent, assume parallel *)
+  in
   (match number (assoc "speedup" fresh) with
+  | Some _ when effective_jobs <= 1 ->
+      Printf.printf
+        "NOTICE: speedup gate skipped — effective parallel jobs is 1 on this machine\n"
   | Some s when s < 1.0 ->
       fail "%s: jobs=N speedup %.2fx < 1.0x — parallel build slower than sequential"
         fresh_path s
   | Some s -> Printf.printf "speedup: %.2fx (jobs=N vs jobs=1)\n" s
   | None -> ());
+  (* schema >= 4: snapshot-load and scan-cache gates *)
+  let fresh_schema =
+    match number (assoc "schema" fresh) with Some s -> int_of_float s | None -> 1
+  in
+  if fresh_schema >= 4 then begin
+    let snapshot =
+      match assoc "snapshot" fresh with
+      | Some s -> s
+      | None -> fail "%s: schema %d but no snapshot object" fresh_path fresh_schema
+    in
+    (match (number (assoc "load_speedup" snapshot), number (assoc "load_ms" snapshot))
+     with
+    | Some ratio, Some load_ms ->
+        Printf.printf "snapshot load: %.2f ms, %.0fx faster than cold build\n" load_ms
+          ratio;
+        if ratio < 10.0 then
+          fail
+            "%s: snapshot load only %.1fx faster than cold build (gate: >= 10x) — \
+             loading a model must beat re-training"
+            fresh_path ratio
+    | _ -> fail "%s: snapshot object lacks load_speedup/load_ms" fresh_path);
+    let cache =
+      match assoc "scan_cache" fresh with
+      | Some s -> s
+      | None -> fail "%s: schema %d but no scan_cache object" fresh_path fresh_schema
+    in
+    (match assoc "reports_identical" cache with
+    | Some (J.Bool true) -> ()
+    | _ ->
+        fail "%s: warm cached scan reports differ from uncached scan — cache unsound"
+          fresh_path);
+    (match (number (assoc "warm_hits" cache), number (assoc "warm_misses" cache)) with
+    | Some hits, Some misses when misses > 0.0 || hits <= 0.0 ->
+        fail "%s: warm scan saw %d cache misses / %d hits — cache not persisting"
+          fresh_path (int_of_float misses) (int_of_float hits)
+    | Some hits, Some _ ->
+        Printf.printf "scan cache: warm scan hit on all %d files\n" (int_of_float hits)
+    | _ -> fail "%s: scan_cache object lacks warm_hits/warm_misses" fresh_path);
+    match number (assoc "warm_parse_count" cache) with
+    | Some n when n > 0.0 ->
+        fail "%s: warm cached scan still parsed %d files — cache not short-circuiting"
+          fresh_path (int_of_float n)
+    | Some _ -> ()
+    | None -> fail "%s: scan_cache object lacks warm_parse_count" fresh_path
+  end;
   (* build allocation: a schema>=2 baseline pins it; a 1.5x growth fails *)
   (match
      ( List.assoc_opt "build" (stage_field "alloc_mb" fresh_path fresh),

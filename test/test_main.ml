@@ -21,5 +21,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("userstudy", Test_userstudy.suite);
       ("core", Test_core.suite);
+      ("model", Test_model.suite);
       ("fixer", Test_fixer.suite);
     ]

@@ -1,0 +1,261 @@
+(* Model snapshots and the incremental scan cache: save → load → scan
+   round-trips byte-identically at any jobs setting, damaged snapshot
+   files are rejected with actionable errors, and a warm cache replays
+   reports without re-parsing anything but the files that changed. *)
+
+module Namer = Namer_core.Namer
+module Corpus = Namer_corpus.Corpus
+module Miner = Namer_mining.Miner
+module Snapshot = Namer_model.Snapshot
+module Telemetry = Namer_telemetry.Telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let corpus_cfg ?(seed = 11) () =
+  {
+    (Corpus.default_config Corpus.Python) with
+    Corpus.n_repos = 8;
+    files_per_repo = (4, 6);
+    seed;
+  }
+
+let namer_cfg =
+  {
+    Namer.default_config with
+    use_classifier = false;
+    miner = { Miner.default_config with Miner.min_support = 5; min_path_freq = 3 };
+  }
+
+let built = lazy (Corpus.generate (corpus_cfg ()), Namer.build namer_cfg (Corpus.generate (corpus_cfg ())))
+let corpus () = fst (Lazy.force built)
+let namer () = snd (Lazy.force built)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  d
+
+let model_path () = Filename.temp_file "test_model" ".nmdl"
+
+let reports (r : Namer.scan_result) =
+  Array.to_list r.Namer.sr_reports
+  |> List.map (fun (x : Namer.report) ->
+         Printf.sprintf "%s:%d:%s:%s:%s:%s" x.Namer.r_file x.Namer.r_line
+           x.Namer.r_prefix x.Namer.r_found x.Namer.r_suggested x.Namer.r_kind)
+  |> String.concat "\n"
+
+(* -------- round trip -------- *)
+
+let test_round_trip_identity () =
+  let t = namer () and c = corpus () in
+  let path = model_path () in
+  let saved = Namer.save_model t ~path in
+  let loaded = Namer.load_model ~path in
+  Sys.remove path;
+  check_string "hash survives the disk round trip" saved.Namer.m_hash
+    loaded.Namer.m_hash;
+  let in_mem = Namer.scan_with_model ~jobs:1 (Namer.model_of t) c.Corpus.files in
+  let from_disk = Namer.scan_with_model ~jobs:1 loaded c.Corpus.files in
+  check_bool "some reports to compare" true (Array.length in_mem.Namer.sr_reports > 0);
+  check_string "loaded model scans byte-identically (jobs=1)" (reports in_mem)
+    (reports from_disk);
+  let par =
+    Namer.scan_with_model ~jobs:4 ~cap_domains:false loaded c.Corpus.files
+  in
+  check_string "loaded model scans byte-identically (jobs=4)" (reports in_mem)
+    (reports par)
+
+let test_save_is_deterministic () =
+  let t = namer () in
+  let p1 = model_path () and p2 = model_path () in
+  let m1 = Namer.save_model t ~path:p1 and m2 = Namer.save_model t ~path:p2 in
+  let bytes p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let b1 = bytes p1 and b2 = bytes p2 in
+  Sys.remove p1;
+  Sys.remove p2;
+  check_string "same build serializes to the same hash" m1.Namer.m_hash m2.Namer.m_hash;
+  check_bool "and to the same bytes" true (String.equal b1 b2)
+
+(* -------- rejection -------- *)
+
+let expect_error name f fragment =
+  match f () with
+  | (_ : Namer.model) -> Alcotest.failf "%s: load_model accepted a damaged file" name
+  | exception Snapshot.Error msg ->
+      check_bool
+        (Printf.sprintf "%s: error mentions %S (got %S)" name fragment msg)
+        true
+        (let flen = String.length fragment and mlen = String.length msg in
+         let rec scan i =
+           i + flen <= mlen && (String.sub msg i flen = fragment || scan (i + 1))
+         in
+         scan 0)
+
+let damaged_copy ~transform =
+  let t = namer () in
+  let path = model_path () in
+  ignore (Namer.save_model t ~path);
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (transform s);
+  close_out oc;
+  path
+
+let test_rejects_truncated () =
+  let path = damaged_copy ~transform:(fun s -> String.sub s 0 (String.length s / 2)) in
+  expect_error "half file" (fun () -> Namer.load_model ~path) "truncated";
+  let oc = open_out_bin path in
+  output_string oc "NAME";
+  close_out oc;
+  expect_error "4-byte file" (fun () -> Namer.load_model ~path) "truncated";
+  Sys.remove path
+
+let test_rejects_corrupted () =
+  let flip s =
+    let b = Bytes.of_string s in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.to_string b
+  in
+  let path = damaged_copy ~transform:flip in
+  expect_error "flipped byte" (fun () -> Namer.load_model ~path) "checksum";
+  Sys.remove path
+
+let test_rejects_bad_magic () =
+  let path =
+    damaged_copy ~transform:(fun s ->
+        "NOTMODEL" ^ String.sub s 8 (String.length s - 8))
+  in
+  expect_error "bad magic" (fun () -> Namer.load_model ~path) "bad magic";
+  Sys.remove path
+
+let test_rejects_version_mismatch () =
+  let bytes, _hash = Snapshot.encode ~magic:"NAMERMDL" ~version:99 [] in
+  let path = model_path () in
+  Snapshot.write ~path bytes;
+  expect_error "future version" (fun () -> Namer.load_model ~path) "format version 99";
+  expect_error "future version names the fix"
+    (fun () -> Namer.load_model ~path)
+    "re-run `namer train`";
+  Sys.remove path
+
+let test_rejects_missing_file () =
+  expect_error "missing file"
+    (fun () -> Namer.load_model ~path:"/nonexistent/model.nmdl")
+    "cannot read"
+
+(* -------- scan cache -------- *)
+
+let scan_stage_count name =
+  match List.find_opt (fun s -> s.Telemetry.stage = name) (Telemetry.stages ()) with
+  | Some s -> s.Telemetry.s_count
+  | None -> 0
+
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.set_sink Telemetry.Memory;
+  f ()
+
+let test_cache_warm_replay () =
+  let t = namer () and c = corpus () in
+  let m = Namer.model_of t in
+  let dir = temp_dir "test_cache" in
+  let files = c.Corpus.files in
+  let n = List.length files in
+  let cold = Namer.scan_with_model ~jobs:1 ~cache_dir:dir m files in
+  check_int "cold scan misses every file" n cold.Namer.sr_cache_misses;
+  let warm = with_telemetry (fun () -> Namer.scan_with_model ~jobs:1 ~cache_dir:dir m files) in
+  check_int "warm scan hits every file" n warm.Namer.sr_cache_hits;
+  check_int "warm scan misses nothing" 0 warm.Namer.sr_cache_misses;
+  check_int "warm scan parses nothing" 0 (scan_stage_count "parse");
+  check_string "warm reports byte-identical to cold" (reports cold) (reports warm);
+  let warm4 =
+    Namer.scan_with_model ~jobs:4 ~cap_domains:false ~cache_dir:dir m files
+  in
+  check_string "warm reports identical at jobs=4" (reports cold) (reports warm4)
+
+let test_cache_edit_one_file () =
+  let t = namer () and c = corpus () in
+  let m = Namer.model_of t in
+  let dir = temp_dir "test_cache_edit" in
+  let files = c.Corpus.files in
+  ignore (Namer.scan_with_model ~jobs:1 ~cache_dir:dir m files);
+  (* append a comment to exactly one file: new content digest, same code *)
+  let edited =
+    List.mapi
+      (fun i (f : Corpus.file) ->
+        if i = 0 then { f with Corpus.source = f.Corpus.source ^ "\n# touched\n" }
+        else f)
+      files
+  in
+  let rescan =
+    with_telemetry (fun () -> Namer.scan_with_model ~jobs:1 ~cache_dir:dir m edited)
+  in
+  check_int "only the edited file misses" 1 rescan.Namer.sr_cache_misses;
+  check_int "every other file hits" (List.length files - 1) rescan.Namer.sr_cache_hits;
+  check_int "only the edited file re-parses" 1 (scan_stage_count "parse");
+  let uncached = Namer.scan_with_model ~jobs:1 m edited in
+  check_string "merged report equals an uncached scan" (reports uncached)
+    (reports rescan)
+
+let test_cache_invalidated_by_model_hash () =
+  let t = namer () and c = corpus () in
+  let m1 = Namer.model_of t in
+  (* different training corpus → different patterns → different hash *)
+  let t2 = Namer.build namer_cfg (Corpus.generate (corpus_cfg ~seed:99 ())) in
+  let m2 = Namer.model_of t2 in
+  check_bool "the two models hash differently" true
+    (not (String.equal m1.Namer.m_hash m2.Namer.m_hash));
+  let dir = temp_dir "test_cache_inval" in
+  let files = c.Corpus.files in
+  ignore (Namer.scan_with_model ~jobs:1 ~cache_dir:dir m1 files);
+  let other = Namer.scan_with_model ~jobs:1 ~cache_dir:dir m2 files in
+  check_int "a different model hash sees zero hits" 0 other.Namer.sr_cache_hits;
+  check_int "and misses every file" (List.length files) other.Namer.sr_cache_misses
+
+let test_cache_survives_garbage_entry () =
+  let t = namer () and c = corpus () in
+  let m = Namer.model_of t in
+  let dir = temp_dir "test_cache_garbage" in
+  let files = c.Corpus.files in
+  let cold = Namer.scan_with_model ~jobs:1 ~cache_dir:dir m files in
+  (* clobber one cache entry with garbage: it must degrade to a miss *)
+  let model_dir = Filename.concat dir m.Namer.m_hash in
+  let entries = Sys.readdir model_dir in
+  let victim = Filename.concat model_dir entries.(0) in
+  let oc = open_out_bin victim in
+  output_string oc "not a snapshot";
+  close_out oc;
+  let warm = Namer.scan_with_model ~jobs:1 ~cache_dir:dir m files in
+  check_int "garbage entry degrades to exactly one miss" 1 warm.Namer.sr_cache_misses;
+  check_string "reports still byte-identical" (reports cold) (reports warm)
+
+let suite =
+  [
+    Alcotest.test_case "round trip: save → load → scan identical" `Quick
+      test_round_trip_identity;
+    Alcotest.test_case "save is deterministic" `Quick test_save_is_deterministic;
+    Alcotest.test_case "rejects truncated snapshots" `Quick test_rejects_truncated;
+    Alcotest.test_case "rejects corrupted snapshots" `Quick test_rejects_corrupted;
+    Alcotest.test_case "rejects wrong magic" `Quick test_rejects_bad_magic;
+    Alcotest.test_case "rejects version mismatch" `Quick test_rejects_version_mismatch;
+    Alcotest.test_case "rejects missing file" `Quick test_rejects_missing_file;
+    Alcotest.test_case "cache: warm replay hits everything" `Quick
+      test_cache_warm_replay;
+    Alcotest.test_case "cache: editing one file re-parses one file" `Quick
+      test_cache_edit_one_file;
+    Alcotest.test_case "cache: model hash change invalidates" `Quick
+      test_cache_invalidated_by_model_hash;
+    Alcotest.test_case "cache: garbage entry degrades to a miss" `Quick
+      test_cache_survives_garbage_entry;
+  ]
