@@ -189,6 +189,28 @@ let collect_files lang dir =
   end;
   files
 
+(* Per-file failure isolation surfaced to the operator: a scan or train
+   that dropped files still succeeded, but degraded — say so, per file,
+   on stderr (stdout stays machine-parseable). *)
+let report_skipped (skipped : Namer.skipped list) =
+  match skipped with
+  | [] -> ()
+  | sk ->
+      progress "degraded: skipped %d files (per-file isolation)" (List.length sk);
+      List.iter
+        (fun (s : Namer.skipped) ->
+          progress "  skipped %s: %s" s.Namer.sk_file s.Namer.sk_reason)
+        sk
+
+let skipped_json (skipped : Namer.skipped list) =
+  let module J = Namer_util.Json in
+  J.List
+    (List.map
+       (fun (s : Namer.skipped) ->
+         J.Obj
+           [ ("file", J.String s.Namer.sk_file); ("reason", J.String s.Namer.sk_reason) ])
+       skipped)
+
 (* Self-mining: no commit history and no labeled data on a raw directory,
    so confusing pairs fall back to a built-in catalog and the classifier
    is disabled (the paper's "w/o C" configuration).  [train] and the
@@ -218,6 +240,7 @@ let train lang dir jobs model_path metrics trace =
   let corpus = { Corpus.lang; files; injections = []; benigns = []; commits = [] } in
   let cfg = self_mining_config ~n_files:(List.length files) ~jobs in
   let t = Namer.build cfg corpus in
+  report_skipped t.Namer.skipped;
   let m = Namer.save_model t ~path:model_path in
   progress "saved model %s (%d patterns, %d bytes) to %s" m.Namer.m_hash
     (Namer_pattern.Pattern.Store.size m.Namer.m_store)
@@ -264,6 +287,7 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
          else 100.0 *. float_of_int result.Namer.sr_cache_hits /. float_of_int total)
   | None -> ());
   progress "%d potential naming issues" (Array.length result.Namer.sr_reports);
+  report_skipped result.Namer.sr_skipped;
   let sources = Hashtbl.create 256 in
   List.iter (fun (f : Corpus.file) -> Hashtbl.replace sources f.Corpus.path f.Corpus.source) files;
   let source_line (r : Namer.report) =
@@ -300,6 +324,8 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
               ("violations", J.Int (Array.length result.Namer.sr_reports));
               ("cache_hits", J.Int result.Namer.sr_cache_hits);
               ("cache_misses", J.Int result.Namer.sr_cache_misses);
+              ("files_skipped", J.Int (List.length result.Namer.sr_skipped));
+              ("skipped", skipped_json result.Namer.sr_skipped);
               ("reports", J.List reports);
             ]))
   end
@@ -349,6 +375,7 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
   progress "mined %d patterns; %d potential naming issues"
     (Pattern.Store.size t.Namer.store)
     (Array.length t.Namer.violations);
+  report_skipped t.Namer.skipped;
   (if json then begin
      let module J = Namer_util.Json in
      let reports =
@@ -372,6 +399,8 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
                ("files", J.Int (List.length files));
                ("patterns", J.Int (Pattern.Store.size t.Namer.store));
                ("violations", J.Int (Array.length t.Namer.violations));
+               ("files_skipped", J.Int (List.length t.Namer.skipped));
+               ("skipped", skipped_json t.Namer.skipped);
                ("reports", J.List reports);
              ]))
    end
@@ -488,6 +517,57 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end demonstration on a synthetic corpus.")
     Term.(const demo $ repos $ jobs_arg $ metrics_arg $ trace_arg)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz lang seed iters out jobs repos bomb_depth metrics trace =
+  let finish_telemetry = telemetry_setup ~metrics ~trace in
+  let module Fuzz = Namer_fuzz.Fuzz in
+  let cfg =
+    {
+      (Fuzz.default_config lang) with
+      Fuzz.f_seed = seed;
+      f_iters = iters;
+      f_out = out;
+      f_jobs = jobs;
+      f_repos = repos;
+      f_bomb_depth = bomb_depth;
+    }
+  in
+  let s = Fuzz.run ~progress:(fun msg -> progress "%s" msg) cfg in
+  Format.printf "%a@?" Fuzz.pp_summary s;
+  finish_telemetry ();
+  if not (Fuzz.ok s) then exit 1
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed; the whole campaign is a pure function of it.") in
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N"
+           ~doc:"Mutation iterations to run against the scan pipeline.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
+           ~doc:"Write minimized crash reproducers under $(docv)/<bucket>/.")
+  in
+  let repos =
+    Arg.(value & opt int 6 & info [ "repos" ] ~docv:"N"
+           ~doc:"Synthetic repositories in the fuzzed corpus (small: fuzzing \
+                 wants iteration cycles, not corpus breadth).")
+  in
+  let bomb_depth =
+    Arg.(value & opt int Namer_fuzz.Mutate.default_bomb_depth
+         & info [ "bomb-depth" ] ~docv:"N"
+             ~doc:"Nesting depth of the resource-bomb mutation.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the scan pipeline: seed-driven mutations of a synthetic \
+             corpus, crash triage with minimized reproducers, and four \
+             metamorphic oracles (fix/re-inject, alpha-renaming, \
+             permutation determinism, build/model agreement).  Exits \
+             non-zero on any crash or oracle violation.")
+    Term.(const fuzz $ lang_arg $ seed $ iters $ out $ jobs_arg $ repos
+          $ bomb_depth $ metrics_arg $ trace_arg)
+
 (* ---------------- stats ---------------- *)
 
 let stats file =
@@ -519,8 +599,18 @@ let stats_cmd =
     Term.(const stats $ file)
 
 let () =
+  (* fault injection reaches the released binary through the environment:
+     NAMER_FAULTS="frontend.parse:3,pool.task" arms the named points *)
+  (match Sys.getenv_opt "NAMER_FAULTS" with
+  | Some spec when spec <> "" ->
+      Namer_util.Fault.arm_from_spec spec;
+      progress "fault injection armed: %s" spec
+  | _ -> ());
   let info =
     Cmd.info "namer" ~version:"1.0.0"
       ~doc:"Finding naming issues with Big Code and small supervision (PLDI 2021 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; train_cmd; scan_cmd; demo_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; train_cmd; scan_cmd; demo_cmd; fuzz_cmd; stats_cmd ]))

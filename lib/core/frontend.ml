@@ -4,6 +4,7 @@
 module Tree = Namer_tree.Tree
 module Origins = Namer_namepath.Origins
 module Telemetry = Namer_telemetry.Telemetry
+module Fault = Namer_util.Fault
 
 (** One program statement, ready for AST+ transformation. *)
 type stmt = {
@@ -28,6 +29,7 @@ exception Frontend_error of string
     file, which is what {!parse_file_opt} does). *)
 let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string) :
     parsed_file =
+  Fault.check "frontend.parse";
   match lang with
   | Namer_corpus.Corpus.Python ->
       let m =
@@ -92,8 +94,22 @@ let parse_file (lang : Namer_corpus.Corpus.lang) ~use_analysis (source : string)
       in
       { stmts; origins }
 
+(* Real-world inputs fail in more ways than clean syntax errors: a
+   deep-nesting bomb overflows the parser's stack ([Stack_overflow]), a
+   hostile byte sequence can trip the lexer's string machinery
+   ([Invalid_argument]), an armed fault point raises [Fault.Injected].
+   One pathological file must cost exactly that file, never the scan, so
+   everything catchable is mapped to [Error] here — except [Out_of_memory],
+   which is a process-level condition no per-file skip can make true. *)
+let parse_file_res lang ~use_analysis source =
+  match parse_file lang ~use_analysis source with
+  | parsed -> Ok parsed
+  | exception Frontend_error msg -> Error msg
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e -> Error (Printexc.to_string e)
+
 let parse_file_opt lang ~use_analysis source =
-  try Some (parse_file lang ~use_analysis source) with Frontend_error _ -> None
+  match parse_file_res lang ~use_analysis source with Ok p -> Some p | Error _ -> None
 
 (** Whole-file tree for commit diffing. *)
 let whole_tree (lang : Namer_corpus.Corpus.lang) (source : string) : Tree.t option =

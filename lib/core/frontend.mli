@@ -25,7 +25,16 @@ exception Frontend_error of string
     @raise Frontend_error on lexical or syntax errors. *)
 val parse_file : Namer_corpus.Corpus.lang -> use_analysis:bool -> string -> parsed_file
 
-(** [parse_file_opt] is [parse_file] with errors mapped to [None]. *)
+(** [parse_file_res] is [parse_file] with *every* per-file failure mapped
+    to [Error text]: syntax errors ({!Frontend_error}), but also
+    [Stack_overflow] from deep-nesting bombs, [Invalid_argument] from
+    hostile byte sequences, and injected faults
+    ({!Namer_util.Fault.Injected}) — one pathological file must never
+    abort a whole scan.  Only [Out_of_memory] is re-raised. *)
+val parse_file_res :
+  Namer_corpus.Corpus.lang -> use_analysis:bool -> string -> (parsed_file, string) result
+
+(** [parse_file_opt] is [parse_file_res] with [Error] mapped to [None]. *)
 val parse_file_opt :
   Namer_corpus.Corpus.lang -> use_analysis:bool -> string -> parsed_file option
 

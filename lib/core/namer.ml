@@ -98,6 +98,12 @@ type violation = {
 let describe_fix (v : violation) =
   Printf.sprintf "%s -> %s" v.v_info.Pattern.found v.v_info.Pattern.suggested
 
+(** A file the pipeline dropped instead of crashing on: unparseable,
+    resource-bombed, or poisoned by an injected fault.  Degradation is
+    per-file and visible — skips ride the shard merges into {!t} and
+    {!scan_result} and are reported, never silently swallowed. *)
+type skipped = { sk_file : string; sk_reason : string }
+
 type t = {
   cfg : config;
   lang : Corpus.lang;
@@ -117,6 +123,8 @@ type t = {
   n_files_violating : int;
   n_repos_violating : int;
   n_candidates : int;  (** patterns generated before pruning *)
+  skipped : skipped list;
+      (** files dropped by per-file failure isolation, in corpus order *)
 }
 
 let log = Logs.Src.create "namer" ~doc:"Namer pipeline"
@@ -127,44 +135,56 @@ module Log = (val Logs.src_log log)
 (* Digesting a corpus                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () : scanned_stmt list =
-  match Frontend.parse_file_opt lang ~use_analysis:cfg.use_analysis file.Corpus.source with
-  | None ->
-      Telemetry.count "frontend.files_skipped";
-      Log.warn (fun m -> m "skipping unparseable file %s" file.Corpus.path);
-      []
-  | Some parsed ->
+let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () :
+    scanned_stmt list * skipped option =
+  let skip reason =
+    Telemetry.count "scan.files_skipped";
+    Log.warn (fun m -> m "skipping file %s: %s" file.Corpus.path reason);
+    ([], Some { sk_file = file.Corpus.path; sk_reason = reason })
+  in
+  match Frontend.parse_file_res lang ~use_analysis:cfg.use_analysis file.Corpus.source with
+  | Error reason -> skip reason
+  | Ok parsed -> (
       (* AST+ transformation (origin decoration), then name-path extraction —
-         two per-file passes so each gets its own telemetry stage *)
-      let trees =
-        Telemetry.with_span "astplus" @@ fun () ->
+         two per-file passes so each gets its own telemetry stage.  Both
+         recurse over statement trees, so a nesting bomb that slipped past
+         the parser can still blow the stack here: the same per-file
+         isolation applies. *)
+      let transform () =
+        let trees =
+          Telemetry.with_span "astplus" @@ fun () ->
+          List.map
+            (fun (s : Frontend.stmt) ->
+              let origins = parsed.Frontend.origins ~cls:s.cls ~fn:s.fn in
+              (s, Namer_namepath.Astplus.transform ~origins s.tree))
+            parsed.Frontend.stmts
+        in
+        Telemetry.with_span "namepaths" @@ fun () ->
         List.map
-          (fun (s : Frontend.stmt) ->
-            let origins = parsed.Frontend.origins ~cls:s.cls ~fn:s.fn in
-            (s, Namer_namepath.Astplus.transform ~origins s.tree))
-          parsed.Frontend.stmts
+          (fun ((s : Frontend.stmt), ast_plus) ->
+            let digest =
+              Pattern.Stmt_paths.of_tree ?table ~limit:cfg.miner.Miner.max_stmt_paths
+                ast_plus
+            in
+            {
+              sctx =
+                {
+                  Features.file = file.Corpus.path;
+                  repo = file.Corpus.repo;
+                  file_id = -1;
+                  repo_id = -1;
+                  tree_hash = Tree.hash s.tree;
+                  n_paths = digest.Pattern.Stmt_paths.n_paths;
+                };
+              line = s.line;
+              digest;
+            })
+          trees
       in
-      Telemetry.with_span "namepaths" @@ fun () ->
-      List.map
-        (fun ((s : Frontend.stmt), ast_plus) ->
-          let digest =
-            Pattern.Stmt_paths.of_tree ?table ~limit:cfg.miner.Miner.max_stmt_paths
-              ast_plus
-          in
-          {
-            sctx =
-              {
-                Features.file = file.Corpus.path;
-                repo = file.Corpus.repo;
-                file_id = -1;
-                repo_id = -1;
-                tree_hash = Tree.hash s.tree;
-                n_paths = digest.Pattern.Stmt_paths.n_paths;
-              };
-            line = s.line;
-            digest;
-          })
-        trees
+      match transform () with
+      | stmts -> (stmts, None)
+      | exception Out_of_memory -> raise Out_of_memory
+      | exception e -> skip (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Building the system                                                 *)
@@ -300,37 +320,54 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
      worker domains never touch the shared one — and the tables merge into
      the global id space in shard order afterwards, reproducing the exact
      id assignment of the sequential pass. *)
-  let stmts =
+  let digest_shard ?table files =
+    let skips_rev = ref [] in
+    let stmts =
+      List.concat_map
+        (fun file ->
+          let stmts, skip = digest_file ?table ~cfg ~lang ~file () in
+          Option.iter (fun k -> skips_rev := k :: !skips_rev) skip;
+          stmts)
+        files
+    in
+    (stmts, List.rev !skips_rev)
+  in
+  let stmts, skipped =
     match pool with
     | None ->
-        Accumulator.sharded_concat_map ~shards
-          ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
-          (fun files ->
-            List.concat_map (fun file -> digest_file ~cfg ~lang ~file ()) files)
-          corpus.Corpus.files
+        let parts =
+          Accumulator.sharded_map ~shards
+            ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
+            (fun files -> digest_shard files)
+            corpus.Corpus.files
+        in
+        (List.concat_map fst parts, List.concat_map snd parts)
     | Some _ ->
         let parts =
           Accumulator.sharded_map ?pool ~shards
             ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
             (fun files ->
               let table = Namepath.Interned.create_table () in
-              let stmts =
-                List.concat_map
-                  (fun file -> digest_file ~table ~cfg ~lang ~file ())
-                  files
-              in
-              (table, stmts))
+              let stmts, skips = digest_shard ~table files in
+              (table, stmts, skips))
             corpus.Corpus.files
         in
         Telemetry.with_span "digest:remap" @@ fun () ->
-        List.concat_map
-          (fun (table, shard_stmts) ->
-            let m = Namepath.Interned.remap_into_global table in
-            List.map
-              (fun s -> { s with digest = Pattern.Stmt_paths.remap m s.digest })
-              shard_stmts)
-          parts
+        let stmts =
+          List.concat_map
+            (fun (table, shard_stmts, _) ->
+              let m = Namepath.Interned.remap_into_global table in
+              List.map
+                (fun s -> { s with digest = Pattern.Stmt_paths.remap m s.digest })
+                shard_stmts)
+            parts
+        in
+        (stmts, List.concat_map (fun (_, _, skips) -> skips) parts)
   in
+  if skipped <> [] then
+    Log.warn (fun m ->
+        m "degraded: skipped %d of %d files" (List.length skipped)
+          (List.length corpus.Corpus.files));
   (* Dense per-build file/repo ids: the scan aggregates key on ints, not
      paths.  First-seen order over the statement list, so ids are shard-plan
      independent. *)
@@ -522,6 +559,7 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     n_files_violating = Hashtbl.length violating_files;
     n_repos_violating = Hashtbl.length violating_repos;
     n_candidates;
+    skipped;
   }
 
 (** [retrain t ~seed] re-draws the labeled training sample and re-trains
@@ -893,6 +931,8 @@ type scan_result = {
   sr_reports : report array;  (** sorted by (file, line, prefix, …) *)
   sr_cache_hits : int;
   sr_cache_misses : int;  (** 0 unless a cache dir was given *)
+  sr_skipped : skipped list;
+      (** files dropped by per-file failure isolation, in scan order *)
 }
 
 let config_of_model (m : model) ~jobs ~cap_domains =
@@ -988,7 +1028,9 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
       match pool with
       | None ->
           List.map
-            (fun ((f : Corpus.file), d) -> (f, d, digest_file ~cfg ~lang ~file:f ()))
+            (fun ((f : Corpus.file), d) ->
+              let stmts, skip = digest_file ~cfg ~lang ~file:f () in
+              (f, d, stmts, skip))
             misses
       | Some _ ->
           let parts =
@@ -999,7 +1041,8 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
                 ( table,
                   List.map
                     (fun ((f : Corpus.file), d) ->
-                      (f, d, digest_file ~table ~cfg ~lang ~file:f ()))
+                      let stmts, skip = digest_file ~table ~cfg ~lang ~file:f () in
+                      (f, d, stmts, skip))
                     fs ))
               misses
           in
@@ -1008,29 +1051,39 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
             (fun (table, shard_files) ->
               let mp = Namepath.Interned.remap_into_global table in
               List.map
-                (fun (f, d, stmts) ->
+                (fun (f, d, stmts, skip) ->
                   ( f, d,
                     List.map
                       (fun s -> { s with digest = Pattern.Stmt_paths.remap mp s.digest })
-                      stmts ))
+                      stmts, skip ))
                 shard_files)
             parts
     in
     Telemetry.with_span "scan" @@ fun () ->
     Accumulator.sharded_concat_map ?pool ~shards
-      (fun part -> List.map (fun (f, d, stmts) -> (f, d, match_stmts m stmts)) part)
+      (fun part ->
+        List.map (fun (f, d, stmts, skip) -> (f, d, match_stmts m stmts, skip)) part)
       digested
   in
+  let skipped = List.filter_map (fun (_, _, _, skip) -> skip) scanned in
+  if skipped <> [] then
+    Log.warn (fun msg ->
+        msg "degraded: skipped %d of %d files" (List.length skipped) (List.length files));
   (match cache_dir with
   | Some dir ->
+      (* a skipped file is never cached: caching its (empty) report list
+         would make later warm scans replay it as cleanly scanned, hiding
+         the degradation — re-attempt it on every scan instead *)
       List.iter
-        (fun ((_ : Corpus.file), d, entries) ->
-          Scan_cache.store ~dir ~model_hash:m.m_hash ~src_digest:d entries)
+        (fun ((_ : Corpus.file), d, entries, skip) ->
+          if skip = None then
+            Scan_cache.store ~dir ~model_hash:m.m_hash ~src_digest:d entries)
         scanned
   | None -> ());
   let computed = Hashtbl.create 64 in
   List.iter
-    (fun ((f : Corpus.file), _, entries) -> Hashtbl.replace computed f.Corpus.path entries)
+    (fun ((f : Corpus.file), _, entries, _) ->
+      Hashtbl.replace computed f.Corpus.path entries)
     scanned;
   let reports =
     List.concat_map
@@ -1059,4 +1112,5 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
     |> Array.of_list
   in
   Telemetry.count ~by:(Array.length reports) "scan_model.reports";
-  { sr_reports = reports; sr_cache_hits = n_hits; sr_cache_misses = n_misses }
+  { sr_reports = reports; sr_cache_hits = n_hits; sr_cache_misses = n_misses;
+    sr_skipped = skipped }

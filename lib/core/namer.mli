@@ -55,6 +55,13 @@ type violation = {
 (** ["found -> suggested"], the rendered fix. *)
 val describe_fix : violation -> string
 
+(** A file the pipeline dropped instead of crashing on — unparseable,
+    resource-bombed (deep-nesting [Stack_overflow]), or poisoned by an
+    injected fault ({!Namer_util.Fault}).  Per-file failure isolation:
+    the scan completes, the skip is counted ([scan.files_skipped]) and
+    surfaced here with the offending path and the exception text. *)
+type skipped = { sk_file : string; sk_reason : string }
+
 type t = {
   cfg : config;
   lang : Corpus.lang;
@@ -73,6 +80,7 @@ type t = {
   n_files_violating : int;
   n_repos_violating : int;
   n_candidates : int;
+  skipped : skipped list;  (** files dropped by per-file isolation *)
 }
 
 (** Confusing pairs used when a corpus has no commit history. *)
@@ -168,6 +176,9 @@ type scan_result = {
   sr_reports : report array;  (** sorted by (file, line, prefix, …) *)
   sr_cache_hits : int;
   sr_cache_misses : int;  (** 0 unless a cache dir was given *)
+  sr_skipped : skipped list;
+      (** files dropped by per-file isolation — skipped files are never
+          written to the cache, so they are re-attempted on every scan *)
 }
 
 (** [scan_with_model m files] digests and matches [files] against the model

@@ -53,7 +53,19 @@ let find ~dir ~model_hash ~src_digest =
   let path = entry_path ~dir ~model_hash ~src_digest in
   if not (Sys.file_exists path) then None
   else
-    match decode ~path (Snapshot.read_file ~desc:"cache entry" ~path) with
+    let bytes = Snapshot.read_file ~desc:"cache entry" ~path in
+    (* fault point: hand back corrupt bytes, as a flipped bit on disk
+       would — the decode below must degrade to a self-healing miss *)
+    let bytes =
+      if Namer_util.Fault.fires "scan_cache.read" && bytes <> "" then begin
+        let b = Bytes.of_string bytes in
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xa5));
+        Bytes.to_string b
+      end
+      else bytes
+    in
+    match decode ~path bytes with
     | entries -> Some entries
     | exception (Snapshot.Error _ | Binio.R.Corrupt _) ->
         (* undecodable = miss: the caller rescans and overwrites the entry *)

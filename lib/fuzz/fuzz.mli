@@ -1,0 +1,46 @@
+(** The fuzzing campaign driver.
+
+    One call to {!run} is a full, deterministic campaign: generate a
+    corpus, self-mine a model from it, then hammer the scan pipeline with
+    {!Mutate} mutants of corpus files while watching for escapes — any
+    exception other than [Out_of_memory] crossing
+    {!Namer_core.Namer.scan_with_model} is a crash, triaged through
+    {!Triage} (bucketed, minimized, written to the crash corpus) — and
+    finish with the four {!Oracles}.  Same config, same campaign,
+    byte-for-byte: every random draw threads from [f_seed].
+
+    Degradation is measured, not hidden: a mutant the pipeline survives by
+    dropping the file (per-file isolation) increments [s_skipped] rather
+    than disappearing. *)
+
+module Corpus = Namer_corpus.Corpus
+
+type config = {
+  f_lang : Corpus.lang;
+  f_seed : int;
+  f_iters : int;  (** mutation iterations *)
+  f_out : string option;  (** crash-corpus directory ({!Triage.write}) *)
+  f_jobs : int;  (** worker domains for the model build *)
+  f_bomb_depth : int;  (** {!Mutate.default_bomb_depth} unless overridden *)
+  f_repos : int;  (** generated-corpus size; small — fuzzing wants cycles *)
+}
+
+val default_config : Corpus.lang -> config
+
+type summary = {
+  s_iters : int;
+  s_mutants : int;  (** mutants actually scanned *)
+  s_skipped : int;  (** mutant scans that degraded to a skipped file *)
+  s_crashes : Triage.crash list;  (** escapes, minimized, discovery order *)
+  s_buckets : (string * int) list;  (** crash count per bucket id *)
+  s_oracles : Oracles.result list;
+}
+
+(** Zero crashes and all oracles green. *)
+val ok : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Run the campaign.  [progress] (default silent) receives one-line
+    status updates suitable for a terminal. *)
+val run : ?progress:(string -> unit) -> config -> summary

@@ -1,0 +1,210 @@
+(** Seed-driven source mutations.  See the interface for the palette. *)
+
+module Prng = Namer_util.Prng
+module Corpus = Namer_corpus.Corpus
+
+type kind = Ident_swap | Token_delete | Token_dup | Truncate | Garbage | Nest_bomb
+
+let kind_name = function
+  | Ident_swap -> "ident-swap"
+  | Token_delete -> "token-delete"
+  | Token_dup -> "token-dup"
+  | Truncate -> "truncate"
+  | Garbage -> "garbage"
+  | Nest_bomb -> "nest-bomb"
+
+let all_kinds = [ Ident_swap; Token_delete; Token_dup; Truncate; Garbage; Nest_bomb ]
+
+type mutant = { m_source : string; m_kind : kind; m_desc : string }
+
+(* The digest pipeline survives ~2M nested frames on an 8 MiB stack (the
+   first overflow observed while building this harness was at 3M); sit
+   safely above the cliff, not at it. *)
+let default_bomb_depth = 3_200_000
+
+(* ------------------------------------------------------------------ *)
+(* Text surgery                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let ident_tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_start src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      out := (!i, String.sub src !i (!j - !i)) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* First word-boundary occurrence of [needle] in [hay], from [from]. *)
+let find_word hay ~from ~needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if
+      String.sub hay i m = needle
+      && (i = 0 || not (is_ident_char hay.[i - 1]))
+      && (i + m = n || not (is_ident_char hay.[i + m]))
+    then Some i
+    else go (i + 1)
+  in
+  go (max 0 from)
+
+let splice src ~at ~len ~with_ =
+  String.sub src 0 at ^ with_ ^ String.sub src (at + len) (String.length src - at - len)
+
+let replace_word_on_line src ~line ~needle ~with_ =
+  let lines = String.split_on_char '\n' src in
+  if line < 1 || line > List.length lines then None
+  else
+    let hit = ref false in
+    let rewritten =
+      List.mapi
+        (fun i l ->
+          if i + 1 <> line then l
+          else
+            match find_word l ~from:0 ~needle with
+            | None -> l
+            | Some at ->
+                hit := true;
+                splice l ~at ~len:(String.length needle) ~with_)
+        lines
+    in
+    if !hit then Some (String.concat "\n" rewritten) else None
+
+let rename_ident src ~old_name ~new_name =
+  let buf = Buffer.create (String.length src) in
+  let rec go from =
+    match find_word src ~from ~needle:old_name with
+    | None -> Buffer.add_substring buf src from (String.length src - from)
+    | Some at ->
+        Buffer.add_substring buf src from (at - from);
+        Buffer.add_string buf new_name;
+        go (at + String.length old_name)
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The operators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rep n s =
+  let b = Buffer.create (n * String.length s) in
+  for _ = 1 to n do
+    Buffer.add_string b s
+  done;
+  Buffer.contents b
+
+(* A deep nested expression appended as a fresh top-level statement (a
+   second top-level class for Java), so the bomb parses *as part of* an
+   otherwise healthy file — the way a pathological file hides in a real
+   source tree. *)
+let nest_bomb ~lang ~depth =
+  match lang with
+  | Corpus.Python -> "bomb = " ^ rep depth "(" ^ "1" ^ rep depth ")" ^ "\n"
+  | Corpus.Java ->
+      "class FuzzBomb { void detonate() { int bomb = " ^ rep depth "(" ^ "1"
+      ^ rep depth ")" ^ "; } }\n"
+
+let token_at rng src =
+  match ident_tokens src with
+  | [] -> None
+  | toks -> Some (Prng.choose rng toks)
+
+let mutate ~rng ?(pairs = []) ?(bomb_depth = default_bomb_depth) ~lang source =
+  let fallback_dup why =
+    match token_at rng source with
+    | Some (at, tok) ->
+        {
+          m_source = splice source ~at ~len:0 ~with_:(tok ^ " ");
+          m_kind = Token_dup;
+          m_desc = Printf.sprintf "%sdup %S at %d" why tok at;
+        }
+    | None ->
+        {
+          m_source = source ^ "\n";
+          m_kind = Token_dup;
+          m_desc = why ^ "no tokens; appended newline";
+        }
+  in
+  (* bombs cost seconds of parse each; keep them a taste, not the diet *)
+  let kind =
+    Prng.weighted rng
+      [
+        (3.0, Ident_swap); (3.0, Token_delete); (3.0, Token_dup); (3.0, Truncate);
+        (3.0, Garbage); (1.0, Nest_bomb);
+      ]
+  in
+  match kind with
+  | Ident_swap -> (
+      (* occurrences of any confusing-pair word, swapped for its partner:
+         the naming-issue injection the miner is supposed to catch *)
+      let swaps =
+        List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) pairs
+        |> List.filter_map (fun (from_w, to_w) ->
+               match find_word source ~from:0 ~needle:from_w with
+               | Some at -> Some (at, from_w, to_w)
+               | None -> None)
+      in
+      match swaps with
+      | [] -> fallback_dup "no pair word present; "
+      | _ ->
+          let at, from_w, to_w = Prng.choose rng swaps in
+          {
+            m_source = splice source ~at ~len:(String.length from_w) ~with_:to_w;
+            m_kind = Ident_swap;
+            m_desc = Printf.sprintf "swap %S -> %S at %d" from_w to_w at;
+          })
+  | Token_delete -> (
+      match token_at rng source with
+      | None -> fallback_dup "no tokens; "
+      | Some (at, tok) ->
+          {
+            m_source = splice source ~at ~len:(String.length tok) ~with_:"";
+            m_kind = Token_delete;
+            m_desc = Printf.sprintf "delete %S at %d" tok at;
+          })
+  | Token_dup -> fallback_dup ""
+  | Truncate ->
+      let n = String.length source in
+      if n = 0 then fallback_dup "empty file; "
+      else
+        let keep = Prng.int rng n in
+        {
+          m_source = String.sub source 0 keep;
+          m_kind = Truncate;
+          m_desc = Printf.sprintf "truncate to %d of %d bytes" keep n;
+        }
+  | Garbage ->
+      let n = String.length source in
+      let at = if n = 0 then 0 else Prng.int rng n in
+      let len = 1 + Prng.int rng 12 in
+      let junk =
+        String.init len (fun _ ->
+            (* NUL-biased: embedded NULs are the classic lexer killer *)
+            if Prng.bool rng ~p:0.3 then '\000' else Char.chr (Prng.int rng 256))
+      in
+      {
+        m_source = splice source ~at ~len:0 ~with_:junk;
+        m_kind = Garbage;
+        m_desc = Printf.sprintf "insert %d junk bytes at %d" len at;
+      }
+  | Nest_bomb ->
+      {
+        m_source = source ^ nest_bomb ~lang ~depth:bomb_depth;
+        m_kind = Nest_bomb;
+        m_desc = Printf.sprintf "append %d-deep nesting bomb" bomb_depth;
+      }

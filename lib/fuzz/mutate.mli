@@ -1,0 +1,66 @@
+(** Deterministic, seed-driven mutation engine over corpus source text.
+
+    Every mutant is a pure function of the caller's {!Namer_util.Prng}
+    stream and the input — same seed, same corpus, same mutant — so a
+    fuzzing campaign replays exactly, and a crasher's (seed, iteration)
+    pair is already a reproducer.
+
+    The operator palette targets the failure modes a real scan meets:
+    identifier swaps sampled from mined confusing pairs (semantically
+    plausible wrong names), token deletion/duplication and mid-statement
+    truncation (syntax damage), garbage and NUL bytes (binary junk in a
+    source tree), and deep-nesting bombs (resource exhaustion —
+    [Stack_overflow] in a recursive-descent parser). *)
+
+type kind =
+  | Ident_swap  (** replace one confusing-pair word by its partner *)
+  | Token_delete  (** drop one identifier/number token *)
+  | Token_dup  (** duplicate one token in place *)
+  | Truncate  (** cut the file mid-statement *)
+  | Garbage  (** splice in random bytes, NUL-biased *)
+  | Nest_bomb  (** append a [bomb_depth]-deep nested expression *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type mutant = {
+  m_source : string;
+  m_kind : kind;
+  m_desc : string;  (** human-readable description of the edit *)
+}
+
+(** Deepest nesting the digest pipeline is known to survive is ~2M frames
+    on an 8 MiB stack; the default bomb depth sits safely above it. *)
+val default_bomb_depth : int
+
+(** [mutate ~rng ~pairs ~lang source] draws one mutation (bombs are
+    down-weighted — they cost seconds each) and applies it.  Operators
+    that need a precondition the input lacks (e.g. no pair word present
+    for {!Ident_swap}) fall back to a cheaper operator and say so in
+    [m_desc]. *)
+val mutate :
+  rng:Namer_util.Prng.t ->
+  ?pairs:(string * string) list ->
+  ?bomb_depth:int ->
+  lang:Namer_corpus.Corpus.lang ->
+  string ->
+  mutant
+
+(** {2 Text surgery shared with the metamorphic oracles} *)
+
+(** Identifier tokens of [source] with their byte offsets. *)
+val ident_tokens : string -> (int * string) list
+
+(** [replace_word_on_line src ~line ~needle ~with_] rewrites the first
+    word-boundary occurrence of [needle] on 1-based [line]; [None] when
+    the line or the word is absent. *)
+val replace_word_on_line :
+  string -> line:int -> needle:string -> with_:string -> string option
+
+(** [rename_ident src ~old_name ~new_name] rewrites every word-boundary
+    occurrence — the consistent def/use alpha-renaming of oracle 2. *)
+val rename_ident : string -> old_name:string -> new_name:string -> string
+
+(** The nesting bomb on its own (a whole pathological file), used to seed
+    the crash-regression corpus. *)
+val nest_bomb : lang:Namer_corpus.Corpus.lang -> depth:int -> string

@@ -1,0 +1,40 @@
+(** Crash triage: stable bucketing, best-effort minimization, and an
+    on-disk crash corpus for replay.
+
+    A fuzzing campaign that merely says "it crashed" is noise; triage
+    turns each escape into a {e bucket} (a stable hash of language +
+    normalized exception text, so the same defect found from a thousand
+    inputs files as one issue), a {e minimized reproducer} (greedy
+    line/character reduction while the crash stays in the same bucket),
+    and a {e replayable artifact} under [out/<bucket>/]. *)
+
+type crash = {
+  c_lang : Namer_corpus.Corpus.lang;
+  c_exn : string;  (** raw [Printexc.to_string] of the escape *)
+  c_bucket : string;  (** {!bucket} of the escape *)
+  c_input : string;  (** minimized crashing source *)
+  c_desc : string;  (** mutation trail that produced it *)
+  c_iter : int;  (** fuzzing iteration of discovery *)
+}
+
+(** Normalize exception text for bucketing: digit runs collapse to [#]
+    (line numbers, offsets), whitespace runs to one space, and the result
+    is capped — so ["parse error L123"] and ["parse error L7"] bucket
+    together while distinct defects stay apart. *)
+val normalize_exn : string -> string
+
+(** Stable 12-hex-digit bucket id for (language, exception). *)
+val bucket : lang:Namer_corpus.Corpus.lang -> exn_text:string -> string
+
+(** [minimize ~still_crashes src] greedily shrinks [src] — dropping line
+    blocks, then halving head/tail — as long as [still_crashes] accepts
+    the candidate (same-bucket crash).  Bounded (≤ ~300 probes), pure
+    best effort: resource bombs resist shrinking below their threshold by
+    construction, and that is fine. *)
+val minimize : still_crashes:(string -> bool) -> string -> string
+
+(** [write ~out crash] persists [crash] under [out/<bucket>/] as a
+    source file plus an [.info] sidecar (exception, mutation trail,
+    byte count).  Returns the source path.  Directories are created as
+    needed; write failures degrade to [None]. *)
+val write : out:string -> crash -> string option

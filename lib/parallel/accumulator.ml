@@ -17,7 +17,22 @@ let sharded_map ?pool ?key ~shards f xs =
   let shards_l = plan ?key ~shards xs in
   match pool with
   | None -> List.map f shards_l
-  | Some pool -> Pool.map_list pool f shards_l
+  | Some pool ->
+      (* self-healing merge: a shard whose worker task failed (a poisoned
+         task, an injected fault, a domain-local hiccup) is recomputed
+         inline on the submitting domain instead of aborting the stage —
+         same shard, same [f], so the merged result is byte-identical to
+         an all-healthy run.  A shard that fails *again* inline is a
+         deterministic bug in [f] and propagates. *)
+      List.map2
+        (fun shard result ->
+          match result with
+          | Ok v -> v
+          | Error _ ->
+              Namer_telemetry.Telemetry.count "pool.shard_retries";
+              f shard)
+        shards_l
+        (Pool.map_list_results pool f shards_l)
 
 let sharded_concat_map ?pool ?key ~shards f xs =
   List.concat (sharded_map ?pool ?key ~shards f xs)

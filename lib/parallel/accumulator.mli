@@ -20,7 +20,13 @@ end
 
 (** [sharded_map ?pool ?key ~shards f xs] applies [f] to every contiguous
     shard of [xs] — on the pool's domains when [pool] is [Some], inline
-    otherwise — and returns the per-shard results in shard order. *)
+    otherwise — and returns the per-shard results in shard order.
+
+    Self-healing: a shard whose pool task failed (poisoned task, injected
+    fault) is recomputed inline on the submitting domain — counted as
+    [pool.shard_retries] — so one bad task degrades to a retry, not an
+    aborted stage.  A shard that also fails inline propagates its
+    exception: that is a deterministic bug in [f], not a transient. *)
 val sharded_map :
   ?pool:Pool.t ->
   ?key:('a -> string) ->

@@ -142,7 +142,12 @@ let worker t i () =
            awaiting, and the counters must already include that task when
            the awaiter wakes up *)
         Atomic.incr t.n_executed.(i);
-        task ();
+        (* containment: [task] is the [submit] wrapper, which settles its
+           future under a catch-all — but a worker domain must survive even
+           an exception that escapes the wrapper (asynchronous exceptions,
+           [resolve] itself failing), or one poisoned task takes the whole
+           pool down with it *)
+        (try task () with _ -> Telemetry.count "pool.task_escapes");
         loop ()
     | None ->
         Mutex.lock t.m;
@@ -183,7 +188,17 @@ let create ~domains () =
 let submit ?on t f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
   let task () =
-    let st = match f () with v -> Done v | exception e -> Failed e in
+    (* fault point: a poisoned task raising mid-flight.  It sits inside the
+       catch-all on purpose — an injected fault fails exactly this future,
+       as any exception from [f] would, and nothing else. *)
+    let st =
+      match
+        Namer_util.Fault.check "pool.task";
+        f ()
+      with
+      | v -> Done v
+      | exception e -> Failed e
+    in
     resolve fut st
   in
   let n = Array.length t.deques in
@@ -200,14 +215,14 @@ let submit ?on t f =
   Mutex.unlock t.m;
   fut
 
-let map_list t f xs =
+let map_list_results t f xs =
   let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
-  (* settle every future before raising, so no task is left running with a
-     reference to data the caller believes is dead *)
-  let settled =
-    List.map (fun fut -> match await fut with v -> Ok v | exception e -> Error e) futs
-  in
-  List.map (function Ok v -> v | Error e -> raise e) settled
+  (* settle every future before returning, so no task is left running with
+     a reference to data the caller believes is dead *)
+  List.map (fun fut -> match await fut with v -> Ok v | exception e -> Error e) futs
+
+let map_list t f xs =
+  List.map (function Ok v -> v | Error e -> raise e) (map_list_results t f xs)
 
 let steals t = Atomic.get t.n_steals
 let executed t = Array.map Atomic.get t.n_executed

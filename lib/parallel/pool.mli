@@ -39,6 +39,12 @@ val await : 'a future -> 'a
     order) exception is re-raised after all tasks have settled. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_list_results] is {!map_list} with per-task containment: every
+    task settles, failures come back as [Error exn] in input order instead
+    of aborting the batch.  One poisoned task fails only its future; the
+    caller decides whether to retry, skip or re-raise. *)
+val map_list_results : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
 (** Total successful steals since creation (fairness telemetry). *)
 val steals : t -> int
 

@@ -1,0 +1,59 @@
+(** Injectable fault points.  See the interface for the contract. *)
+
+exception Injected of string
+
+type spec = {
+  mutable seen : int;  (** passages counted so far *)
+  after : int;  (** 1-based passage index of the first firing *)
+  times : int;  (** consecutive firings from [after] on *)
+}
+
+(* One global, mutex-protected registry: checks run on worker domains, and
+   a fault point is a name, not a value threaded through the pipeline. *)
+let m = Mutex.create ()
+let specs : (string, spec) Hashtbl.t = Hashtbl.create 8
+let n_fired = ref 0
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let arm ?(after = 1) ?(times = 1) point =
+  locked (fun () ->
+      Hashtbl.replace specs point { seen = 0; after = max 1 after; times = max 1 times })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset specs;
+      n_fired := 0)
+
+let armed point = locked (fun () -> Hashtbl.mem specs point)
+
+let fires point =
+  locked (fun () ->
+      match Hashtbl.find_opt specs point with
+      | None -> false
+      | Some s ->
+          s.seen <- s.seen + 1;
+          let hit = s.seen >= s.after && s.seen < s.after + s.times in
+          if hit then incr n_fired;
+          hit)
+
+let check point = if fires point then raise (Injected point)
+let fired () = locked (fun () -> !n_fired)
+
+let arm_from_spec env =
+  String.split_on_char ',' env
+  |> List.iter (fun entry ->
+         match String.split_on_char ':' (String.trim entry) with
+         | [ "" ] -> ()
+         | [ point ] -> arm point
+         | [ point; after ] -> (
+             match int_of_string_opt after with
+             | Some a -> arm ~after:a point
+             | None -> ())
+         | [ point; after; times ] -> (
+             match (int_of_string_opt after, int_of_string_opt times) with
+             | Some a, Some t -> arm ~after:a ~times:t point
+             | _ -> ())
+         | _ -> ())

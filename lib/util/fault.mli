@@ -1,0 +1,51 @@
+(** Injectable fault points for robustness testing.
+
+    Production code marks the places where the outside world can hurt it —
+    a parse, a cache read, a pool task — with {!check} (raising faults) or
+    {!fires} (data-corrupting faults).  Tests and the fuzz harness then
+    *arm* those points to make the Nth passage fail, deterministically,
+    without monkey-patching anything: the fault registry is global,
+    mutex-protected (checks happen on worker domains) and disarmed by
+    default, so an unarmed binary pays one hash lookup on an empty table
+    per check.
+
+    Fault points in the tree (see DESIGN.md §9):
+    - ["frontend.parse"] — {!Namer_core.Frontend.parse_file} raises
+      {!Injected} instead of parsing;
+    - ["scan_cache.read"] — {!Namer_core.Scan_cache.find} corrupts the
+      entry bytes it just read, as a flipped bit on disk would;
+    - ["pool.task"] — a {!Namer_parallel.Pool} task raises {!Injected}
+      mid-flight, poisoning only its own future. *)
+
+(** Raised by {!check} when an armed fault fires.  The payload names the
+    fault point. *)
+exception Injected of string
+
+(** [arm ?after ?times point] arms [point]: the [after]-th call to
+    {!check}/{!fires} (default 1 — the next one) fires, as do the
+    [times - 1] calls after it (default 1 — fire once, then disarm).
+    [times = max_int] means every call from [after] on. *)
+val arm : ?after:int -> ?times:int -> string -> unit
+
+(** Disarm every fault point and zero the counters. *)
+val reset : unit -> unit
+
+(** Is any spec armed for [point] (fired or not)? *)
+val armed : string -> bool
+
+(** Count one passage through [point]; raise [Injected point] if it fires. *)
+val check : string -> unit
+
+(** Count one passage; [true] if the fault fires.  For fault points that
+    corrupt data rather than raise. *)
+val fires : string -> bool
+
+(** Total faults fired since the last {!reset}. *)
+val fired : unit -> int
+
+(** Arm fault points from an environment-variable spec:
+    ["point[:after[:times]]"], comma-separated — e.g.
+    [NAMER_FAULTS="frontend.parse:3,pool.task"].  Unparseable entries are
+    ignored.  Lets fault injection reach a released binary (the CLI calls
+    this at startup). *)
+val arm_from_spec : string -> unit

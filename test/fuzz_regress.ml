@@ -1,0 +1,108 @@
+(* Crash-regression replayer (@fuzz-regress).
+
+   Each argument is a reproducer spec from test/fuzz_regress/: a crasher
+   found by the fuzz harness, minimized, and stored compactly — resource
+   bombs minimize to megabytes of brackets, so the corpus keeps the
+   generator, not the expansion.  Spec directives, one per line:
+
+     lang python|java      target frontend
+     raw TEXT              append TEXT
+     repeat N TEXT         append TEXT N times
+     nl                    append a newline
+     # ...                 comment
+
+   Replay drives each expanded source through the full model scan
+   (digest -> match), the path the fuzzer exercises: the run fails if the
+   pipeline crashes instead of containing the file as a skip. *)
+
+module Namer = Namer_core.Namer
+module Corpus = Namer_corpus.Corpus
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("fuzz-regress: " ^ m); exit 1) fmt
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let expand path =
+  let lang = ref None in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if line = "nl" then Buffer.add_char buf '\n'
+      else
+        match String.index_opt line ' ' with
+        | None when line = "raw" -> ()
+        | None -> fail "%s: bad directive %S" path line
+        | Some sp -> (
+            let cmd = String.sub line 0 sp in
+            let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+            match cmd with
+            | "lang" -> (
+                match rest with
+                | "python" -> lang := Some Corpus.Python
+                | "java" -> lang := Some Corpus.Java
+                | l -> fail "%s: unknown lang %S" path l)
+            | "raw" -> Buffer.add_string buf rest
+            | "repeat" -> (
+                match String.index_opt rest ' ' with
+                | None -> fail "%s: repeat needs a count and text" path
+                | Some sp2 ->
+                    let n = int_of_string (String.sub rest 0 sp2) in
+                    let text =
+                      String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)
+                    in
+                    for _ = 1 to n do
+                      Buffer.add_string buf text
+                    done)
+            | c -> fail "%s: unknown directive %S" path c))
+    (read_lines path);
+  match !lang with
+  | None -> fail "%s: no lang directive" path
+  | Some lang -> (lang, Buffer.contents buf)
+
+(* The smallest model that drives the real digest path: patterns are
+   irrelevant to containment, the parse is what crashes. *)
+let model_for =
+  let cache = Hashtbl.create 2 in
+  fun lang ->
+    match Hashtbl.find_opt cache lang with
+    | Some m -> m
+    | None ->
+        let cfg = { (Corpus.default_config lang) with Corpus.n_repos = 2 } in
+        let t =
+          Namer.build
+            { Namer.default_config with Namer.use_classifier = false }
+            (Corpus.generate cfg)
+        in
+        let m = Namer.model_of t in
+        Hashtbl.replace cache lang m;
+        m
+
+let replay path =
+  let lang, source = expand path in
+  let file = { Corpus.repo = "regress"; path = Filename.basename path; source } in
+  match Namer.scan_with_model ~jobs:1 (model_for lang) [ file ] with
+  | sr ->
+      let n_skipped = List.length sr.Namer.sr_skipped in
+      if n_skipped <> 1 then
+        fail "%s: expected the reproducer to be contained as 1 skipped file, got %d"
+          path n_skipped;
+      let sk = List.hd sr.Namer.sr_skipped in
+      Printf.printf "contained %-24s (%d bytes): %s\n%!" (Filename.basename path)
+        (String.length source) sk.Namer.sk_reason
+  | exception e ->
+      fail "%s: REGRESSION — crash escaped the scan: %s" path (Printexc.to_string e)
+
+let () =
+  let specs = List.tl (Array.to_list Sys.argv) in
+  if specs = [] then fail "no spec files given";
+  List.iter replay specs;
+  Printf.printf "fuzz-regress: %d reproducers contained\n%!" (List.length specs)

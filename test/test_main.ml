@@ -23,4 +23,5 @@ let () =
       ("core", Test_core.suite);
       ("model", Test_model.suite);
       ("fixer", Test_fixer.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
