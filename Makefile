@@ -3,7 +3,7 @@
 # skip with a notice when the tool is not installed rather than failing,
 # matching the CI jobs that install them explicitly.
 
-.PHONY: all build test fmt doc bench bench-smoke ci clean
+.PHONY: all build test fmt doc bench bench-smoke obs-smoke ci clean
 
 all: build
 
@@ -39,9 +39,29 @@ bench:
 bench-smoke:
 	dune build @bench-smoke
 	dune exec test/check_bench.exe -- _build/default/test/BENCH_pipeline.json BENCH_pipeline.json
+	dune exec bin/namer_cli.exe -- report --check
+
+# Observability smoke mirroring the obs-smoke CI job: train + two cached
+# scans into a throwaway state dir, then assert 3 ledger records, an
+# OpenMetrics export that validates, and a report that shows both scans.
+obs-smoke: build
+	@set -eu; \
+	state=$$(mktemp -d); trap 'rm -rf "$$state"' EXIT; \
+	export XDG_STATE_HOME="$$state"; \
+	dune exec bin/namer_cli.exe -- generate --lang python --repos 12 --out "$$state/corpus"; \
+	dune exec bin/namer_cli.exe -- train --lang python "$$state/corpus" --model "$$state/m.nmdl"; \
+	dune exec bin/namer_cli.exe -- scan --model "$$state/m.nmdl" --cache-dir "$$state/cache" \
+	  --metrics-out "$$state/om.prom" --log-json "$$state/scan1.jsonl" "$$state/corpus" > "$$state/s1.out"; \
+	dune exec bin/namer_cli.exe -- scan --model "$$state/m.nmdl" --cache-dir "$$state/cache" \
+	  --quiet --metrics-out "$$state/om.prom" --log-json "$$state/scan2.jsonl" "$$state/corpus" > "$$state/s2.out"; \
+	diff "$$state/s1.out" "$$state/s2.out"; \
+	test "$$(wc -l < "$$state/namer/ledger.jsonl")" -eq 3; \
+	grep -q '^# EOF$$' "$$state/om.prom"; \
+	dune exec bin/namer_cli.exe -- report --check; \
+	echo "obs-smoke: OK"
 
 # Everything the CI workflow checks, in order.
-ci: build test fmt bench-smoke
+ci: build test fmt bench-smoke obs-smoke
 
 clean:
 	dune clean

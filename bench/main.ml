@@ -207,6 +207,26 @@ let telemetry_bench () =
   close_out oc;
   Printf.printf "wrote per-stage wall_ms/alloc_mb/count (jobs=1 and jobs=%d) + snapshot/cache to %s\n"
     jobs_parallel path;
+  (* one bench record in the run ledger, so `namer report` trends bench
+     runs alongside train/scan — best-effort, a read-only CI sandbox must
+     not fail the bench *)
+  (try
+     let module Ledger = Namer_obs.Ledger in
+     Ledger.append ~dir:(Ledger.default_dir ())
+       (J.Obj
+          [
+            ("schema", J.Int Ledger.schema_version);
+            ("ts", J.Float (Unix.gettimeofday ()));
+            ("cmd", J.String "bench");
+            ( "argv",
+              J.List (List.map (fun a -> J.String a) (Array.to_list Sys.argv)) );
+            ("git", J.String (Ledger.git_describe ()));
+            ("stages", Telemetry.stages_to_json stages_seq);
+            ("speedup", J.Float speedup);
+            ("reports_identical", J.Bool reports_identical);
+            ("peak_rss_kb", J.Int (Ledger.peak_rss_kb ()));
+          ])
+   with Sys_error _ | Unix.Unix_error _ -> ());
   if not (reports_identical && cache_identical) then exit 1
 
 let () =

@@ -12,23 +12,55 @@
                        per-file report cache (…scan many);
    - [namer demo]      one-paragraph end-to-end demonstration;
    - [namer stats]     dump the metric registry persisted by the last
-                       [--metrics]/[--trace] run as JSON.
+                       run as JSON (or OpenMetrics exposition text);
+   - [namer report]    aggregate the run ledger into trend tables and a
+                       history-based regression gate.
 
    Reports go to stdout; progress and telemetry go to stderr, so stdout
    stays machine-parseable (e.g. [namer scan --json ... | jq]).
 
+   Observability: every train/scan/demo/fuzz run appends one record to the
+   run ledger (disable with --no-ledger), can stream structured JSONL
+   events with --log-json, and can export the metric registry as an
+   OpenMetrics textfile with --metrics-out.
+
    Example:
      namer generate --lang python --repos 20 --out /tmp/bigcode
      namer train --lang python --model bigcode.nmdl /tmp/bigcode
-     namer scan --model bigcode.nmdl --cache-dir ~/.cache/namer /tmp/project *)
+     namer scan --model bigcode.nmdl --cache-dir ~/.cache/namer /tmp/project
+     namer report --check *)
 
 open Cmdliner
 module Corpus = Namer_corpus.Corpus
 module Namer = Namer_core.Namer
 module Pattern = Namer_pattern.Pattern
 module Telemetry = Namer_telemetry.Telemetry
+module Events = Namer_obs.Events
+module Ledger = Namer_obs.Ledger
+module Openmetrics = Namer_obs.Openmetrics
+module Trend = Namer_obs.Trend
+module J = Namer_util.Json
 
-let progress fmt = Telemetry.progressf fmt
+(* ---------------- progress through the event log ---------------- *)
+
+(* Progress always lands in the structured event log (when a sink is
+   live); the human line on stderr is suppressed by --quiet.  Errors
+   ignore --quiet: a run must never fail silently. *)
+let quiet_flag = ref false
+
+let progress fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Events.emit ~fields:[ ("msg", J.String msg) ] Events.Info "cli.progress";
+      if not !quiet_flag then Telemetry.progressf "%s" msg)
+    fmt
+
+let progress_err fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Events.emit ~fields:[ ("msg", J.String msg) ] Events.Error "cli.error";
+      Telemetry.progressf "%s" msg)
+    fmt
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -36,73 +68,171 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-(* ---------------- telemetry plumbing ---------------- *)
+(* ---------------- observability plumbing ---------------- *)
+
+type obs = {
+  o_metrics : bool;  (** print the stage/counter tables to stderr *)
+  o_trace : string option;  (** Chrome trace path *)
+  o_metrics_out : string option;  (** OpenMetrics textfile path *)
+  o_log_json : string option;  (** event log: file path or "-" = stderr *)
+  o_ledger : string option;  (** ledger dir; [None] = ledger disabled *)
+  o_quiet : bool;
+}
 
 let metrics_arg =
   Arg.(value & flag & info [ "metrics" ]
-         ~doc:"Enable telemetry and print the per-stage cost table and \
-               counters to stderr after the run.")
+         ~doc:"Print the per-stage cost table, counters and histogram \
+               percentiles to stderr after the run.")
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json"
-         ~doc:"Enable telemetry and write a Chrome trace_event JSON timeline \
-               to $(docv) (load it in chrome://tracing or Perfetto).")
+         ~doc:"Write a Chrome trace_event JSON timeline to $(docv) (load it \
+               in chrome://tracing or Perfetto).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the metric registry as OpenMetrics/Prometheus text \
+               exposition to $(docv) (atomic rename, suitable for a \
+               node-exporter textfile collector).")
+
+let log_json_arg =
+  Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE"
+         ~doc:"Stream structured JSONL events (leveled, with trace/span ids \
+               propagated across worker domains) to $(docv); use '-' for \
+               stderr.")
+
+let ledger_dir_arg =
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"DIR"
+         ~doc:"Append this run's ledger record under $(docv) instead of the \
+               default state directory.")
+
+let no_ledger_arg =
+  Arg.(value & flag & info [ "no-ledger" ]
+         ~doc:"Do not append a record to the run ledger.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ]
+         ~doc:"Suppress progress lines on stderr (they still reach the \
+               --log-json event log).  Errors always print.")
+
+let obs_term =
+  let mk metrics trace metrics_out log_json ledger no_ledger quiet =
+    {
+      o_metrics = metrics;
+      o_trace = trace;
+      o_metrics_out = metrics_out;
+      o_log_json = log_json;
+      o_ledger =
+        (if no_ledger then None
+         else Some (Option.value ledger ~default:(Ledger.default_dir ())));
+      o_quiet = quiet;
+    }
+  in
+  Term.(const mk $ metrics_arg $ trace_arg $ metrics_out_arg $ log_json_arg
+        $ ledger_dir_arg $ no_ledger_arg $ quiet_arg)
 
 (** Where [namer stats] finds the last run's metric registry. *)
 let default_stats_path () =
-  let base =
-    match Sys.getenv_opt "XDG_STATE_HOME" with
-    | Some d when d <> "" -> d
-    | _ -> (
-        match Sys.getenv_opt "HOME" with
-        | Some h when h <> "" -> Filename.concat h ".local/state"
-        | _ -> Filename.get_temp_dir_name ())
-  in
-  Filename.concat (Filename.concat base "namer") "last_metrics.json"
+  Filename.concat (Ledger.default_dir ()) "last_metrics.json"
 
-(** Switch telemetry on if any telemetry flag was given.  Returns the
-    finalizer to run once the pipeline is done: prints the stage table and
-    counters (with [--metrics]), writes the Chrome trace (with [--trace]),
-    and persists the metric registry for [namer stats]. *)
-let telemetry_setup ~metrics ~trace =
-  let enabled = metrics || trace <> None in
-  if enabled then begin
+(** Switch the telemetry and event sinks on and return the finalizer to
+    run once the pipeline is done.  The finalizer prints the stage and
+    histogram tables (with --metrics), writes the Chrome trace and the
+    OpenMetrics textfile, persists the metric registry for [namer stats],
+    and appends one self-contained record to the run ledger —
+    [extra] carries the per-subcommand fields (corpus digest, model hash,
+    cache hits/misses, fuzz campaign summary, …). *)
+let obs_setup ~cmd obs =
+  quiet_flag := obs.o_quiet;
+  (match obs.o_log_json with
+  | Some "-" -> Events.set_sink (Some `Stderr)
+  | Some path -> Events.set_sink (Some (`File path))
+  | None -> ());
+  (* the ledger and the exporter both read the metric registry, so any of
+     them switches telemetry on *)
+  let telemetry_on =
+    obs.o_metrics || obs.o_trace <> None || obs.o_metrics_out <> None
+    || obs.o_ledger <> None
+  in
+  if telemetry_on then begin
     Telemetry.reset ();
     Telemetry.set_sink Telemetry.Memory
   end;
-  fun () ->
-    if enabled then begin
-      if metrics then begin
+  let argv = Array.to_list Sys.argv in
+  let t_start = Unix.gettimeofday () in
+  Events.emit
+    ~fields:[ ("cmd", J.String cmd); ("argv", J.List (List.map (fun a -> J.String a) argv)) ]
+    Events.Info "cli.start";
+  fun ?(extra = []) () ->
+    if telemetry_on then begin
+      if obs.o_metrics then begin
         prerr_newline ();
         prerr_string (Telemetry.stage_table ());
         prerr_newline ();
         List.iter
           (fun (k, v) -> Printf.eprintf "  %-28s %d\n" k v)
           (Telemetry.counters ());
-        (match Telemetry.histogram "parse_ms_per_file" with
-        | Some s ->
-            Printf.eprintf
-              "  %-28s n=%d mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms\n"
-              "parse_ms_per_file" s.Telemetry.n s.Telemetry.mean s.Telemetry.p50
-              s.Telemetry.p90 s.Telemetry.p99
-        | None -> ());
+        if Telemetry.histograms () <> [] then begin
+          prerr_newline ();
+          prerr_string (Telemetry.histogram_table ())
+        end;
         flush stderr
       end;
-      (match trace with
+      (match obs.o_trace with
       | Some path -> (
           try
             Telemetry.write_chrome_trace ~path;
             progress "wrote Chrome trace to %s" path
           with Sys_error e ->
-            progress "error: cannot write Chrome trace: %s" e;
+            progress_err "error: cannot write Chrome trace: %s" e;
             exit 1)
+      | None -> ());
+      (match obs.o_metrics_out with
+      | Some path -> (
+          match Openmetrics.of_metrics_json (Telemetry.metrics_json ()) with
+          | Ok metrics -> (
+              try
+                Openmetrics.write ~path metrics;
+                progress "wrote OpenMetrics exposition to %s" path
+              with Sys_error e ->
+                progress_err "error: cannot write OpenMetrics file: %s" e;
+                exit 1)
+          | Error e ->
+              progress_err "error: cannot render OpenMetrics: %s" e;
+              exit 1)
       | None -> ());
       let stats_path = default_stats_path () in
       (try
          mkdir_p (Filename.dirname stats_path);
          Telemetry.write_metrics ~path:stats_path
-       with Sys_error _ -> ())
-    end
+       with Sys_error _ -> ());
+      (match obs.o_ledger with
+      | Some dir -> (
+          let record =
+            J.Obj
+              ([
+                 ("schema", J.Int Ledger.schema_version);
+                 ("ts", J.Float t_start);
+                 ("wall_s", J.Float (Unix.gettimeofday () -. t_start));
+                 ("cmd", J.String cmd);
+                 ("argv", J.List (List.map (fun a -> J.String a) argv));
+                 ("git", J.String (Ledger.git_describe ()));
+                 ("trace", J.String (Events.current ()).Events.trace);
+                 ("stages", Telemetry.stages_json ());
+                 ( "counters",
+                   J.Obj
+                     (List.map (fun (k, v) -> (k, J.Int v)) (Telemetry.counters ())) );
+                 ("peak_rss_kb", J.Int (Ledger.peak_rss_kb ()));
+               ]
+              @ extra)
+          in
+          try Ledger.append ~dir record
+          with Sys_error e | Unix.Unix_error (_, e, _) ->
+            progress_err "warning: cannot append to run ledger: %s" e)
+      | None -> ())
+    end;
+    Events.emit ~fields:[ ("cmd", J.String cmd) ] Events.Info "cli.finish";
+    Events.close ()
 
 let lang_conv =
   let parse = function
@@ -123,6 +253,19 @@ let jobs_arg =
            ~doc:"Worker domains for the sharded pipeline (default: the \
                  machine's recommended domain count).  Any value produces \
                  byte-identical reports; 1 disables parallelism.")
+
+(* common ledger fields for a run over a concrete file set *)
+let corpus_fields ~jobs (files : Corpus.file list) =
+  [
+    ("jobs", J.Int jobs);
+    ("domains", J.Int (min jobs (Domain.recommended_domain_count ())));
+    ("files", J.Int (List.length files));
+    ( "corpus_digest",
+      J.String
+        (Ledger.source_digest
+           (List.map (fun (f : Corpus.file) -> (f.Corpus.path, f.Corpus.source)) files))
+    );
+  ]
 
 (* ---------------- generate ---------------- *)
 
@@ -184,7 +327,7 @@ let collect_files lang dir =
            })
   in
   if files = [] then begin
-    progress "no %s files under %s" ext dir;
+    progress_err "no %s files under %s" ext dir;
     exit 1
   end;
   files
@@ -203,7 +346,6 @@ let report_skipped (skipped : Namer.skipped list) =
         sk
 
 let skipped_json (skipped : Namer.skipped list) =
-  let module J = Namer_util.Json in
   J.List
     (List.map
        (fun (s : Namer.skipped) ->
@@ -233,8 +375,8 @@ let self_mining_config ~n_files ~jobs =
 
 (* ---------------- train ---------------- *)
 
-let train lang dir jobs model_path metrics trace =
-  let finish_telemetry = telemetry_setup ~metrics ~trace in
+let train lang dir jobs model_path obs =
+  let finish = obs_setup ~cmd:"train" obs in
   let files = collect_files lang dir in
   progress "mining %d files…" (List.length files);
   let corpus = { Corpus.lang; files; injections = []; benigns = []; commits = [] } in
@@ -246,7 +388,14 @@ let train lang dir jobs model_path metrics trace =
     (Namer_pattern.Pattern.Store.size m.Namer.m_store)
     (try (Unix.stat model_path).Unix.st_size with Unix.Unix_error _ -> 0)
     model_path;
-  finish_telemetry ()
+  finish
+    ~extra:
+      (corpus_fields ~jobs files
+      @ [
+          ("model_hash", J.String m.Namer.m_hash);
+          ("skipped", J.Int (List.length t.Namer.skipped));
+        ])
+    ()
 
 let train_cmd =
   let dir =
@@ -261,18 +410,19 @@ let train_cmd =
     (Cmd.info "train"
        ~doc:"Mine name patterns from a directory and save the trained model \
              as a binary snapshot for later `namer scan --model` runs.")
-    Term.(const train $ lang_arg $ dir $ jobs_arg $ model $ metrics_arg $ trace_arg)
+    Term.(const train $ lang_arg $ dir $ jobs_arg $ model $ obs_term)
 
 (* ---------------- scan ---------------- *)
 
 (* Scan against a saved model: no mining, no corpus re-digest — load the
    snapshot, digest only the target files, and optionally replay unchanged
-   files from the per-file report cache. *)
+   files from the per-file report cache.  Returns the ledger fields of the
+   run. *)
 let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
   let m =
     try Namer.load_model ~path:model_path
     with Namer_model.Snapshot.Error msg ->
-      progress "error: %s" msg;
+      progress_err "error: %s" msg;
       exit 1
   in
   let files = collect_files m.Namer.m_lang dir in
@@ -299,7 +449,6 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
     | None -> "<unknown file>"
   in
   if json then begin
-    let module J = Namer_util.Json in
     let reports =
       Array.to_list result.Namer.sr_reports
       |> List.filteri (fun i _ -> i < max_reports)
@@ -335,22 +484,34 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
         if i < max_reports then
           Printf.printf "%s:%d: %s\n    suggested fix: %s -> %s\n" r.Namer.r_file
             r.Namer.r_line (source_line r) r.Namer.r_found r.Namer.r_suggested)
-      result.Namer.sr_reports
+      result.Namer.sr_reports;
+  corpus_fields ~jobs files
+  @ [
+      ("model_hash", J.String m.Namer.m_hash);
+      ( "cache",
+        J.Obj
+          [
+            ("hits", J.Int result.Namer.sr_cache_hits);
+            ("misses", J.Int result.Namer.sr_cache_misses);
+          ] );
+      ("reports", J.Int (Array.length result.Namer.sr_reports));
+      ("skipped", J.Int (List.length result.Namer.sr_skipped));
+    ]
 
 let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_dir
-    apply_fixes json metrics trace =
-  let finish_telemetry = telemetry_setup ~metrics ~trace in
+    apply_fixes json obs =
+  let finish = obs_setup ~cmd:"scan" obs in
   match model_path with
   | Some model_path ->
       if apply_fixes then begin
-        progress "error: --fix requires the self-mining scan (omit --model)";
+        progress_err "error: --fix requires the self-mining scan (omit --model)";
         exit 1
       end;
-      scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json;
-      finish_telemetry ()
+      let extra = scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json in
+      finish ~extra ()
   | None ->
   if cache_dir <> None then begin
-    progress "error: --cache-dir requires --model (cached reports are keyed by model hash)";
+    progress_err "error: --cache-dir requires --model (cached reports are keyed by model hash)";
     exit 1
   end;
   let files = collect_files lang dir in
@@ -377,7 +538,6 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
     (Array.length t.Namer.violations);
   report_skipped t.Namer.skipped;
   (if json then begin
-     let module J = Namer_util.Json in
      let reports =
        Array.to_list t.Namer.violations
        |> List.filteri (fun i _ -> i < max_reports)
@@ -444,7 +604,15 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
       by_file;
     progress "applied %d fixes in place (%d skipped as ambiguous)" !applied !skipped
   end;
-  finish_telemetry ()
+  finish
+    ~extra:
+      (corpus_fields ~jobs files
+      @ [
+          ("patterns", J.Int (Pattern.Store.size t.Namer.store));
+          ("reports", J.Int (Array.length t.Namer.violations));
+          ("skipped", J.Int (List.length t.Namer.skipped));
+        ])
+    ()
 
 let scan_cmd =
   let dir =
@@ -486,13 +654,12 @@ let scan_cmd =
        ~doc:"Report naming issues in a source directory: mine patterns from \
              the directory itself, or scan against a trained --model snapshot.")
     Term.(const scan $ lang_arg $ dir $ jobs_arg $ max_reports $ save_patterns
-          $ load_patterns $ model $ cache_dir $ apply_fixes $ json $ metrics_arg
-          $ trace_arg)
+          $ load_patterns $ model $ cache_dir $ apply_fixes $ json $ obs_term)
 
 (* ---------------- demo ---------------- *)
 
-let demo repos jobs metrics trace =
-  let finish_telemetry = telemetry_setup ~metrics ~trace in
+let demo repos jobs obs =
+  let finish = obs_setup ~cmd:"demo" obs in
   let corpus =
     Corpus.generate
       { (Corpus.default_config Corpus.Python) with Corpus.n_repos = repos }
@@ -507,7 +674,15 @@ let demo repos jobs metrics trace =
     (Array.length t.Namer.violations)
     o.Namer.n_reports o.Namer.semantic o.Namer.quality o.Namer.false_pos
     (Namer_util.Tablefmt.pct (Namer.precision o));
-  finish_telemetry ()
+  finish
+    ~extra:
+      [
+        ("jobs", J.Int jobs);
+        ("repos", J.Int repos);
+        ("reports", J.Int (Array.length t.Namer.violations));
+        ("skipped", J.Int (List.length t.Namer.skipped));
+      ]
+    ()
 
 let demo_cmd =
   let repos =
@@ -515,12 +690,12 @@ let demo_cmd =
            ~doc:"Number of synthetic repositories to generate.")
   in
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end demonstration on a synthetic corpus.")
-    Term.(const demo $ repos $ jobs_arg $ metrics_arg $ trace_arg)
+    Term.(const demo $ repos $ jobs_arg $ obs_term)
 
 (* ---------------- fuzz ---------------- *)
 
-let fuzz lang seed iters out jobs repos bomb_depth metrics trace =
-  let finish_telemetry = telemetry_setup ~metrics ~trace in
+let fuzz lang seed iters out jobs repos bomb_depth obs =
+  let finish = obs_setup ~cmd:"fuzz" obs in
   let module Fuzz = Namer_fuzz.Fuzz in
   let cfg =
     {
@@ -535,7 +710,15 @@ let fuzz lang seed iters out jobs repos bomb_depth metrics trace =
   in
   let s = Fuzz.run ~progress:(fun msg -> progress "%s" msg) cfg in
   Format.printf "%a@?" Fuzz.pp_summary s;
-  finish_telemetry ();
+  finish
+    ~extra:
+      [
+        ("jobs", J.Int jobs);
+        ("seed", J.Int seed);
+        ("campaign", Fuzz.summary_json s);
+        ("skipped", J.Int s.Fuzz.s_skipped);
+      ]
+    ();
   if not (Fuzz.ok s) then exit 1
 
 let fuzz_cmd =
@@ -566,14 +749,14 @@ let fuzz_cmd =
              permutation determinism, build/model agreement).  Exits \
              non-zero on any crash or oracle violation.")
     Term.(const fuzz $ lang_arg $ seed $ iters $ out $ jobs_arg $ repos
-          $ bomb_depth $ metrics_arg $ trace_arg)
+          $ bomb_depth $ obs_term)
 
 (* ---------------- stats ---------------- *)
 
-let stats file =
+let stats file openmetrics =
   let path = Option.value file ~default:(default_stats_path ()) in
   if not (Sys.file_exists path) then begin
-    progress
+    progress_err
       "no metric registry at %s — run `namer scan --metrics` or `namer demo \
        --metrics` first"
       path;
@@ -581,10 +764,18 @@ let stats file =
   end;
   let content = read_file path in
   (* validate before echoing, so downstream tooling can trust the output *)
-  match Namer_util.Json.parse content with
-  | Ok _ -> print_string content
+  match J.parse content with
+  | Ok json ->
+      if openmetrics then begin
+        match Openmetrics.of_metrics_json json with
+        | Ok metrics -> print_string (Openmetrics.render metrics)
+        | Error msg ->
+            progress_err "cannot render %s as OpenMetrics: %s" path msg;
+            exit 1
+      end
+      else print_string content
   | Error msg ->
-      progress "corrupt metric registry %s: %s" path msg;
+      progress_err "corrupt metric registry %s: %s" path msg;
       exit 1
 
 let stats_cmd =
@@ -593,10 +784,78 @@ let stats_cmd =
            ~doc:"Read the metric registry from $(docv) instead of the default \
                  state path.")
   in
+  let openmetrics =
+    Arg.(value & flag & info [ "openmetrics" ]
+           ~doc:"Render the registry as OpenMetrics/Prometheus text \
+                 exposition instead of JSON.")
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Dump the last telemetry-enabled run's metric registry as JSON.")
-    Term.(const stats $ file)
+       ~doc:"Dump the last run's metric registry as JSON (or OpenMetrics).")
+    Term.(const stats $ file $ openmetrics)
+
+(* ---------------- report ---------------- *)
+
+let report dir_opt last check wall_pct alloc_pct hit_drop =
+  let dir = Option.value dir_opt ~default:(Ledger.default_dir ()) in
+  let { Ledger.records; dropped } = Ledger.read ~dir in
+  let rows = Trend.rows_of_records records in
+  if rows = [] then begin
+    progress_err "no ledger records under %s — run any namer subcommand first" dir;
+    exit 1
+  end;
+  if dropped > 0 then
+    progress "ledger: skipped %d torn/corrupt lines during recovery" dropped;
+  print_string (Trend.table ~last rows);
+  if check then begin
+    let thresholds =
+      { Trend.wall_pct; alloc_pct; hit_rate_drop = hit_drop }
+    in
+    match Trend.check ~last ~thresholds rows with
+    | Ok () -> progress "report: no regressions vs the last %d runs" last
+    | Error msgs ->
+        List.iter (fun m -> Printf.eprintf "regression: %s\n" m) msgs;
+        flush stderr;
+        exit 1
+  end
+
+let report_cmd =
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Read the ledger from $(docv) instead of the default state \
+                 directory.")
+  in
+  let last =
+    Arg.(value & opt int 10 & info [ "last" ] ~docv:"N"
+           ~doc:"Rows to show / baseline runs to gate against.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit non-zero if the latest run of any subcommand regressed \
+                 past the thresholds vs the mean of its previous runs.")
+  in
+  let wall_pct =
+    Arg.(value & opt float Trend.default_thresholds.Trend.wall_pct
+         & info [ "max-wall-pct" ] ~docv:"PCT"
+             ~doc:"Wall-clock regression threshold, percent over baseline.")
+  in
+  let alloc_pct =
+    Arg.(value & opt float Trend.default_thresholds.Trend.alloc_pct
+         & info [ "max-alloc-pct" ] ~docv:"PCT"
+             ~doc:"Allocation regression threshold, percent over baseline.")
+  in
+  let hit_drop =
+    Arg.(value & opt float Trend.default_thresholds.Trend.hit_rate_drop
+         & info [ "max-hit-drop" ] ~docv:"POINTS"
+             ~doc:"Cache hit-rate drop threshold, percentage points below \
+                   baseline.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate the run ledger into a trend table (wall clock, \
+             allocation, cache hit rate vs previous runs) and optionally \
+             gate on regressions (--check).")
+    Term.(const report $ dir $ last $ check $ wall_pct $ alloc_pct $ hit_drop)
 
 let () =
   (* fault injection reaches the released binary through the environment:
@@ -613,4 +872,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; train_cmd; scan_cmd; demo_cmd; fuzz_cmd; stats_cmd ]))
+          [
+            generate_cmd; train_cmd; scan_cmd; demo_cmd; fuzz_cmd; stats_cmd;
+            report_cmd;
+          ]))

@@ -27,6 +27,7 @@ module Features = Namer_classifier.Features
 module Corpus = Namer_corpus.Corpus
 module Prng = Namer_util.Prng
 module Telemetry = Namer_telemetry.Telemetry
+module Events = Namer_obs.Events
 module Pool = Namer_parallel.Pool
 module Shard = Namer_parallel.Shard
 module Accumulator = Namer_parallel.Accumulator
@@ -140,6 +141,13 @@ let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () :
   let skip reason =
     Telemetry.count "scan.files_skipped";
     Log.warn (fun m -> m "skipping file %s: %s" file.Corpus.path reason);
+    Events.emit
+      ~fields:
+        [
+          ("file", Namer_util.Json.String file.Corpus.path);
+          ("reason", Namer_util.Json.String reason);
+        ]
+      Events.Warn "scan.file_skipped";
     ([], Some { sk_file = file.Corpus.path; sk_reason = reason })
   in
   match Frontend.parse_file_res lang ~use_analysis:cfg.use_analysis file.Corpus.source with
@@ -364,10 +372,18 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
         in
         (stmts, List.concat_map (fun (_, _, skips) -> skips) parts)
   in
-  if skipped <> [] then
+  if skipped <> [] then begin
     Log.warn (fun m ->
         m "degraded: skipped %d of %d files" (List.length skipped)
           (List.length corpus.Corpus.files));
+    Events.emit
+      ~fields:
+        [
+          ("skipped", Namer_util.Json.Int (List.length skipped));
+          ("total", Namer_util.Json.Int (List.length corpus.Corpus.files));
+        ]
+      Events.Warn "build.degraded"
+  end;
   (* Dense per-build file/repo ids: the scan aggregates key on ints, not
      paths.  First-seen order over the statement list, so ids are shard-plan
      independent. *)
@@ -1066,9 +1082,17 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
       digested
   in
   let skipped = List.filter_map (fun (_, _, _, skip) -> skip) scanned in
-  if skipped <> [] then
+  if skipped <> [] then begin
     Log.warn (fun msg ->
         msg "degraded: skipped %d of %d files" (List.length skipped) (List.length files));
+    Events.emit
+      ~fields:
+        [
+          ("skipped", Namer_util.Json.Int (List.length skipped));
+          ("total", Namer_util.Json.Int (List.length files));
+        ]
+      Events.Warn "scan.degraded"
+  end;
   (match cache_dir with
   | Some dir ->
       (* a skipped file is never cached: caching its (empty) report list

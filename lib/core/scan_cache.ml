@@ -70,6 +70,9 @@ let find ~dir ~model_hash ~src_digest =
     | exception (Snapshot.Error _ | Binio.R.Corrupt _) ->
         (* undecodable = miss: the caller rescans and overwrites the entry *)
         Telemetry.count "scan_cache.undecodable";
+        Namer_obs.Events.emit
+          ~fields:[ ("entry", Namer_util.Json.String path) ]
+          Namer_obs.Events.Warn "scan_cache.undecodable";
         None
 
 let rec mkdir_p dir =

@@ -54,6 +54,27 @@ let pp_summary ppf s =
         o.Oracles.o_detail)
     s.s_oracles
 
+(* The campaign record for the run ledger: same facts as [pp_summary], as
+   data — iteration counts, crash buckets, per-oracle verdicts. *)
+let summary_json s =
+  let module J = Namer_util.Json in
+  J.Obj
+    [
+      ("iters", J.Int s.s_iters);
+      ("mutants", J.Int s.s_mutants);
+      ("skipped", J.Int s.s_skipped);
+      ("crashes", J.Int (List.length s.s_crashes));
+      ( "buckets",
+        J.Obj (List.map (fun (b, n) -> (b, J.Int n)) s.s_buckets) );
+      ( "oracles",
+        J.Obj
+          (List.map
+             (fun (o : Oracles.result) ->
+               (o.Oracles.o_name, J.Bool o.Oracles.o_pass))
+             s.s_oracles) );
+      ("ok", J.Bool (ok s));
+    ]
+
 (* Self-mine a model from a small generated corpus — the CLI's scaled
    thresholds, so a 6-repo corpus still yields a usable pattern store. *)
 let build_model ~progress cfg =

@@ -41,6 +41,10 @@ val ok : summary -> bool
 
 val pp_summary : Format.formatter -> summary -> unit
 
+(** Campaign record for the run ledger: iteration counts, crash buckets
+    and per-oracle verdicts as one JSON object. *)
+val summary_json : summary -> Namer_util.Json.t
+
 (** Run the campaign.  [progress] (default silent) receives one-line
     status updates suitable for a terminal. *)
 val run : ?progress:(string -> unit) -> config -> summary

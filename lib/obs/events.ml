@@ -1,0 +1,134 @@
+(** Structured event log.  See the interface for the span-context
+    contract. *)
+
+module J = Namer_util.Json
+
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type ctx = { trace : string; span : string }
+
+(* ------------------------------------------------------------------ *)
+(* Sink state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mutex = Mutex.create ()
+let enabled_flag = ref false
+let min_level_ref = ref Debug
+
+type sink = Closed | File of out_channel | Stderr
+
+let sink = ref Closed
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let close_unlocked () =
+  (match !sink with
+  | File oc -> ( try close_out oc with Sys_error _ -> ())
+  | Stderr -> flush stderr
+  | Closed -> ());
+  sink := Closed;
+  enabled_flag := false
+
+let set_sink ?(min_level = Debug) dest =
+  let lvl = min_level in
+  locked (fun () ->
+      close_unlocked ();
+      match dest with
+      | None -> ()
+      | Some d ->
+          sink := (match d with `File path -> File (open_out path) | `Stderr -> Stderr);
+          min_level_ref := lvl;
+          enabled_flag := true)
+
+let close () = set_sink None
+let enabled () = !enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Trace/span context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace id identifies one process run: derived from wall clock and
+   pid, so two runs appending to the same log remain distinguishable. *)
+let trace_id =
+  ref
+    (lazy
+      (let t = Unix.gettimeofday () in
+       Printf.sprintf "%08x%06x"
+         (int_of_float t land 0xffffffff)
+         ((Unix.getpid () lxor int_of_float (t *. 1e6)) land 0xffffff)))
+
+let set_trace s = trace_id := lazy s
+
+(* Span ids are allocated from one process-wide counter, so they are
+   unique across domains; each domain's root span is created lazily the
+   first time the domain asks for its context. *)
+let span_counter = Atomic.make 0
+let fresh_span () = Printf.sprintf "%06x" (Atomic.fetch_and_add span_counter 1)
+
+let ctx_key : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () =
+  let r = Domain.DLS.get ctx_key in
+  match !r with
+  | Some c -> c
+  | None ->
+      let c = { trace = Lazy.force !trace_id; span = fresh_span () } in
+      r := Some c;
+      c
+
+let child c = { c with span = fresh_span () }
+
+let with_ctx c f =
+  let r = Domain.DLS.get ctx_key in
+  let saved = !r in
+  r := Some c;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emit ?(fields = []) level event =
+  if !enabled_flag && severity level >= severity !min_level_ref then begin
+    let c = current () in
+    let line =
+      J.to_string
+        (J.Obj
+           ([
+              ("ts", J.Float (Unix.gettimeofday ()));
+              ("level", J.String (level_name level));
+              ("event", J.String event);
+              ("trace", J.String c.trace);
+              ("span", J.String c.span);
+              ("domain", J.Int (Domain.self () :> int));
+            ]
+           @ fields))
+    in
+    locked (fun () ->
+        match !sink with
+        | Closed -> ()
+        | File oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+        | Stderr ->
+            prerr_string line;
+            prerr_newline ())
+  end

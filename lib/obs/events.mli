@@ -1,0 +1,61 @@
+(** Structured, leveled JSONL event log with trace/span correlation.
+
+    One enabled sink per process.  Every event is one self-contained JSON
+    line — timestamp, level, event name, trace id, span id, emitting
+    domain, then event-specific fields — so a run's log can be followed
+    with [jq] or shipped to any log collector without a parser of its own.
+
+    {2 Span-context contract}
+
+    A process run carries one {e trace id} (fresh per process, or set
+    explicitly).  Each domain carries a {e span id} in domain-local
+    storage; the id is created lazily per domain, so two domains never
+    share a span.  {!Namer_parallel.Pool.submit} captures the submitting
+    domain's context and runs the task under a {!child} of it — same
+    trace, fresh span — so a [--jobs N] run logs one trace with distinct
+    per-task (and hence per-domain) spans, and every event can be joined
+    back to the submission that caused it.
+
+    Emission is a single [ref] load when no sink is set; instrumentation
+    points pay nothing unless the operator asked for a log. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug" | "info" | "warn" | "error"]. *)
+
+val level_of_string : string -> level option
+
+(** Trace/span correlation context. *)
+type ctx = { trace : string; span : string }
+
+val set_sink : ?min_level:level -> [ `File of string | `Stderr ] option -> unit
+(** [set_sink (Some dest)] opens the log (truncating an existing file);
+    [None] closes it.  Events below [min_level] (default [Debug] — keep
+    everything) are dropped.  @raise Sys_error if the file cannot be
+    opened. *)
+
+val close : unit -> unit
+(** Flush and close the sink ([set_sink None]). *)
+
+val enabled : unit -> bool
+
+val emit : ?fields:(string * Namer_util.Json.t) list -> level -> string -> unit
+(** [emit ~fields level event] writes one JSONL line (flushed) when a sink
+    is set and [level >= min_level]; otherwise does nothing.  [fields] are
+    appended after the standard keys; field names should not collide with
+    [ts]/[level]/[event]/[trace]/[span]/[domain]. *)
+
+val current : unit -> ctx
+(** This domain's context (trace id + its current span id). *)
+
+val child : ctx -> ctx
+(** Same trace, fresh span id — the context a task spawned from [ctx]
+    should run under. *)
+
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with this domain's context set to [ctx], restoring the
+    previous context afterwards (also on exceptions). *)
+
+val set_trace : string -> unit
+(** Override the process trace id (tests; cross-process correlation). *)

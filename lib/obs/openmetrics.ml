@@ -1,0 +1,398 @@
+(** OpenMetrics renderer/validator.  See the interface for format notes. *)
+
+module J = Namer_util.Json
+
+type metric =
+  | Counter of { name : string; help : string; labels : (string * string) list; value : float }
+  | Gauge of { name : string; help : string; labels : (string * string) list; value : float }
+  | Summary of {
+      name : string;
+      help : string;
+      quantiles : (float * float) list;
+      sum : float;
+      count : int;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Sanitization and escaping                                           *)
+(* ------------------------------------------------------------------ *)
+
+let name_char first c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | '0' .. '9' -> not first
+  | _ -> false
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Anything else becomes '_'. *)
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c -> if not (name_char (i = 0) c) then Bytes.set b i '_')
+      b;
+    Bytes.to_string b
+  end
+
+(* Label names may not contain ':'. *)
+let sanitize_label s =
+  let s = sanitize_name s in
+  String.map (function ':' -> '_' | c -> c) s
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Sample values: OpenMetrics wants plain decimal floats. *)
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let metric_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Summary { name; _ } -> sanitize_name name
+
+let metric_help = function
+  | Counter { help; _ } | Gauge { help; _ } | Summary { help; _ } -> help
+
+let metric_type = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Summary _ -> "summary"
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_labels b labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (sanitize_label k);
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label_value v);
+          Buffer.add_char b '"')
+        labels;
+      Buffer.add_char b '}'
+
+let render_sample b name labels value =
+  Buffer.add_string b name;
+  render_labels b labels;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (render_value value);
+  Buffer.add_char b '\n'
+
+let render metrics =
+  let b = Buffer.create 4096 in
+  (* group samples by family, one HELP/TYPE header per family, families in
+     first-occurrence order *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let by_family : (string, metric list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let fam = metric_name m in
+      match Hashtbl.find_opt by_family fam with
+      | Some r -> r := m :: !r
+      | None ->
+          Hashtbl.replace by_family fam (ref [ m ]);
+          if not (Hashtbl.mem seen fam) then begin
+            Hashtbl.replace seen fam ();
+            order := fam :: !order
+          end)
+    metrics;
+  List.iter
+    (fun fam ->
+      let members = List.rev !(Hashtbl.find by_family fam) in
+      let first = List.hd members in
+      (* help text: newlines/backslashes escaped per the comment-line rules *)
+      let help =
+        String.concat "\\n" (String.split_on_char '\n' (metric_help first))
+      in
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" fam help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" fam (metric_type first));
+      List.iter
+        (fun m ->
+          match m with
+          | Counter { labels; value; _ } ->
+              (* counters expose the mandatory _total sample *)
+              render_sample b (fam ^ "_total") labels value
+          | Gauge { labels; value; _ } -> render_sample b fam labels value
+          | Summary { quantiles; sum; count; _ } ->
+              List.iter
+                (fun (q, v) ->
+                  render_sample b fam [ ("quantile", Printf.sprintf "%g" q) ] v)
+                quantiles;
+              render_sample b (fam ^ "_sum") [] sum;
+              render_sample b (fam ^ "_count") [] (float_of_int count))
+        members)
+    (List.rev !order);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let is_name_ok s =
+    s <> "" && String.length s > 0
+    && name_char true s.[0]
+    && String.for_all (fun c -> name_char false c) (String.sub s 1 (String.length s - 1))
+  in
+  (* parse one sample line: name[{labels}] value *)
+  let check_sample lineno line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && name_char (!i = 0) line.[!i] do
+      incr i
+    done;
+    if !i = 0 then err "line %d: sample has no metric name" lineno
+    else begin
+      let after_labels =
+        if !i < n && line.[!i] = '{' then begin
+          incr i;
+          let ok = ref true and closed = ref false and msg = ref "" in
+          (* label pairs: name="value" with \-escapes, comma-separated *)
+          let rec labels () =
+            let start = !i in
+            while !i < n && name_char (!i = start) line.[!i] do
+              incr i
+            done;
+            if !i = start then begin
+              ok := false;
+              msg := "empty label name"
+            end
+            else if !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"' then begin
+              ok := false;
+              msg := "label not followed by =\""
+            end
+            else begin
+              i := !i + 2;
+              let rec value () =
+                if !i >= n then begin
+                  ok := false;
+                  msg := "unterminated label value"
+                end
+                else
+                  match line.[!i] with
+                  | '"' -> incr i
+                  | '\\' ->
+                      if
+                        !i + 1 < n
+                        && (match line.[!i + 1] with
+                           | '\\' | '"' | 'n' -> true
+                           | _ -> false)
+                      then begin
+                        i := !i + 2;
+                        value ()
+                      end
+                      else begin
+                        ok := false;
+                        msg := "bad escape in label value"
+                      end
+                  | _ ->
+                      incr i;
+                      value ()
+              in
+              value ();
+              if !ok then
+                if !i < n && line.[!i] = ',' then begin
+                  incr i;
+                  labels ()
+                end
+                else if !i < n && line.[!i] = '}' then begin
+                  incr i;
+                  closed := true
+                end
+                else begin
+                  ok := false;
+                  msg := "label list not closed"
+                end
+            end
+          in
+          labels ();
+          if not !ok then Error (Printf.sprintf "line %d: %s" lineno !msg)
+          else if not !closed then err "line %d: label list not closed" lineno
+          else Ok ()
+        end
+        else Ok ()
+      in
+      match after_labels with
+      | Error _ as e -> e
+      | Ok () ->
+          if !i >= n || line.[!i] <> ' ' then
+            err "line %d: no space before sample value" lineno
+          else begin
+            let rest = String.sub line (!i + 1) (n - !i - 1) in
+            (* value [timestamp]: every field must parse as a number *)
+            let fields =
+              List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
+            in
+            if fields = [] then err "line %d: missing sample value" lineno
+            else if
+              List.for_all
+                (fun f ->
+                  match float_of_string_opt f with
+                  | Some _ -> true
+                  | None -> f = "+Inf" || f = "-Inf" || f = "NaN")
+                fields
+            then Ok ()
+            else err "line %d: malformed sample value %S" lineno rest
+          end
+    end
+  in
+  let lines = String.split_on_char '\n' text in
+  (* a trailing newline leaves one empty final fragment — drop it *)
+  let lines =
+    match List.rev lines with "" :: rev -> List.rev rev | _ -> lines
+  in
+  let rec go lineno = function
+    | [] -> err "missing # EOF terminator"
+    | [ "# EOF" ] -> Ok ()
+    | line :: rest -> (
+        if line = "# EOF" then err "line %d: # EOF before end of input" lineno
+        else if line = "" then err "line %d: blank line" lineno
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: ("HELP" | "UNIT") :: name :: _ when is_name_ok name -> go (lineno + 1) rest
+          | "#" :: "TYPE" :: name :: [ ty ]
+            when is_name_ok name
+                 && List.mem ty
+                      [
+                        "counter"; "gauge"; "summary"; "histogram"; "untyped";
+                        "info"; "stateset"; "gaugehistogram"; "unknown";
+                      ] ->
+              go (lineno + 1) rest
+          | _ -> err "line %d: malformed comment line %S" lineno line
+        end
+        else
+          match check_sample lineno line with
+          | Ok () -> go (lineno + 1) rest
+          | Error _ as e -> e)
+  in
+  go 1 lines
+
+(* ------------------------------------------------------------------ *)
+(* From the telemetry registry                                         *)
+(* ------------------------------------------------------------------ *)
+
+let of_metrics_json json =
+  let assoc name = function J.Obj fields -> List.assoc_opt name fields | _ -> None in
+  let number = function
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match json with
+  | J.Obj _ ->
+      let metrics = ref [] in
+      let add m = metrics := m :: !metrics in
+      (match assoc "counters" json with
+      | Some (J.Obj cs) ->
+          List.iter
+            (fun (k, v) ->
+              match number (Some v) with
+              | Some value ->
+                  add
+                    (Counter
+                       {
+                         name = "namer_" ^ sanitize_name k;
+                         help = Printf.sprintf "telemetry counter %s" k;
+                         labels = [];
+                         value;
+                       })
+              | None -> ())
+            cs
+      | _ -> ());
+      (match assoc "histograms" json with
+      | Some (J.Obj hs) ->
+          List.iter
+            (fun (k, h) ->
+              match
+                ( number (assoc "p50" h),
+                  number (assoc "p90" h),
+                  number (assoc "p99" h),
+                  number (assoc "total" h),
+                  number (assoc "n" h) )
+              with
+              | Some p50, Some p90, Some p99, Some total, Some n ->
+                  add
+                    (Summary
+                       {
+                         name = "namer_" ^ sanitize_name k;
+                         help = Printf.sprintf "telemetry histogram %s" k;
+                         quantiles = [ (0.5, p50); (0.9, p90); (0.99, p99) ];
+                         sum = total;
+                         count = int_of_float n;
+                       })
+              | _ -> ())
+            hs
+      | _ -> ());
+      (match assoc "stages" json with
+      | Some (J.Obj ss) ->
+          List.iter
+            (fun (stage, s) ->
+              let label = [ ("stage", stage) ] in
+              (match number (assoc "wall_ms" s) with
+              | Some v ->
+                  add
+                    (Gauge
+                       {
+                         name = "namer_stage_wall_ms";
+                         help = "cumulative wall-clock per pipeline stage (ms)";
+                         labels = label;
+                         value = v;
+                       })
+              | None -> ());
+              (match number (assoc "alloc_mb" s) with
+              | Some v ->
+                  add
+                    (Gauge
+                       {
+                         name = "namer_stage_alloc_mb";
+                         help = "cumulative GC allocation per pipeline stage (MB)";
+                         labels = label;
+                         value = v;
+                       })
+              | None -> ());
+              match number (assoc "count" s) with
+              | Some v ->
+                  add
+                    (Gauge
+                       {
+                         name = "namer_stage_runs";
+                         help = "span count per pipeline stage";
+                         labels = label;
+                         value = v;
+                       })
+              | None -> ())
+            ss
+      | _ -> ());
+      Ok (List.rev !metrics)
+  | _ -> Error "metric registry is not a JSON object"
+
+let write ~path metrics =
+  let text = render metrics in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc text;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -1,0 +1,50 @@
+(** OpenMetrics / Prometheus text exposition: render the metric registry
+    as a textfile-collector file, and validate exposition output.
+
+    The renderer emits the OpenMetrics text format (a strict superset of
+    the Prometheus text format for the metric types used here): one
+    [# HELP] and [# TYPE] line per metric family, then the family's
+    samples, and a final [# EOF] marker.  Counters render with the
+    mandatory [_total] sample suffix; histogram summaries render as
+    [summary] families with [quantile] labels plus [_sum]/[_count].
+    Metric and label names are sanitized to the allowed character set and
+    label values are escaped (backslash, double quote, newline) per the
+    spec, so arbitrary stage names and file paths survive as labels. *)
+
+type metric =
+  | Counter of { name : string; help : string; labels : (string * string) list; value : float }
+  | Gauge of { name : string; help : string; labels : (string * string) list; value : float }
+  | Summary of {
+      name : string;
+      help : string;
+      quantiles : (float * float) list;  (** (quantile in (0,1), value) *)
+      sum : float;
+      count : int;
+    }
+
+val metric_name : metric -> string
+(** Sanitized family name of a metric. *)
+
+val render : metric list -> string
+(** Exposition text.  Samples of the same family are grouped under one
+    [# HELP]/[# TYPE] header (first [help] wins); families appear in first
+    occurrence order; the output always ends with [# EOF]. *)
+
+val validate : string -> (unit, string) result
+(** Structural validation of exposition text: every line is a comment
+    ([# HELP]/[# TYPE]/[# UNIT]/[# EOF]) or a well-formed sample
+    ([name{label="value",...} number]), label values are properly
+    escaped/terminated, and the text ends with exactly one [# EOF].
+    Returns [Error msg] naming the first offending line. *)
+
+val of_metrics_json : Namer_util.Json.t -> (metric list, string) result
+(** Map a {!Namer_telemetry.Telemetry.metrics_json} registry — counters,
+    histogram summaries, stage aggregates — onto metric families:
+    [namer_<counter>_total], [namer_<histogram>] summaries, and
+    [namer_stage_{wall_ms,alloc_mb,runs}] gauges labeled by stage. *)
+
+val write : path:string -> metric list -> unit
+(** Atomically (temp + rename) write [render metrics] to [path] — the
+    node-exporter textfile collector requires the rename so it never
+    scrapes a half-written file.  @raise Sys_error if the directory is not
+    writable. *)

@@ -1,0 +1,188 @@
+(** Cross-run trend aggregation.  See the interface. *)
+
+module J = Namer_util.Json
+
+type row = {
+  ts : float;
+  cmd : string;
+  git : string;
+  wall_ms : float;
+  alloc_mb : float;
+  cache_hits : int;
+  cache_misses : int;
+  skipped : int;
+  peak_rss_kb : int;
+}
+
+let hit_rate r =
+  let total = r.cache_hits + r.cache_misses in
+  if total = 0 then None else Some (float_of_int r.cache_hits /. float_of_int total)
+
+let assoc name = function J.Obj fields -> List.assoc_opt name fields | _ -> None
+
+let number = function
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_field j name = match number (assoc name j) with Some f -> int_of_float f | None -> 0
+let string_field j name ~default =
+  match assoc name j with Some (J.String s) -> s | _ -> default
+
+(* Total instrumented wall/alloc: sum over the record's stage aggregates. *)
+let stage_totals j =
+  match assoc "stages" j with
+  | Some (J.Obj stages) ->
+      List.fold_left
+        (fun (w, a) (_, s) ->
+          ( w +. Option.value ~default:0.0 (number (assoc "wall_ms" s)),
+            a +. Option.value ~default:0.0 (number (assoc "alloc_mb" s)) ))
+        (0.0, 0.0) stages
+  | _ -> (0.0, 0.0)
+
+let row_of_record j =
+  match number (assoc "schema" j) with
+  | Some v when int_of_float v = Ledger.schema_version -> (
+      match (number (assoc "ts" j), assoc "cmd" j) with
+      | Some ts, Some (J.String cmd) ->
+          let cache = match assoc "cache" j with Some c -> c | None -> J.Obj [] in
+          let wall_ms, alloc_mb = stage_totals j in
+          Some
+            {
+              ts;
+              cmd;
+              git = string_field j "git" ~default:"unknown";
+              wall_ms;
+              alloc_mb;
+              cache_hits = int_field cache "hits";
+              cache_misses = int_field cache "misses";
+              skipped = int_field j "skipped";
+              peak_rss_kb = int_field j "peak_rss_kb";
+            }
+      | _ -> None)
+  | _ -> None
+
+let rows_of_records records = List.filter_map row_of_record records
+
+type thresholds = { wall_pct : float; alloc_pct : float; hit_rate_drop : float }
+
+let default_thresholds = { wall_pct = 50.0; alloc_pct = 50.0; hit_rate_drop = 20.0 }
+
+let take_last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let fmt_time ts =
+  let tm = Unix.localtime ts in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let fmt_delta cur prev =
+  if prev = 0.0 then "-"
+  else
+    let pct = (cur -. prev) /. prev *. 100.0 in
+    Printf.sprintf "%+.1f%%" pct
+
+let fmt_hit_rate r =
+  match hit_rate r with
+  | Some h -> Printf.sprintf "%.0f%%" (h *. 100.0)
+  | None -> "-"
+
+let table ?(last = 10) rows =
+  let shown = take_last last rows in
+  (* delta columns compare each run to the previous run of the SAME
+     subcommand anywhere in the full history, so interleaved train/scan
+     runs don't compare apples to oranges *)
+  let prev_of =
+    let tbl : (string, row) Hashtbl.t = Hashtbl.create 8 in
+    let pairs =
+      List.map
+        (fun r ->
+          let p = Hashtbl.find_opt tbl r.cmd in
+          Hashtbl.replace tbl r.cmd r;
+          (r, p))
+        rows
+    in
+    fun r -> List.assq_opt r pairs |> Option.join
+  in
+  let body =
+    List.map
+      (fun r ->
+        let prev = prev_of r in
+        let d f = match prev with Some p -> fmt_delta (f r) (f p) | None -> "-" in
+        [
+          fmt_time r.ts;
+          r.cmd;
+          r.git;
+          Printf.sprintf "%.1f" r.wall_ms;
+          d (fun r -> r.wall_ms);
+          Printf.sprintf "%.1f" r.alloc_mb;
+          d (fun r -> r.alloc_mb);
+          fmt_hit_rate r;
+          string_of_int r.skipped;
+          (if r.peak_rss_kb < 0 then "-"
+           else Printf.sprintf "%.1f" (float_of_int r.peak_rss_kb /. 1024.0));
+        ])
+      shown
+  in
+  Namer_util.Tablefmt.render ~caption:"ledger: run history"
+    ~header:
+      [ "when"; "cmd"; "git"; "wall ms"; "dwall%"; "alloc MB"; "dalloc%"; "hit"; "skip"; "RSS MB" ]
+    body
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let check ?(last = 10) ?(thresholds = default_thresholds) rows =
+  (* group chronologically per subcommand *)
+  let by_cmd : (string, row list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt by_cmd r.cmd with
+      | Some l -> l := r :: !l
+      | None ->
+          Hashtbl.replace by_cmd r.cmd (ref [ r ]);
+          order := r.cmd :: !order)
+    rows;
+  let failures = ref [] in
+  List.iter
+    (fun cmd ->
+      match List.rev !(Hashtbl.find by_cmd cmd) with
+      | [] | [ _ ] -> () (* no history: nothing to gate against *)
+      | history ->
+          let latest = List.nth history (List.length history - 1) in
+          let baseline =
+            take_last last (List.filteri (fun i _ -> i < List.length history - 1) history)
+          in
+          let flag what cur base limit_pct =
+            if base > 0.0 then
+              let pct = (cur -. base) /. base *. 100.0 in
+              if pct > limit_pct then
+                failures :=
+                  Printf.sprintf
+                    "%s: %s regressed %.1f%% (%.1f vs baseline mean %.1f, limit +%.1f%%)"
+                    cmd what pct cur base limit_pct
+                  :: !failures
+          in
+          flag "wall clock (ms)" latest.wall_ms
+            (mean (List.map (fun r -> r.wall_ms) baseline))
+            thresholds.wall_pct;
+          flag "allocation (MB)" latest.alloc_mb
+            (mean (List.map (fun r -> r.alloc_mb) baseline))
+            thresholds.alloc_pct;
+          (match (hit_rate latest, List.filter_map hit_rate baseline) with
+          | Some cur, (_ :: _ as base_rates) ->
+              let base = mean base_rates in
+              let drop = (base -. cur) *. 100.0 in
+              if drop > thresholds.hit_rate_drop then
+                failures :=
+                  Printf.sprintf
+                    "%s: cache hit rate dropped %.1f points (%.0f%% vs baseline mean %.0f%%, limit %.1f)"
+                    cmd drop (cur *. 100.0) (base *. 100.0) thresholds.hit_rate_drop
+                  :: !failures
+          | _ -> ()))
+    (List.rev !order);
+  match List.rev !failures with [] -> Ok () | msgs -> Error msgs

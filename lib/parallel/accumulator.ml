@@ -13,11 +13,29 @@ let plan ?key ~shards xs =
   | Some key -> Shard.contiguous_by_key ~shards ~key xs
   | None -> Shard.contiguous ~shards xs
 
+module Events = Namer_obs.Events
+
 let sharded_map ?pool ?key ~shards f xs =
   let shards_l = plan ?key ~shards xs in
   match pool with
   | None -> List.map f shards_l
   | Some pool ->
+      (* each shard announces itself from its worker domain, so the event
+         log shows which domain/span ran which shard; emission is a no-op
+         (and the fields unallocated) when no sink is live, keeping the
+         hot path untouched *)
+      let run_shard idx shard =
+        if Events.enabled () then
+          Events.emit
+            ~fields:
+              [
+                ("shard", Namer_util.Json.Int idx);
+                ("items", Namer_util.Json.Int (List.length shard));
+              ]
+            Events.Debug "pool.shard";
+        f shard
+      in
+      let indexed = List.mapi (fun i s -> (i, s)) shards_l in
       (* self-healing merge: a shard whose worker task failed (a poisoned
          task, an injected fault, a domain-local hiccup) is recomputed
          inline on the submitting domain instead of aborting the stage —
@@ -25,14 +43,17 @@ let sharded_map ?pool ?key ~shards f xs =
          an all-healthy run.  A shard that fails *again* inline is a
          deterministic bug in [f] and propagates. *)
       List.map2
-        (fun shard result ->
+        (fun (idx, shard) result ->
           match result with
           | Ok v -> v
           | Error _ ->
               Namer_telemetry.Telemetry.count "pool.shard_retries";
+              Events.emit
+                ~fields:[ ("shard", Namer_util.Json.Int idx) ]
+                Events.Warn "pool.shard_retry";
               f shard)
-        shards_l
-        (Pool.map_list_results pool f shards_l)
+        indexed
+        (Pool.map_list_results pool (fun (idx, shard) -> run_shard idx shard) indexed)
 
 let sharded_concat_map ?pool ?key ~shards f xs =
   List.concat (sharded_map ?pool ?key ~shards f xs)

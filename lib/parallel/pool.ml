@@ -2,6 +2,7 @@
     interface for the execution/determinism contract. *)
 
 module Telemetry = Namer_telemetry.Telemetry
+module Events = Namer_obs.Events
 
 (* ------------------------------------------------------------------ *)
 (* Work-stealing deque                                                 *)
@@ -147,7 +148,12 @@ let worker t i () =
            an exception that escapes the wrapper (asynchronous exceptions,
            [resolve] itself failing), or one poisoned task takes the whole
            pool down with it *)
-        (try task () with _ -> Telemetry.count "pool.task_escapes");
+        (try task ()
+         with _ ->
+           Telemetry.count "pool.task_escapes";
+           Events.emit
+             ~fields:[ ("worker", Namer_util.Json.Int i) ]
+             Events.Warn "pool.task_escape");
         loop ()
     | None ->
         Mutex.lock t.m;
@@ -187,19 +193,29 @@ let create ~domains () =
 
 let submit ?on t f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  (* span-context propagation: capture the submitter's trace/span here, on
+     the submitting domain, so the task runs on its worker domain under a
+     child span of the submitter — same trace, fresh span.  Captured only
+     when the event log is live; disabled, submit stays allocation-free. *)
+  let parent = if Events.enabled () then Some (Events.current ()) else None in
   let task () =
     (* fault point: a poisoned task raising mid-flight.  It sits inside the
        catch-all on purpose — an injected fault fails exactly this future,
        as any exception from [f] would, and nothing else. *)
-    let st =
-      match
-        Namer_util.Fault.check "pool.task";
-        f ()
-      with
-      | v -> Done v
-      | exception e -> Failed e
+    let run () =
+      let st =
+        match
+          Namer_util.Fault.check "pool.task";
+          f ()
+        with
+        | v -> Done v
+        | exception e -> Failed e
+      in
+      resolve fut st
     in
-    resolve fut st
+    match parent with
+    | None -> run ()
+    | Some p -> Events.with_ctx (Events.child p) run
   in
   let n = Array.length t.deques in
   let i =

@@ -231,6 +231,15 @@ let histogram name =
       Hashtbl.find_opt hists_tbl name |> Option.map (fun r -> !r))
   |> Option.map summarize
 
+(** [percentile name p] — the [p]-th percentile ([0.0]–[100.0]) of the
+    named histogram, or [None] for a histogram with no observations.  The
+    single accessor behind every p50/p90/p99 the exporters print, so no
+    caller recomputes percentiles from raw observations. *)
+let percentile name p =
+  locked (fun () ->
+      Hashtbl.find_opt hists_tbl name |> Option.map (fun r -> !r))
+  |> Option.map (Namer_util.Stats.percentile p)
+
 (** Spans aggregated by name, in order of first appearance.  This is the
     "stage" view: per-file [parse] spans fold into one row, etc. *)
 let stages () =
@@ -283,6 +292,26 @@ let stage_table ?stages:captured () =
   in
   Namer_util.Tablefmt.render ~caption:"telemetry: pipeline stages"
     ~header:[ "stage"; "count"; "wall ms"; "alloc MB" ]
+    rows
+
+(** Human-readable histogram table: one row per histogram, the five-number
+    summary rendered through {!percentile}'s underlying summaries. *)
+let histogram_table () =
+  let rows =
+    List.map
+      (fun (name, s) ->
+        [
+          name;
+          string_of_int s.n;
+          Printf.sprintf "%.3f" s.mean;
+          Printf.sprintf "%.3f" s.p50;
+          Printf.sprintf "%.3f" s.p90;
+          Printf.sprintf "%.3f" s.p99;
+        ])
+      (histograms ())
+  in
+  Namer_util.Tablefmt.render ~caption:"telemetry: histograms"
+    ~header:[ "histogram"; "n"; "mean"; "p50"; "p90"; "p99" ]
     rows
 
 module J = Namer_util.Json

@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("telemetry", Test_telemetry.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("datalog", Test_datalog.suite);
       ("tree", Test_tree.suite);
