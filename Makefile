@@ -3,7 +3,7 @@
 # skip with a notice when the tool is not installed rather than failing,
 # matching the CI jobs that install them explicitly.
 
-.PHONY: all build test fmt doc bench bench-smoke obs-smoke ci clean
+.PHONY: all build test fmt doc bench bench-smoke obs-smoke serve-smoke ci clean
 
 all: build
 
@@ -60,8 +60,38 @@ obs-smoke: build
 	dune exec bin/namer_cli.exe -- report --check; \
 	echo "obs-smoke: OK"
 
+# Serve smoke mirroring the serve-smoke CI job: start the daemon on a
+# Unix socket, fire 50 concurrent requests (with a model hot-swap
+# mid-traffic) through bench/loadtest.exe, and require the responses to
+# be byte-identical to `namer scan --model`, a clean SIGTERM drain, and
+# a serve row in the run ledger.
+serve-smoke: build
+	@set -eu; \
+	state=$$(mktemp -d); trap 'rm -rf "$$state"' EXIT; \
+	namer=_build/default/bin/namer_cli.exe; \
+	loadtest=_build/default/bench/loadtest.exe; \
+	"$$namer" generate --lang python --repos 12 --out "$$state/corpus" 2>/dev/null; \
+	"$$namer" train --lang python "$$state/corpus" --model "$$state/m.nmdl" 2>/dev/null; \
+	"$$namer" serve --model "$$state/m.nmdl" --socket "$$state/namer.sock" \
+	  --cache-dir "$$state/cache" --jobs 4 --ledger "$$state/ledger" \
+	  2> "$$state/daemon.err" & pid=$$!; \
+	for _ in $$(seq 1 100); do [ -S "$$state/namer.sock" ] && break; sleep 0.1; done; \
+	[ -S "$$state/namer.sock" ]; \
+	"$$loadtest" --socket "$$state/namer.sock" --dir "$$state/corpus" \
+	  --clients 8 --requests 50 --max-reports 100000 \
+	  --reload-at 25 --reload-model "$$state/m.nmdl" \
+	  --expect-identical --dump-text "$$state/serve.txt" --out "$$state/loadtest.json"; \
+	"$$namer" scan --model "$$state/m.nmdl" --max-reports 100000 "$$state/corpus" \
+	  > "$$state/cli.txt" 2>/dev/null; \
+	diff "$$state/serve.txt" "$$state/cli.txt"; \
+	kill -TERM "$$pid"; wait "$$pid"; \
+	[ ! -e "$$state/namer.sock" ]; \
+	grep -q '"cmd":"serve"' "$$state/ledger/ledger.jsonl"; \
+	cat "$$state/daemon.err"; \
+	echo "serve-smoke: OK"
+
 # Everything the CI workflow checks, in order.
-ci: build test fmt bench-smoke obs-smoke
+ci: build test fmt bench-smoke obs-smoke serve-smoke
 
 clean:
 	dune clean

@@ -17,11 +17,13 @@ module Namer = Namer_core.Namer
 module Telemetry = Namer_telemetry.Telemetry
 
 (* Instrumented end-to-end build on a 15-repo Python corpus, once with
-   jobs=1 and once with jobs=4: prints the sequential per-stage cost table,
-   verifies the two runs report identical violations, and writes both stage
-   maps, the speedup, the snapshot save/load and scan-cache measurements,
-   and the interning micro-benchmarks to BENCH_pipeline.json (schema 4),
-   the machine-readable trajectory file that perf PRs compare against. *)
+   jobs=1 and once with jobs=N (--jobs, default 4): prints the sequential
+   per-stage cost table, verifies the two runs report identical violations,
+   then drives an in-process serve-daemon load test, and writes both stage
+   maps, the speedup, the snapshot save/load, scan-cache and serve
+   measurements, and the interning micro-benchmarks to BENCH_pipeline.json
+   (schema 5), the machine-readable trajectory file that perf PRs compare
+   against. *)
 let stage_wall name stages =
   match List.find_opt (fun s -> s.Telemetry.stage = name) stages with
   | Some s -> s.Telemetry.wall_ms
@@ -109,7 +111,86 @@ let snapshot_bench (t : Namer.t) (corpus : Corpus.t) ~cold_build_ms =
       ],
     reports_identical )
 
-let telemetry_bench () =
+(* In-process serve load test: write the corpus to disk, save the trained
+   model, start the daemon on an ephemeral TCP port with a shared report
+   cache, drive concurrent clients at it, then drain — the same shape as
+   the serve-smoke CI job, but measured.  Returns the schema-5 [serve]
+   object and whether every response came back ok and identical. *)
+let serve_bench (t : Namer.t) (corpus : Corpus.t) ~jobs =
+  let module J = Namer_util.Json in
+  let module Serve = Namer_serve.Serve in
+  let module Client = Namer_serve.Client in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  let tmp = Filename.temp_file "namer_servebench" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote tmp))))
+  @@ fun () ->
+  let dir = Filename.concat tmp "corpus" in
+  let model_path = Filename.concat tmp "model.nmdl" in
+  List.iter
+    (fun (f : Corpus.file) ->
+      let path = Filename.concat dir f.Corpus.path in
+      mkdir_p (Filename.dirname path);
+      let oc = open_out_bin path in
+      output_string oc f.Corpus.source;
+      close_out oc)
+    corpus.Corpus.files;
+  ignore (Namer.save_model t ~path:model_path);
+  let sv =
+    Serve.create
+      {
+        (Serve.default_config ~model_path (Serve.Tcp ("127.0.0.1", 0))) with
+        Serve.sv_cache_dir = Some (Filename.concat tmp "cache");
+        sv_jobs = jobs;
+      }
+  in
+  let daemon = Thread.create (fun () -> ignore (Serve.serve_forever sv)) () in
+  let target =
+    match Serve.endpoint sv with
+    | Serve.Tcp (h, p) -> Client.Tcp (h, p)
+    | Serve.Unix_path p -> Client.Unix_path p
+  in
+  let clients = 8 and requests = 50 in
+  let spec =
+    {
+      (Client.Load.default_spec
+         ~payload:(J.Obj [ ("op", J.String "scan"); ("dir", J.String dir) ]))
+      with
+      Client.Load.l_clients = clients;
+      l_requests = requests;
+    }
+  in
+  let r = Client.Load.run target spec in
+  Serve.request_stop sv;
+  Thread.join daemon;
+  let ok =
+    r.Client.Load.lr_failed = 0
+    && r.Client.Load.lr_ok = requests
+    && r.Client.Load.lr_responses_identical
+    && r.Client.Load.lr_rps > 0.0
+  in
+  Printf.printf
+    "serve: %d clients x %d requests → %.0f req/s, p50 %.2f ms, p99 %.2f ms, \
+     responses %s\n"
+    clients requests r.Client.Load.lr_rps r.Client.Load.lr_p50_ms
+    r.Client.Load.lr_p99_ms
+    (if r.Client.Load.lr_responses_identical then "identical" else "DIFFERENT");
+  let json =
+    match Client.Load.json_of_result r with
+    | J.Obj fields -> J.Obj (("clients", J.Int clients) :: fields)
+    | j -> j
+  in
+  (json, ok)
+
+let telemetry_bench ~jobs_parallel () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
   let corpus =
     Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 15 }
@@ -146,7 +227,6 @@ let telemetry_bench () =
     | Some prev when build_wall (snd prev) <= build_wall (snd fresh) -> Some prev
     | _ -> Some fresh
   in
-  let jobs_parallel = 4 in
   let rec measure k seq par =
     if k = 0 then (Option.get seq, Option.get par)
     else measure (k - 1) (best ~jobs:1 seq) (best ~jobs:jobs_parallel par)
@@ -181,6 +261,7 @@ let telemetry_bench () =
   let snapshot_json, cache_json, cache_identical =
     snapshot_bench t corpus ~cold_build_ms:(build_wall stages_seq)
   in
+  let serve_json, serve_ok = serve_bench t corpus ~jobs:effective_jobs in
   let micro = Perf.micro_estimates () in
   List.iter (fun (name, ns) -> Printf.printf "micro %-32s %s\n" name (Perf.pretty_ns ns)) micro;
   let path = "BENCH_pipeline.json" in
@@ -190,7 +271,7 @@ let telemetry_bench () =
     (J.to_string ~indent:2
        (J.Obj
           [
-            ("schema", J.Int 4);
+            ("schema", J.Int 5);
             ("cores", J.Int (Domain.recommended_domain_count ()));
             ("cap_domains", J.Bool Namer.default_config.Namer.cap_domains);
             ("jobs_parallel", J.Int jobs_parallel);
@@ -199,6 +280,7 @@ let telemetry_bench () =
             ("reports_identical", J.Bool reports_identical);
             ("snapshot", snapshot_json);
             ("scan_cache", cache_json);
+            ("serve", serve_json);
             ("stages", Telemetry.stages_to_json stages_seq);
             ("stages_parallel", Telemetry.stages_to_json stages_par);
             ("micro", J.Obj (List.map (fun (name, ns) -> (name, J.Float ns)) micro));
@@ -227,15 +309,23 @@ let telemetry_bench () =
             ("peak_rss_kb", J.Int (Ledger.peak_rss_kb ()));
           ])
    with Sys_error _ | Unix.Unix_error _ -> ());
-  if not (reports_identical && cache_identical) then exit 1
+  if not (reports_identical && cache_identical && serve_ok) then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in
   let flag f = List.mem f args in
+  let opt_int name default =
+    let rec find = function
+      | a :: b :: _ when a = name -> ( try int_of_string b with Failure _ -> default)
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
   let quick = flag "--quick" in
   let scale = if quick then Exp.Quick else Exp.Full in
   if flag "--telemetry" then begin
-    telemetry_bench ();
+    telemetry_bench ~jobs_parallel:(opt_int "--jobs" 4) ();
     exit 0
   end;
   if flag "--perf" then begin

@@ -37,6 +37,7 @@ module Pattern = Namer_pattern.Pattern
 module Telemetry = Namer_telemetry.Telemetry
 module Events = Namer_obs.Events
 module Ledger = Namer_obs.Ledger
+module Serve = Namer_serve.Serve
 module Openmetrics = Namer_obs.Openmetrics
 module Trend = Namer_obs.Trend
 module J = Namer_util.Json
@@ -656,6 +657,108 @@ let scan_cmd =
     Term.(const scan $ lang_arg $ dir $ jobs_arg $ max_reports $ save_patterns
           $ load_patterns $ model $ cache_dir $ apply_fixes $ json $ obs_term)
 
+(* ---------------- serve ---------------- *)
+
+(* Resident scan daemon: load the model once, answer newline-delimited
+   JSON scan/status/reload/shutdown requests until SIGTERM/SIGINT, then
+   drain and land one ledger row for the whole daemon lifetime. *)
+let serve model_path socket_path host port jobs cache_dir max_concurrent timeout_ms obs =
+  let finish = obs_setup ~cmd:"serve" obs in
+  let endpoint =
+    match socket_path with
+    | Some path -> Serve.Unix_path path
+    | None -> Serve.Tcp (host, port)
+  in
+  let cfg =
+    {
+      (Serve.default_config ~model_path endpoint) with
+      Serve.sv_cache_dir = cache_dir;
+      sv_jobs = jobs;
+      sv_max_concurrent = max_concurrent;
+      sv_timeout_ms = timeout_ms;
+    }
+  in
+  let t =
+    try Serve.create cfg with
+    | Namer_model.Snapshot.Error msg | Failure msg ->
+        progress_err "error: %s" msg;
+        exit 1
+    | Unix.Unix_error (e, fn, arg) ->
+        progress_err "error: cannot bind endpoint: %s (%s %s)"
+          (Unix.error_message e) fn arg;
+        exit 1
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.request_stop t))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  (match Serve.endpoint t with
+  | Serve.Unix_path path ->
+      progress "serving model %s on unix socket %s (jobs=%d)" (Serve.model_hash t)
+        path jobs
+  | Serve.Tcp (h, p) ->
+      progress "serving model %s on tcp %s:%d (jobs=%d)" (Serve.model_hash t) h p jobs;
+      (* scripts bind --port 0 and read the resolved port from stdout *)
+      if port = 0 then Printf.printf "%d\n%!" p);
+  let stats = Serve.serve_forever t in
+  progress "drained: %d requests (%d scans, %d reloads) over %d connections"
+    stats.Serve.st_requests stats.Serve.st_scans stats.Serve.st_reloads
+    stats.Serve.st_connections;
+  finish
+    ~extra:
+      [
+        ("jobs", J.Int jobs);
+        ("model_hash", J.String stats.Serve.st_model_hash);
+        ("serve", Serve.stats_json stats);
+      ]
+    ()
+
+let serve_cmd =
+  let model =
+    Arg.(required & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Model snapshot to serve (written by `namer train`).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket at $(docv) (replaces a stale \
+                 socket file; refuses one with a live daemon behind it).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"TCP listen address (ignored with --socket).")
+  in
+  let port =
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP listen port; 0 (the default) binds an ephemeral port \
+                 and prints it on stdout.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Per-file report cache shared across requests (and with \
+                 concurrent `namer scan --cache-dir` runs), keyed by (model \
+                 hash, file content digest).")
+  in
+  let max_concurrent =
+    Arg.(value & opt int 64 & info [ "max-concurrent" ] ~docv:"N"
+           ~doc:"Scans admitted at once; excess scan requests are refused \
+                 immediately with code \"overloaded\".")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 30_000 & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Per-connection stall budget: a partial request line with no \
+                 progress for $(docv) ms is answered with code \"timeout\" \
+                 and the connection closed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a resident scan daemon: load a trained model once and \
+             answer newline-delimited JSON scan/status/reload/shutdown \
+             requests over a Unix or TCP socket until SIGTERM, with \
+             graceful drain and model hot-swap.")
+    Term.(const serve $ model $ socket $ host $ port $ jobs_arg $ cache_dir
+          $ max_concurrent $ timeout_ms $ obs_term)
+
 (* ---------------- demo ---------------- *)
 
 let demo repos jobs obs =
@@ -873,6 +976,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; train_cmd; scan_cmd; demo_cmd; fuzz_cmd; stats_cmd;
-            report_cmd;
+            generate_cmd; train_cmd; scan_cmd; serve_cmd; demo_cmd; fuzz_cmd;
+            stats_cmd; report_cmd;
           ]))

@@ -1007,7 +1007,7 @@ let match_stmts (m : model) stmts : Scan_cache.entry list =
     [jobs].  Reports are sorted on (file, line, prefix, suggested, found,
     kind) — a total order, so the output is deterministic however it was
     produced. *)
-let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
+let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : model)
     (files : Corpus.file list) : scan_result =
   let cfg = config_of_model m ~jobs ~cap_domains in
   let lang = m.m_lang in
@@ -1032,8 +1032,16 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?cache_dir (m : model)
       Telemetry.count ~by:n_hits "scan_cache.hits";
       Telemetry.count ~by:n_misses "scan_cache.misses"
   | None -> ());
+  (* a caller-owned pool (the serve daemon's, shared across requests)
+     short-circuits the per-call pool lifecycle; otherwise one pool lives
+     for the duration of this scan, as before *)
+  let with_pool f =
+    match pool with
+    | Some _ -> f pool
+    | None -> Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs f
+  in
   let scanned =
-    Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+    with_pool @@ fun pool ->
     let shards =
       Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
     in

@@ -185,7 +185,16 @@ type scan_result = {
     — no mining, no training.  With [cache_dir], per-file reports persist
     under [(model hash, content digest)] keys: unchanged files skip
     parse/analyze/name-path extraction entirely and replay byte-identically
-    at any [jobs].  Deterministic: the report array is totally ordered. *)
+    at any [jobs].  Deterministic: the report array is totally ordered.
+
+    [pool] runs the sharded digest/match phases on a caller-owned domain
+    pool instead of creating one per call — the serve daemon loads a model
+    once and multiplexes every request's scan onto one resident pool.
+    When [pool] is given, [jobs] and [cap_domains] are ignored.  Note that
+    digesting misses grows the global name-path interner; concurrent
+    callers must serialize scans of uncached files (the interner is
+    single-writer — see DESIGN.md §11). *)
 val scan_with_model :
-  ?jobs:int -> ?cap_domains:bool -> ?cache_dir:string -> model -> Corpus.file list ->
+  ?jobs:int -> ?cap_domains:bool -> ?pool:Namer_parallel.Pool.t ->
+  ?cache_dir:string -> model -> Corpus.file list ->
   scan_result

@@ -81,9 +81,16 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
+(* Best-effort and atomic: [Snapshot.write] publishes via temp + rename,
+   so when two processes (the serve daemon and a CLI scan) populate the
+   same [<model-hash>/<md5>.rpt] concurrently, each renames its own
+   complete temp file and a reader can never see a torn interleaving —
+   last rename wins, and both writers produced identical bytes anyway
+   (the entry is a pure function of the key).  Failures only cost the
+   cache entry, never the scan. *)
 let store ~dir ~model_hash ~src_digest entries =
   let path = entry_path ~dir ~model_hash ~src_digest in
   try
     mkdir_p (Filename.dirname path);
     Snapshot.write ~path (encode entries)
-  with Sys_error _ -> Telemetry.count "scan_cache.write_failures"
+  with Sys_error _ | Unix.Unix_error _ -> Telemetry.count "scan_cache.write_failures"

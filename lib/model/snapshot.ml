@@ -58,14 +58,32 @@ let decode ~magic ~desc ~version ?path bytes =
      (sections, Binio.hex64 computed)
    with Binio.R.Corrupt msg -> errf "%s%s is corrupt: %s" desc where msg)
 
+(* Atomic publish: write to a fresh O_EXCL temp file in the target
+   directory, then rename over [path].  Concurrent writers (daemon + CLI
+   populating the same cache entry, background retrain replacing a live
+   model) each rename their own complete temp file, so a reader only ever
+   sees some complete version — never a torn interleaving.  Flush errors
+   must fail the write *before* the rename (renaming a torn temp would
+   publish garbage over a possibly-valid entry), and a failed attempt
+   must not leak its temp file. *)
 let write ~path bytes =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc bytes);
-  Sys.rename tmp path
+  match
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc bytes;
+       flush oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let read_file ~desc ~path =
   match

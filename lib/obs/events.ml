@@ -94,6 +94,7 @@ let current () =
       c
 
 let child c = { c with span = fresh_span () }
+let fresh_id = fresh_span
 
 let with_ctx c f =
   let r = Domain.DLS.get ctx_key in

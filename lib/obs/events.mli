@@ -59,3 +59,10 @@ val with_ctx : ctx -> (unit -> 'a) -> 'a
 
 val set_trace : string -> unit
 (** Override the process trace id (tests; cross-process correlation). *)
+
+val fresh_id : unit -> string
+(** A fresh process-unique hex id from the span counter.  The serve
+    daemon labels connections and requests with these, so every event of
+    one request joins back to its connection without relying on
+    domain-local context (connection handlers are threads that share a
+    domain, where DLS would cross-talk). *)

@@ -241,6 +241,7 @@ let map_list t f xs =
   List.map (function Ok v -> v | Error e -> raise e) (map_list_results t f xs)
 
 let steals t = Atomic.get t.n_steals
+let queued t = Atomic.get t.queued
 let executed t = Array.map Atomic.get t.n_executed
 
 let shutdown t =

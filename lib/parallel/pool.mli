@@ -48,6 +48,11 @@ val map_list_results : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Total successful steals since creation (fairness telemetry). *)
 val steals : t -> int
 
+(** Tasks submitted but not yet taken by a worker — the instantaneous
+    backlog depth.  A long-lived pool shared across request handlers
+    (the serve daemon) exposes this as its queue-pressure signal. *)
+val queued : t -> int
+
 (** Per-worker executed-task counts, index = worker id. *)
 val executed : t -> int array
 

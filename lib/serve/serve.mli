@@ -1,0 +1,140 @@
+(** [namer serve] — a resident scan daemon.
+
+    The train-once / scan-many split (DESIGN.md §8) makes the cold CLI
+    start the dominant cost of a scan: loading a model is ~3 ms and a warm
+    cached scan ~3 ms, yet every [namer scan --model] invocation pays
+    process startup, model load and cache probing from scratch.  The serve
+    daemon loads a {!Namer_core.Namer.model} snapshot {e once} and answers
+    scan requests over a Unix or TCP socket for as long as it lives, so a
+    single resident process sustains hundreds of requests per second.
+
+    {2 Protocol}
+
+    Newline-delimited JSON: the client writes one JSON object per line,
+    the daemon answers each with exactly one JSON line.  A connection is
+    keep-alive — any number of requests may be issued sequentially on it.
+
+    Requests ([op] selects the operation):
+    - [{"op":"scan","dir":DIR}] — scan every model-language file under a
+      server-side directory;
+    - [{"op":"scan","files":[PATH,…]}] — scan server-side files;
+    - [{"op":"scan","sources":[{"path":P,"source":S},…]}] — scan inline
+      sources shipped in the request;
+    - optional [{"max_reports":N}] on any scan caps the rendered report
+      list (the [violations] count stays exact);
+    - [{"op":"status"}] — model identity, counters, pool and latency
+      snapshot;
+    - [{"op":"reload"}] or [{"op":"reload","model":PATH}] — hot-swap the
+      model (see below);
+    - [{"op":"shutdown"}] — acknowledge, then drain and exit.
+
+    Responses always carry [{"ok":true|false}]; failures add
+    [{"code":"bad_request"|"overloaded"|"timeout"|"degraded"|"internal",
+    "error":MSG}].  A scan response mirrors the CLI's
+    [namer scan --model --json] payload field-for-field ([files], [model],
+    [patterns], [violations], [cache_hits], [cache_misses],
+    [files_skipped], [skipped], [reports]), so daemon output is
+    byte-convertible to CLI output ({!Client.cli_json_of_scan},
+    {!Client.cli_text_of_scan} — the serve-smoke CI job diffs them).
+
+    {2 Concurrency and the model lock}
+
+    Each connection is handled by its own thread; scans fan their sharded
+    digest/match phases onto one resident {!Namer_parallel.Pool} shared by
+    every request ([sv_jobs > 1]).  The global name-path interner is
+    single-writer (DESIGN.md §7), so the compute section of scans that
+    digest uncached files — and model loads, which preload the interner —
+    are serialized on one model lock; cache-hit replay, request parsing
+    and response IO run fully concurrently.  The content-addressed scan
+    cache ([sv_cache_dir]) is shared across requests and with concurrent
+    CLI scans (atomic temp+rename publication, DESIGN.md §8).
+
+    {2 Robustness}
+
+    - {e Hot swap}: [reload] loads and validates the new snapshot under
+      the model lock, then atomically swaps the model reference.
+      Requests already in flight finish on the model they captured;
+      every response names the model hash it was computed with, so a
+      request straddling a reload sees exactly one model.  A snapshot
+      that fails validation leaves the old model serving.
+    - {e Backpressure}: at most [sv_max_concurrent] scans are admitted at
+      once; excess scan requests are answered immediately with
+      [code = "overloaded"] instead of queueing without bound.
+    - {e Timeouts}: a connection that stalls mid-request (partial line,
+      no progress for [sv_timeout_ms]) is answered with
+      [code = "timeout"] and closed.  Idle keep-alive connections are
+      not penalized.
+    - {e Per-request isolation}: the [serve.request] fault point and any
+      unexpected handler exception degrade to a structured error
+      response; the daemon stays up (the scan pipeline's own per-file
+      isolation applies inside scans, surfacing as [skipped] entries).
+    - {e Drain}: SIGTERM/SIGINT (via {!request_stop}) stop the accept
+      loop, let in-flight requests finish, close idle connections, and
+      return aggregate {!stats} — which the CLI lands as one [serve] row
+      in the run ledger. *)
+
+(** Where the daemon listens.  [Tcp (host, 0)] binds an ephemeral port —
+    read the resolved endpoint back with {!endpoint}. *)
+type endpoint = Unix_path of string | Tcp of string * int
+
+type config = {
+  sv_model_path : string;  (** snapshot to load and serve *)
+  sv_endpoint : endpoint;
+  sv_cache_dir : string option;
+      (** shared content-addressed report cache (DESIGN.md §8) *)
+  sv_jobs : int;
+      (** worker domains of the resident pool; [<= 1] scans inline *)
+  sv_max_concurrent : int;  (** admitted scans before [overloaded] *)
+  sv_timeout_ms : int;  (** mid-request stall budget per connection *)
+  sv_max_request_bytes : int;  (** request-line size cap *)
+}
+
+val default_config : model_path:string -> endpoint -> config
+(** jobs = recommended domain count, 64 concurrent scans, 30 s timeout,
+    8 MiB request cap, no cache. *)
+
+(** Aggregate counters of one daemon lifetime (the ledger row). *)
+type stats = {
+  st_connections : int;
+  st_requests : int;
+  st_scans : int;
+  st_files : int;  (** files scanned (cache hits included) *)
+  st_reports : int;  (** violation reports returned *)
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_overloaded : int;
+  st_timeouts : int;
+  st_errors : int;  (** bad requests + internal errors *)
+  st_degraded : int;  (** injected-fault responses *)
+  st_reloads : int;
+  st_p50_ms : float;  (** request latency percentiles (recent window) *)
+  st_p99_ms : float;
+  st_uptime_s : float;
+  st_model_hash : string;  (** hash serving at shutdown *)
+}
+
+val stats_json : stats -> Namer_util.Json.t
+(** The ledger [extra] fields for a serve run. *)
+
+type t
+
+val create : config -> t
+(** Load the model, bind and listen.  Replaces a stale Unix socket file,
+    but refuses one another daemon is still accepting on.
+    @raise Namer_model.Snapshot.Error on an unreadable/corrupt snapshot.
+    @raise Unix.Unix_error if the endpoint cannot be bound. *)
+
+val endpoint : t -> endpoint
+(** The bound endpoint, with an ephemeral TCP port resolved. *)
+
+val model_hash : t -> string
+(** Hash of the currently-served model (changes on reload). *)
+
+val serve_forever : t -> stats
+(** Run the accept loop until {!request_stop} (or a [shutdown] request),
+    then drain in-flight requests, close the socket and return the
+    lifetime stats.  Call at most once. *)
+
+val request_stop : t -> unit
+(** Begin a graceful drain; safe to call from a signal handler or any
+    thread, idempotent. *)

@@ -15,8 +15,14 @@
    replaces, and the warm cached scan must hit on every file, parse
    nothing, and reproduce the uncached reports byte-identically.
 
+   Schema-5 runs additionally gate the serve daemon's load test (zero
+   failed requests, all responses identical, rps > 0) and — on a real
+   multicore machine (cores >= 4, effective jobs >= 4) — require the
+   jobs=4 build to be at least 2x faster than jobs=1; on smaller
+   machines the scaling gate is skipped with a notice.
+
    Accepts every baseline schema: the original flat stage map (schema 1)
-   and the {schema: 2|3|4, stages, stages_parallel, ...} envelopes, so
+   and the {schema: 2|..|5, stages, stages_parallel, ...} envelopes, so
    the gate keeps working across baseline refreshes.
 
    Usage: check_bench FRESH.json BASELINE.json *)
@@ -108,10 +114,34 @@ let () =
         fresh_path s
   | Some s -> Printf.printf "speedup: %.2fx (jobs=N vs jobs=1)\n" s
   | None -> ());
-  (* schema >= 4: snapshot-load and scan-cache gates *)
   let fresh_schema =
     match number (assoc "schema" fresh) with Some s -> int_of_float s | None -> 1
   in
+  (* multicore scaling gate: on a machine with real parallelism available
+     (4+ cores, jobs=4 uncapped), the parallel build must be >= 2x faster
+     — break-even is not good enough when 4 domains are burning.  Only
+     schema-5 runs carry a bench whose harness was tuned for this gate. *)
+  (if fresh_schema >= 5 then
+     let cores =
+       match number (assoc "cores" fresh) with Some c -> int_of_float c | None -> 0
+     in
+     match number (assoc "speedup" fresh) with
+     | Some s when cores >= 4 && effective_jobs >= 4 ->
+         if s < 2.0 then
+           fail
+             "%s: jobs=%d build only %.2fx faster than jobs=1 on %d cores (gate: >= \
+              2.0x) — parallel scaling regressed"
+             fresh_path effective_jobs s cores
+         else
+           Printf.printf "multicore scaling: %.2fx at jobs=%d on %d cores (gate >= 2.0x)\n"
+             s effective_jobs cores
+     | Some _ ->
+         Printf.printf
+           "NOTICE: >=2x multicore scaling gate skipped — %d cores, effective jobs %d \
+            (needs >= 4 of both)\n"
+           cores effective_jobs
+     | None -> ());
+  (* schema >= 4: snapshot-load and scan-cache gates *)
   if fresh_schema >= 4 then begin
     let snapshot =
       match assoc "snapshot" fresh with
@@ -152,6 +182,34 @@ let () =
           fresh_path (int_of_float n)
     | Some _ -> ()
     | None -> fail "%s: scan_cache object lacks warm_parse_count" fresh_path
+  end;
+  (* schema >= 5: serve-daemon load-test gates *)
+  if fresh_schema >= 5 then begin
+    let serve =
+      match assoc "serve" fresh with
+      | Some s -> s
+      | None -> fail "%s: schema %d but no serve object" fresh_path fresh_schema
+    in
+    (match assoc "responses_identical" serve with
+    | Some (J.Bool true) -> ()
+    | _ ->
+        fail
+          "%s: concurrent serve responses diverged — requests over the same files \
+           against one model must be identical"
+          fresh_path);
+    (match number (assoc "failed" serve) with
+    | Some 0.0 -> ()
+    | Some n -> fail "%s: %d serve requests failed" fresh_path (int_of_float n)
+    | None -> fail "%s: serve object lacks failed" fresh_path);
+    match
+      ( number (assoc "rps" serve),
+        number (assoc "p50_ms" serve),
+        number (assoc "p99_ms" serve) )
+    with
+    | Some rps, Some p50, Some p99 when rps > 0.0 ->
+        Printf.printf "serve: %.0f req/s, p50 %.2f ms, p99 %.2f ms\n" rps p50 p99
+    | Some rps, _, _ -> fail "%s: serve rps %.2f not positive" fresh_path rps
+    | _ -> fail "%s: serve object lacks rps/p50_ms/p99_ms" fresh_path
   end;
   (* build allocation: a schema>=2 baseline pins it; a 1.5x growth fails *)
   (match

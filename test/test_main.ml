@@ -25,4 +25,5 @@ let () =
       ("model", Test_model.suite);
       ("fixer", Test_fixer.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

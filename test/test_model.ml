@@ -240,6 +240,52 @@ let test_cache_survives_garbage_entry () =
   check_int "garbage entry degrades to exactly one miss" 1 warm.Namer.sr_cache_misses;
   check_string "reports still byte-identical" (reports cold) (reports warm)
 
+(* Concurrent writers racing on one cache entry (the serve daemon and a
+   CLI scan populating the same key): publication is temp + rename, so a
+   reader must only ever see a complete entry — never a torn interleaving
+   and never a decode failure. *)
+let test_cache_concurrent_stores_never_torn () =
+  let module Scan_cache = Namer_core.Scan_cache in
+  let dir = temp_dir "test_cache_race" in
+  let entries =
+    List.init 40 (fun i ->
+        {
+          Scan_cache.e_line = i + 1;
+          e_prefix = Printf.sprintf "prefix_%d" i;
+          e_found = "recieve";
+          e_suggested = "receive";
+          e_kind = "confusing-word";
+        })
+  in
+  let model_hash = "feedfacefeedface" in
+  let src_digest = String.make 32 'a' in
+  let failures = ref [] in
+  let lock = Mutex.create () in
+  let worker _ =
+    Thread.create
+      (fun () ->
+        try
+          for _ = 1 to 25 do
+            Scan_cache.store ~dir ~model_hash ~src_digest entries;
+            match Scan_cache.find ~dir ~model_hash ~src_digest with
+            | Some got when got = entries -> ()
+            | Some _ -> failwith "torn entry read back"
+            | None -> failwith "entry undecodable mid-race"
+          done
+        with e ->
+          Mutex.lock lock;
+          failures := Printexc.to_string e :: !failures;
+          Mutex.unlock lock)
+      ()
+  in
+  let threads = List.init 8 worker in
+  List.iter Thread.join threads;
+  check_string "no torn or undecodable reads under concurrent writers" ""
+    (String.concat "; " !failures);
+  match Scan_cache.find ~dir ~model_hash ~src_digest with
+  | Some got -> check_bool "final entry intact" true (got = entries)
+  | None -> Alcotest.fail "entry missing after the race"
+
 let suite =
   [
     Alcotest.test_case "round trip: save → load → scan identical" `Quick
@@ -258,4 +304,6 @@ let suite =
       test_cache_invalidated_by_model_hash;
     Alcotest.test_case "cache: garbage entry degrades to a miss" `Quick
       test_cache_survives_garbage_entry;
+    Alcotest.test_case "cache: concurrent stores never torn" `Quick
+      test_cache_concurrent_stores_never_torn;
   ]
