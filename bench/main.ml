@@ -190,7 +190,155 @@ let serve_bench (t : Namer.t) (corpus : Corpus.t) ~jobs =
   in
   (json, ok)
 
-let telemetry_bench ~jobs_parallel () =
+(* Paper-scale streaming gates (the schema-6 [scale] object), run FIRST in
+   the process so the top-heap high-water marks below measure the streaming
+   frontend, not the residue of earlier benches.  Generates an on-disk
+   corpus with [Corpus.write_scale] (an N-file corpus is a byte-identical
+   prefix of the 2N one), then:
+   - trains a small in-memory model as the scan instrument;
+   - scans the half corpus at jobs=1 and jobs=N: reports must be
+     byte-identical, and the heap watermark after is the half-scan bound;
+   - scans the full corpus timed (files/sec, per-stage walls): because the
+     watermark is monotonic, the full/half watermark ratio is ~1 exactly
+     when doubling the corpus did not grow peak memory — the streaming
+     contract — and the in-flight source gauge must stay bounded by the
+     worker count, never the corpus;
+   - trains with [build_refs] on the half corpus then the full corpus and
+     applies the same doubling-ratio argument to training. *)
+let scale_bench ~jobs ~n_files () =
+  let module J = Namer_util.Json in
+  let lang = Corpus.Python in
+  Printf.printf "### Scale: streaming frontend, %d generated files ###\n\n" n_files;
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  let tmp = Filename.temp_file "namer_scale" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote tmp))))
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let refs_rev = ref [] and last_dir = ref "" and corpus_bytes = ref 0 in
+  Corpus.write_scale ~lang ~seed:42 ~files_per_repo:50 ~n_files
+    (fun ~repo ~path ~source ->
+      let full = Filename.concat tmp path in
+      let dir = Filename.dirname full in
+      if dir <> !last_dir then begin
+        mkdir_p dir;
+        last_dir := dir
+      end;
+      let oc = open_out_bin full in
+      output_string oc source;
+      close_out oc;
+      corpus_bytes := !corpus_bytes + String.length source;
+      refs_rev := Namer.ref_of_path ~repo ~path ~file:full :: !refs_rev);
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let refs = List.rev !refs_rev in
+  let n_half = n_files / 2 in
+  let half = List.filteri (fun i _ -> i < n_half) refs in
+  let corpus_bytes = !corpus_bytes in
+  Printf.printf "generated %d files (%.0f MB) in %.1fs\n" (List.length refs)
+    (float_of_int corpus_bytes /. 1e6)
+    gen_s;
+  let top_heap_mb () =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8) /. 1e6
+  in
+  (* the scan instrument: a model trained on a small in-memory corpus —
+     its footprint is the baseline watermark the streaming scans must fit
+     inside *)
+  let t_instr =
+    Namer.build
+      { Namer.default_config with Namer.use_classifier = false; jobs }
+      (Corpus.generate { (Corpus.default_config lang) with Corpus.n_repos = 10 })
+  in
+  let m = Namer.model_of t_instr in
+  let seq = Namer.scan_refs ~jobs:1 m half in
+  let par = Namer.scan_refs ~jobs m half in
+  let scan_identical = seq.Namer.sr_reports = par.Namer.sr_reports in
+  let scan_heap_half_mb = top_heap_mb () in
+  Namer.reset_in_flight_peak ();
+  Telemetry.reset ();
+  Telemetry.set_sink Telemetry.Memory;
+  let tf0 = Unix.gettimeofday () in
+  let full_res = Namer.scan_refs ~jobs m refs in
+  let scan_full_s = Unix.gettimeofday () -. tf0 in
+  let scan_stages = Telemetry.stages () in
+  Telemetry.reset ();
+  let scan_heap_full_mb = top_heap_mb () in
+  let in_flight_peak = Namer.in_flight_sources_peak () in
+  let scan_mem_ratio = scan_heap_full_mb /. Float.max 1.0 scan_heap_half_mb in
+  let files_per_sec = float_of_int n_files /. Float.max 1e-9 scan_full_s in
+  Printf.printf
+    "scan: %d files in %.1fs (%.0f files/s, %d reports), half→full top heap %.0f → \
+     %.0f MB (ratio %.2f), %d sources in flight at peak, jobs=1 vs jobs=%d reports \
+     %s\n"
+    n_files scan_full_s files_per_sec
+    (Array.length full_res.Namer.sr_reports)
+    scan_heap_half_mb scan_heap_full_mb scan_mem_ratio in_flight_peak jobs
+    (if scan_identical then "identical" else "DIFFERENT");
+  (* train doubling: half then full, same watermark argument *)
+  let train_cfg n =
+    {
+      Namer.default_config with
+      Namer.use_classifier = false;
+      jobs;
+      miner =
+        {
+          Namer_mining.Miner.default_config with
+          Namer_mining.Miner.min_support = max 5 (n / 20);
+          min_path_freq = max 3 (n / 50);
+        };
+    }
+  in
+  let th0 = Unix.gettimeofday () in
+  ignore (Namer.build_refs (train_cfg n_half) ~lang half);
+  let train_half_s = Unix.gettimeofday () -. th0 in
+  let train_heap_half_mb = top_heap_mb () in
+  let tf0 = Unix.gettimeofday () in
+  let t_full = Namer.build_refs (train_cfg n_files) ~lang refs in
+  let train_full_s = Unix.gettimeofday () -. tf0 in
+  let train_heap_full_mb = top_heap_mb () in
+  let train_mem_ratio = train_heap_full_mb /. Float.max 1.0 train_heap_half_mb in
+  Printf.printf
+    "train: %d files %.1fs → %d files %.1fs (%d patterns), top heap %.0f → %.0f MB \
+     (ratio %.2f)\n\n"
+    n_half train_half_s n_files train_full_s
+    (Namer_pattern.Pattern.Store.size t_full.Namer.store)
+    train_heap_half_mb train_heap_full_mb train_mem_ratio;
+  let ok = scan_identical && files_per_sec > 0.0 in
+  let json =
+    J.Obj
+      [
+        ("files", J.Int n_files);
+        ("corpus_bytes", J.Int corpus_bytes);
+        ("gen_s", J.Float gen_s);
+        ("scan_full_s", J.Float scan_full_s);
+        ("files_per_sec", J.Float files_per_sec);
+        ("reports", J.Int (Array.length full_res.Namer.sr_reports));
+        ("reports_identical", J.Bool scan_identical);
+        ("scan_heap_half_mb", J.Float scan_heap_half_mb);
+        ("scan_heap_full_mb", J.Float scan_heap_full_mb);
+        ("scan_mem_ratio", J.Float scan_mem_ratio);
+        ("train_half_s", J.Float train_half_s);
+        ("train_full_s", J.Float train_full_s);
+        ("train_heap_half_mb", J.Float train_heap_half_mb);
+        ("train_heap_full_mb", J.Float train_heap_full_mb);
+        ("train_mem_ratio", J.Float train_mem_ratio);
+        ("in_flight_sources_peak", J.Int in_flight_peak);
+        ("digest_batch", J.Int Namer.default_config.Namer.digest_batch);
+        ("jobs", J.Int jobs);
+        ("stages_scan", Telemetry.stages_to_json scan_stages);
+      ]
+  in
+  (json, ok)
+
+let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok) () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
   let corpus =
     Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 15 }
@@ -271,7 +419,7 @@ let telemetry_bench ~jobs_parallel () =
     (J.to_string ~indent:2
        (J.Obj
           [
-            ("schema", J.Int 5);
+            ("schema", J.Int 6);
             ("cores", J.Int (Domain.recommended_domain_count ()));
             ("cap_domains", J.Bool Namer.default_config.Namer.cap_domains);
             ("jobs_parallel", J.Int jobs_parallel);
@@ -281,6 +429,7 @@ let telemetry_bench ~jobs_parallel () =
             ("snapshot", snapshot_json);
             ("scan_cache", cache_json);
             ("serve", serve_json);
+            ("scale", scale_json);
             ("stages", Telemetry.stages_to_json stages_seq);
             ("stages_parallel", Telemetry.stages_to_json stages_par);
             ("micro", J.Obj (List.map (fun (name, ns) -> (name, J.Float ns)) micro));
@@ -309,7 +458,7 @@ let telemetry_bench ~jobs_parallel () =
             ("peak_rss_kb", J.Int (Ledger.peak_rss_kb ()));
           ])
    with Sys_error _ | Unix.Unix_error _ -> ());
-  if not (reports_identical && cache_identical && serve_ok) then exit 1
+  if not (reports_identical && cache_identical && serve_ok && scale_ok) then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -325,7 +474,11 @@ let () =
   let quick = flag "--quick" in
   let scale = if quick then Exp.Quick else Exp.Full in
   if flag "--telemetry" then begin
-    telemetry_bench ~jobs_parallel:(opt_int "--jobs" 4) ();
+    let jobs_parallel = opt_int "--jobs" 4 in
+    (* scale first: its heap high-water marks must not inherit the
+       telemetry builds' footprint *)
+    let scale = scale_bench ~jobs:jobs_parallel ~n_files:(opt_int "--scale-files" 20_000) () in
+    telemetry_bench ~jobs_parallel ~scale ();
     exit 0
   end;
   if flag "--perf" then begin

@@ -255,16 +255,17 @@ let jobs_arg =
                  machine's recommended domain count).  Any value produces \
                  byte-identical reports; 1 disables parallelism.")
 
-(* common ledger fields for a run over a concrete file set *)
-let corpus_fields ~jobs (files : Corpus.file list) =
+(* common ledger fields for a run over a concrete file set; sources are
+   hashed one at a time through the refs, never held together *)
+let refs_fields ~jobs (refs : Namer.file_ref list) =
   [
     ("jobs", J.Int jobs);
     ("domains", J.Int (min jobs (Domain.recommended_domain_count ())));
-    ("files", J.Int (List.length files));
+    ("files", J.Int (List.length refs));
     ( "corpus_digest",
       J.String
-        (Ledger.source_digest
-           (List.map (fun (f : Corpus.file) -> (f.Corpus.path, f.Corpus.source)) files))
+        (Ledger.source_digest_refs
+           (List.map (fun (r : Namer.file_ref) -> (r.Namer.fr_path, r.Namer.fr_load)) refs))
     );
   ]
 
@@ -286,6 +287,49 @@ let generate lang repos seed out =
     (Corpus.lang_name lang)
     (List.length corpus.Corpus.injections)
     out
+
+(* ---------------- corpus (paper scale, streaming) ---------------- *)
+
+let corpus_gen lang files files_per_repo seed out =
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 and last_dir = ref "" in
+  Corpus.write_scale ~lang ~seed ~files_per_repo ~n_files:files
+    (fun ~repo:_ ~path ~source ->
+      let full = Filename.concat out path in
+      let dir = Filename.dirname full in
+      if dir <> !last_dir then begin
+        mkdir_p dir;
+        last_dir := dir
+      end;
+      let oc = open_out_bin full in
+      output_string oc source;
+      close_out oc;
+      incr n;
+      if !n mod 10_000 = 0 then progress "  …%d files" !n);
+  progress "wrote %d %s files under %s in %.1fs" !n (Corpus.lang_name lang) out
+    (Unix.gettimeofday () -. t0)
+
+let corpus_cmd =
+  let files =
+    Arg.(value & opt int 20_000 & info [ "files" ] ~docv:"N"
+           ~doc:"Number of files to generate.")
+  in
+  let files_per_repo =
+    Arg.(value & opt int 50 & info [ "files-per-repo" ] ~docv:"N"
+           ~doc:"Files per synthetic repository.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
+           ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Generate a paper-scale corpus on disk, streaming one file at a \
+             time: an N-file corpus is a byte-identical prefix of a larger \
+             one with the same seed, and generation never holds the corpus \
+             in memory.")
+    Term.(const corpus_gen $ lang_arg $ files $ files_per_repo $ seed $ out)
 
 let generate_cmd =
   let repos =
@@ -315,23 +359,20 @@ let rec walk_files dir =
          let path = Filename.concat dir entry in
          if Sys.is_directory path then walk_files path else [ path ])
 
-let collect_files lang dir =
+(* Streaming collection: name the files, don't read them — the pipeline
+   loads each one on a worker domain when its batch is digested. *)
+let collect_refs lang dir =
   let ext = match lang with Corpus.Python -> ".py" | Corpus.Java -> ".java" in
-  let files =
+  let refs =
     walk_files dir
     |> List.filter (fun p -> Filename.check_suffix p ext)
-    |> List.map (fun path ->
-           {
-             Corpus.repo = dir;
-             path;
-             source = read_file path;
-           })
+    |> List.map (fun path -> Namer.ref_of_path ~repo:dir ~path ~file:path)
   in
-  if files = [] then begin
+  if refs = [] then begin
     progress_err "no %s files under %s" ext dir;
     exit 1
   end;
-  files
+  refs
 
 (* Per-file failure isolation surfaced to the operator: a scan or train
    that dropped files still succeeded, but degraded — say so, per file,
@@ -378,11 +419,10 @@ let self_mining_config ~n_files ~jobs =
 
 let train lang dir jobs model_path obs =
   let finish = obs_setup ~cmd:"train" obs in
-  let files = collect_files lang dir in
-  progress "mining %d files…" (List.length files);
-  let corpus = { Corpus.lang; files; injections = []; benigns = []; commits = [] } in
-  let cfg = self_mining_config ~n_files:(List.length files) ~jobs in
-  let t = Namer.build cfg corpus in
+  let refs = collect_refs lang dir in
+  progress "mining %d files…" (List.length refs);
+  let cfg = self_mining_config ~n_files:(List.length refs) ~jobs in
+  let t = Namer.build_refs cfg ~lang refs in
   report_skipped t.Namer.skipped;
   let m = Namer.save_model t ~path:model_path in
   progress "saved model %s (%d patterns, %d bytes) to %s" m.Namer.m_hash
@@ -391,7 +431,7 @@ let train lang dir jobs model_path obs =
     model_path;
   finish
     ~extra:
-      (corpus_fields ~jobs files
+      (refs_fields ~jobs refs
       @ [
           ("model_hash", J.String m.Namer.m_hash);
           ("skipped", J.Int (List.length t.Namer.skipped));
@@ -426,9 +466,9 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
       progress_err "error: %s" msg;
       exit 1
   in
-  let files = collect_files m.Namer.m_lang dir in
-  progress "scanning %d files against model %s…" (List.length files) m.Namer.m_hash;
-  let result = Namer.scan_with_model ~jobs ?cache_dir m files in
+  let refs = collect_refs m.Namer.m_lang dir in
+  progress "scanning %d files against model %s…" (List.length refs) m.Namer.m_hash;
+  let result = Namer.scan_refs ~jobs ?cache_dir m refs in
   (match cache_dir with
   | Some _ ->
       let total = result.Namer.sr_cache_hits + result.Namer.sr_cache_misses in
@@ -439,10 +479,19 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
   | None -> ());
   progress "%d potential naming issues" (Array.length result.Namer.sr_reports);
   report_skipped result.Namer.sr_skipped;
-  let sources = Hashtbl.create 256 in
-  List.iter (fun (f : Corpus.file) -> Hashtbl.replace sources f.Corpus.path f.Corpus.source) files;
+  (* listings re-read files on demand; reports are file-sorted, so one
+     cached entry means one read per distinct file *)
+  let last_read = ref None in
   let source_line (r : Namer.report) =
-    match Hashtbl.find_opt sources r.Namer.r_file with
+    let src =
+      match !last_read with
+      | Some (f, src) when f = r.Namer.r_file -> src
+      | _ ->
+          let src = try Some (read_file r.Namer.r_file) with _ -> None in
+          last_read := Some (r.Namer.r_file, src);
+          src
+    in
+    match src with
     | Some src -> (
         match List.nth_opt (String.split_on_char '\n' src) (r.Namer.r_line - 1) with
         | Some l -> String.trim l
@@ -468,7 +517,7 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
       (J.to_string ~indent:2
          (J.Obj
             [
-              ("files", J.Int (List.length files));
+              ("files", J.Int (List.length refs));
               ("model", J.String m.Namer.m_hash);
               ("patterns", J.Int (Namer_pattern.Pattern.Store.size m.Namer.m_store));
               ("violations", J.Int (Array.length result.Namer.sr_reports));
@@ -486,7 +535,7 @@ let scan_with_model ~model_path ~cache_dir ~dir ~jobs ~max_reports ~json =
           Printf.printf "%s:%d: %s\n    suggested fix: %s -> %s\n" r.Namer.r_file
             r.Namer.r_line (source_line r) r.Namer.r_found r.Namer.r_suggested)
       result.Namer.sr_reports;
-  corpus_fields ~jobs files
+  refs_fields ~jobs refs
   @ [
       ("model_hash", J.String m.Namer.m_hash);
       ( "cache",
@@ -515,20 +564,11 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
     progress_err "error: --cache-dir requires --model (cached reports are keyed by model hash)";
     exit 1
   end;
-  let files = collect_files lang dir in
+  let refs = collect_refs lang dir in
   (* progress goes to stderr so --json leaves stdout machine-readable *)
-  progress "scanning %d files…" (List.length files);
-  let corpus =
-    {
-      Corpus.lang;
-      files;
-      injections = [];
-      benigns = [];
-      commits = [];
-    }
-  in
-  let cfg = self_mining_config ~n_files:(List.length files) ~jobs in
-  let t = Namer.build ?patterns:(Option.map (fun p -> Namer_pattern.Pattern_io.load ~path:p) load_patterns) cfg corpus in
+  progress "scanning %d files…" (List.length refs);
+  let cfg = self_mining_config ~n_files:(List.length refs) ~jobs in
+  let t = Namer.build_refs ?patterns:(Option.map (fun p -> Namer_pattern.Pattern_io.load ~path:p) load_patterns) cfg ~lang refs in
   (match save_patterns with
   | Some path ->
       Namer_pattern.Pattern_io.save t.Namer.store ~path;
@@ -557,7 +597,7 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
        (J.to_string ~indent:2
           (J.Obj
              [
-               ("files", J.Int (List.length files));
+               ("files", J.Int (List.length refs));
                ("patterns", J.Int (Pattern.Store.size t.Namer.store));
                ("violations", J.Int (Array.length t.Namer.violations));
                ("files_skipped", J.Int (List.length t.Namer.skipped));
@@ -607,7 +647,7 @@ let scan lang dir jobs max_reports save_patterns load_patterns model_path cache_
   end;
   finish
     ~extra:
-      (corpus_fields ~jobs files
+      (refs_fields ~jobs refs
       @ [
           ("patterns", J.Int (Pattern.Store.size t.Namer.store));
           ("reports", J.Int (Array.length t.Namer.violations));
@@ -976,6 +1016,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; train_cmd; scan_cmd; serve_cmd; demo_cmd; fuzz_cmd;
-            stats_cmd; report_cmd;
+            generate_cmd; corpus_cmd; train_cmd; scan_cmd; serve_cmd; demo_cmd;
+            fuzz_cmd; stats_cmd; report_cmd;
           ]))

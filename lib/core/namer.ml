@@ -58,6 +58,13 @@ type config = {
           oversubscribing domains beyond cores makes OCaml 5 slower
           (stop-the-world minor GCs) without changing any result.  Tests
           that need real domains on small machines switch it off. *)
+  digest_batch : int;
+      (** files per streaming digest batch: sources and ASTs live only
+          while their batch is in flight, so peak frontend memory is
+          O(batch × jobs) however large the corpus.  Results are
+          bit-identical for every value — batches are contiguous corpus
+          slices merged in order, so the global interning order is the
+          sequential first-seen order regardless of batching. *)
 }
 
 let default_config =
@@ -77,6 +84,7 @@ let default_config =
     seed = 7;
     jobs = 1;
     cap_domains = true;
+    digest_batch = 1024;
   }
 
 (** One scanned statement: digest plus everything feature extraction and
@@ -116,7 +124,7 @@ type t = {
   cv_reports : (Namer_ml.Pipeline.algo * Namer_ml.Pipeline.cv_report) list;
   training_set : (int, unit) Hashtbl.t;  (** violation indices used for training *)
   oracle : Corpus.Oracle.t;
-  sources : (string, string) Hashtbl.t;  (** file → source, for report listings *)
+  source_of : string -> string option;  (** file → source, for report listings *)
   (* corpus statistics (§5.2/§5.3 "Statistics on pattern mining") *)
   n_stmts : int;
   n_files : int;
@@ -136,21 +144,84 @@ module Log = (val Logs.src_log log)
 (* Digesting a corpus                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () :
-    scanned_stmt list * skipped option =
-  let skip reason =
-    Telemetry.count "scan.files_skipped";
-    Log.warn (fun m -> m "skipping file %s: %s" file.Corpus.path reason);
-    Events.emit
-      ~fields:
-        [
-          ("file", Namer_util.Json.String file.Corpus.path);
-          ("reason", Namer_util.Json.String reason);
-        ]
-      Events.Warn "scan.file_skipped";
-    ([], Some { sk_file = file.Corpus.path; sk_reason = reason })
+(** A file by reference: the streaming frontend's unit of input.  The
+    source is produced by [fr_load] *inside* the digest worker and dropped
+    as soon as the file's name paths are extracted — a corpus of file
+    references costs a few words per file, not its bytes. *)
+type file_ref = { fr_repo : string; fr_path : string; fr_load : unit -> string }
+
+let ref_of_file (f : Corpus.file) : file_ref =
+  { fr_repo = f.Corpus.repo; fr_path = f.Corpus.path;
+    fr_load = (fun () -> f.Corpus.source) }
+
+let ref_of_path ~repo ~path ~file : file_ref =
+  {
+    fr_repo = repo;
+    fr_path = path;
+    fr_load =
+      (fun () ->
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+  }
+
+(* Streaming-contract gauge: how many loaded sources are resident at once
+   across all domains.  The bounded-memory test asserts the high-water
+   mark stays O(batch), never O(corpus). *)
+let in_flight = Atomic.make 0
+let in_flight_peak = Atomic.make 0
+
+let gauge_enter () =
+  let v = Atomic.fetch_and_add in_flight 1 + 1 in
+  let rec bump () =
+    let p = Atomic.get in_flight_peak in
+    if v > p && not (Atomic.compare_and_set in_flight_peak p v) then bump ()
   in
-  match Frontend.parse_file_res lang ~use_analysis:cfg.use_analysis file.Corpus.source with
+  bump ()
+
+let gauge_exit () = ignore (Atomic.fetch_and_add in_flight (-1))
+
+let reset_in_flight_peak () =
+  Atomic.set in_flight 0;
+  Atomic.set in_flight_peak 0
+
+let in_flight_sources_peak () = Atomic.get in_flight_peak
+
+(* [chunk n xs] splits [xs] into consecutive slices of [n] (last one may be
+   shorter) — the streaming batch plan.  Contiguity is what makes batching
+   invisible to interning: first-seen order over the concatenation of
+   contiguous slices is first-seen order over the whole sequence. *)
+let chunk n xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let batch, rest = take n [] xs in
+        go (batch :: acc) rest
+  in
+  go [] xs
+
+let skip_file ~path reason =
+  Telemetry.count "scan.files_skipped";
+  Log.warn (fun m -> m "skipping file %s: %s" path reason);
+  Events.emit
+    ~fields:
+      [
+        ("file", Namer_util.Json.String path);
+        ("reason", Namer_util.Json.String reason);
+      ]
+    Events.Warn "scan.file_skipped";
+  ([], Some { sk_file = path; sk_reason = reason })
+
+let digest_source ?table ~cfg ~lang ~repo ~path source :
+    scanned_stmt list * skipped option =
+  let skip reason = skip_file ~path reason in
+  match Frontend.parse_file_res lang ~use_analysis:cfg.use_analysis source with
   | Error reason -> skip reason
   | Ok parsed -> (
       (* AST+ transformation (origin decoration), then name-path extraction —
@@ -177,8 +248,8 @@ let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () :
             {
               sctx =
                 {
-                  Features.file = file.Corpus.path;
-                  repo = file.Corpus.repo;
+                  Features.file = path;
+                  repo;
                   file_id = -1;
                   repo_id = -1;
                   tree_hash = Tree.hash s.tree;
@@ -193,6 +264,20 @@ let digest_file ?table ~cfg ~lang ~(file : Corpus.file) () :
       | stmts -> (stmts, None)
       | exception Out_of_memory -> raise Out_of_memory
       | exception e -> skip (Printexc.to_string e))
+
+(** Load and digest one file reference.  The source exists only between
+    [fr_load] and the return — the heart of the streaming contract; a read
+    failure is per-file degradation like any parse failure. *)
+let digest_file ?table ~cfg ~lang ~(file : file_ref) () :
+    scanned_stmt list * skipped option =
+  match file.fr_load () with
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e -> skip_file ~path:file.fr_path (Printexc.to_string e)
+  | source ->
+      gauge_enter ();
+      Fun.protect ~finally:gauge_exit (fun () ->
+          digest_source ?table ~cfg ~lang ~repo:file.fr_repo ~path:file.fr_path
+            source)
 
 (* ------------------------------------------------------------------ *)
 (* Building the system                                                 *)
@@ -222,8 +307,8 @@ module Pairs_acc = struct
   let merge = Confusing_pairs.merge
 end
 
-let mine_pairs ?pool ~shards ~cfg ~lang (corpus : Corpus.t) =
-  if corpus.Corpus.commits = [] then begin
+let mine_pairs ?pool ~shards ~cfg ~lang ~commits () =
+  if commits = [] then begin
     let pairs = Confusing_pairs.create () in
     List.iter
       (fun p -> Confusing_pairs.add_pair ~count:cfg.pair_min_count pairs p)
@@ -249,7 +334,7 @@ let mine_pairs ?pool ~shards ~cfg ~lang (corpus : Corpus.t) =
               | _ -> ())
             commits;
           local)
-        corpus.Corpus.commits
+        commits
     in
     Confusing_pairs.prune pairs ~min_count:cfg.pair_min_count
   end
@@ -312,22 +397,28 @@ let train_classifier ~(cfg : config) ~prng ~(violations : violation array) ~grad
     plan is deterministic and every merge happens in shard order over
     commutative accumulators, so a [jobs = N] build is bit-identical to a
     [jobs = 1] build — only wall-clock changes. *)
-let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
+let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
+    ~oracle ~source_of : t =
   Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
   let shards =
     Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
   in
   Telemetry.with_span "build" @@ fun () ->
-  let lang = corpus.Corpus.lang in
+  let n_files = List.length refs in
   let prng = Prng.create cfg.seed in
-  (* 1. digest every file: parse → analyze → AST+ → name paths, each shard
-     (contiguous, repo-aligned) on its own domain.  Flattening the
-     per-shard statement lists in shard order reproduces the sequential
-     statement order exactly, which everything downstream depends on.
-     With a pool, each shard interns name paths into its own local table —
-     worker domains never touch the shared one — and the tables merge into
-     the global id space in shard order afterwards, reproducing the exact
-     id assignment of the sequential pass. *)
+  (* 1. digest every file: load → parse → analyze → AST+ → name paths.
+     Files stream through in bounded batches of [cfg.digest_batch]: a batch
+     is read, digested and dropped before the next one is touched, so at
+     most O(batch) sources and ASTs are ever resident — never the corpus.
+     Within a batch each shard (contiguous, repo-aligned) runs on its own
+     domain; flattening the per-shard statement lists in shard order, batch
+     after batch, reproduces the sequential statement order exactly, which
+     everything downstream depends on.  With a pool, each shard interns
+     name paths into its own local table — worker domains never touch the
+     shared one — and the tables merge into the global id space in shard
+     order afterwards.  Batches and shards are both contiguous slices of
+     the corpus sequence merged in order, so the first-seen id assignment
+     equals the sequential one for every [digest_batch] and [jobs]. *)
   let digest_shard ?table files =
     let skips_rev = ref [] in
     let stmts =
@@ -340,47 +431,49 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     in
     (stmts, List.rev !skips_rev)
   in
-  let stmts, skipped =
-    match pool with
-    | None ->
-        let parts =
-          Accumulator.sharded_map ~shards
-            ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
-            (fun files -> digest_shard files)
-            corpus.Corpus.files
-        in
-        (List.concat_map fst parts, List.concat_map snd parts)
-    | Some _ ->
-        let parts =
-          Accumulator.sharded_map ?pool ~shards
-            ~key:(fun (f : Corpus.file) -> f.Corpus.repo)
-            (fun files ->
-              let table = Namepath.Interned.create_table () in
-              let stmts, skips = digest_shard ~table files in
-              (table, stmts, skips))
-            corpus.Corpus.files
-        in
-        Telemetry.with_span "digest:remap" @@ fun () ->
-        let stmts =
-          List.concat_map
-            (fun (table, shard_stmts, _) ->
+  let stmts_rev = ref [] and skips_rev = ref [] in
+  List.iter
+    (fun batch ->
+      match pool with
+      | None ->
+          List.iter
+            (fun file ->
+              let stmts, skip = digest_file ~cfg ~lang ~file () in
+              stmts_rev := List.rev_append stmts !stmts_rev;
+              Option.iter (fun k -> skips_rev := k :: !skips_rev) skip)
+            batch
+      | Some _ ->
+          let parts =
+            Accumulator.sharded_map ?pool ~shards
+              ~key:(fun r -> r.fr_repo)
+              (fun files ->
+                let table = Namepath.Interned.create_table () in
+                let stmts, skips = digest_shard ~table files in
+                (table, stmts, skips))
+              batch
+          in
+          Telemetry.with_span "digest:remap" @@ fun () ->
+          List.iter
+            (fun (table, shard_stmts, shard_skips) ->
               let m = Namepath.Interned.remap_into_global table in
-              List.map
-                (fun s -> { s with digest = Pattern.Stmt_paths.remap m s.digest })
-                shard_stmts)
-            parts
-        in
-        (stmts, List.concat_map (fun (_, _, skips) -> skips) parts)
-  in
+              List.iter
+                (fun s ->
+                  stmts_rev :=
+                    { s with digest = Pattern.Stmt_paths.remap m s.digest }
+                    :: !stmts_rev)
+                shard_stmts;
+              skips_rev := List.rev_append shard_skips !skips_rev)
+            parts)
+    (chunk (max 1 cfg.digest_batch) refs);
+  let stmts = List.rev !stmts_rev and skipped = List.rev !skips_rev in
   if skipped <> [] then begin
     Log.warn (fun m ->
-        m "degraded: skipped %d of %d files" (List.length skipped)
-          (List.length corpus.Corpus.files));
+        m "degraded: skipped %d of %d files" (List.length skipped) n_files);
     Events.emit
       ~fields:
         [
           ("skipped", Namer_util.Json.Int (List.length skipped));
-          ("total", Namer_util.Json.Int (List.length corpus.Corpus.files));
+          ("total", Namer_util.Json.Int n_files);
         ]
       Events.Warn "build.degraded"
   end;
@@ -404,7 +497,7 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
   (* 2. confusing word pairs from history *)
   let pairs =
     Telemetry.with_span "pair-mining" @@ fun () ->
-    mine_pairs ?pool ~shards ~cfg ~lang corpus
+    mine_pairs ?pool ~shards ~cfg ~lang ~commits ()
   in
   Telemetry.count ~by:(Confusing_pairs.total_pairs pairs) "build.confusing_pairs";
   Log.info (fun m -> m "mined %d confusing pairs" (Confusing_pairs.total_pairs pairs));
@@ -540,7 +633,7 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
      (standing in for the paper's manual labeling). *)
   let oracle, classifier, cv_reports, training_set =
     Telemetry.with_span "classifier" @@ fun () ->
-    let oracle = Corpus.Oracle.of_corpus corpus in
+    let oracle = oracle () in
     let grade_v (v : violation) =
       Corpus.Oracle.grade oracle ~file:v.v_stmt.sctx.Features.file ~line:v.v_stmt.line
         ~found:v.v_info.Pattern.found ~suggested:v.v_info.Pattern.suggested
@@ -551,12 +644,8 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     in
     (oracle, classifier, cv_reports, training_set)
   in
-  let sources = Hashtbl.create 256 in
-  List.iter
-    (fun (f : Corpus.file) -> Hashtbl.replace sources f.Corpus.path f.Corpus.source)
-    corpus.Corpus.files;
   let repos = Hashtbl.create 64 in
-  List.iter (fun (f : Corpus.file) -> Hashtbl.replace repos f.Corpus.repo ()) corpus.Corpus.files;
+  List.iter (fun r -> Hashtbl.replace repos r.fr_repo ()) refs;
   {
     cfg;
     lang;
@@ -568,15 +657,47 @@ let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
     cv_reports;
     training_set;
     oracle;
-    sources;
+    source_of;
     n_stmts = List.length stmts;
-    n_files = List.length corpus.Corpus.files;
+    n_files;
     n_repos = Hashtbl.length repos;
     n_files_violating = Hashtbl.length violating_files;
     n_repos_violating = Hashtbl.length violating_repos;
     n_candidates;
     skipped;
   }
+
+(** [build cfg corpus] — the in-memory entry point: digest a generated
+    corpus whose sources are already resident.  Report listings and the
+    oracle read straight from the corpus. *)
+let build ?patterns (cfg : config) (corpus : Corpus.t) : t =
+  let sources = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Corpus.file) -> Hashtbl.replace sources f.Corpus.path f.Corpus.source)
+    corpus.Corpus.files;
+  build_core ?patterns cfg ~lang:corpus.Corpus.lang
+    ~refs:(List.map ref_of_file corpus.Corpus.files)
+    ~commits:corpus.Corpus.commits
+    ~oracle:(fun () -> Corpus.Oracle.of_corpus corpus)
+    ~source_of:(Hashtbl.find_opt sources)
+
+(** [build_refs cfg ~lang refs] — the streaming entry point: digest files
+    lazily through their [fr_load] thunks, never holding more than one
+    batch of sources.  No commit history (builtin confusing pairs) and an
+    empty oracle, exactly like training on unlabeled on-disk files; report
+    listings re-read the file on demand. *)
+let build_refs ?patterns (cfg : config) ~lang (refs : file_ref list) : t =
+  let loaders = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace loaders r.fr_path r.fr_load) refs;
+  let empty =
+    { Corpus.lang; files = []; injections = []; benigns = []; commits = [] }
+  in
+  build_core ?patterns cfg ~lang ~refs ~commits:[]
+    ~oracle:(fun () -> Corpus.Oracle.of_corpus empty)
+    ~source_of:(fun path ->
+      match Hashtbl.find_opt loaders path with
+      | None -> None
+      | Some load -> ( try Some (load ()) with _ -> None))
 
 (** [retrain t ~seed] re-draws the labeled training sample and re-trains
     the classifier (mining and scanning are untouched).  Used by the bench
@@ -628,7 +749,7 @@ let sample_violations ?(filter = fun (_ : violation) -> true) (t : t) ~n ~seed =
 
 (** The source line of a violation (for example listings). *)
 let source_line (t : t) (v : violation) =
-  match Hashtbl.find_opt t.sources v.v_stmt.sctx.Features.file with
+  match t.source_of v.v_stmt.sctx.Features.file with
   | Some src -> (
       match List.nth_opt (String.split_on_char '\n' src) (v.v_stmt.line - 1) with
       | Some l -> String.trim l
@@ -998,40 +1119,23 @@ let match_stmts (m : model) stmts : Scan_cache.entry list =
          })
   |> List.sort compare
 
-(** [scan_with_model m files] reports the violations of [files] against a
-    trained model: digest (parse → analyze → AST+ → name paths) only, no
-    mining, no training — the paper's "w/o C" reporting shape, like the
-    CLI's self-mining scan.  With [cache_dir], per-file reports are
-    persisted keyed by (model hash, content digest): files whose entry is
-    present skip digesting entirely and replay byte-identically, at any
-    [jobs].  Reports are sorted on (file, line, prefix, suggested, found,
-    kind) — a total order, so the output is deterministic however it was
-    produced. *)
-let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : model)
-    (files : Corpus.file list) : scan_result =
+(** [scan_refs m refs] reports the violations of [refs] against a trained
+    model: digest (parse → analyze → AST+ → name paths) only, no mining, no
+    training — the paper's "w/o C" reporting shape, like the CLI's
+    self-mining scan.  Files stream through in bounded batches
+    ([digest_batch]): a file's source is loaded on a worker domain, cache-
+    probed, digested and dropped before the report set is assembled, so
+    peak residency is O(batch × jobs) sources, never the corpus.  With
+    [cache_dir], per-file reports are persisted keyed by (model hash,
+    content digest): files whose entry is present skip digesting entirely
+    and replay byte-identically, at any [jobs].  Reports are sorted on
+    (file, line, prefix, suggested, found, kind) — a total order, so the
+    output is deterministic however it was produced. *)
+let scan_refs ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : model)
+    (refs : file_ref list) : scan_result =
   let cfg = config_of_model m ~jobs ~cap_domains in
   let lang = m.m_lang in
   Telemetry.with_span "scan:model" @@ fun () ->
-  let probed =
-    List.map
-      (fun (f : Corpus.file) ->
-        match cache_dir with
-        | None -> (f, "", None)
-        | Some dir ->
-            let d = Scan_cache.src_digest f.Corpus.source in
-            (f, d, Scan_cache.find ~dir ~model_hash:m.m_hash ~src_digest:d))
-      files
-  in
-  let misses =
-    List.filter_map (fun (f, d, hit) -> if hit = None then Some (f, d) else None) probed
-  in
-  let n_hits = List.length files - List.length misses in
-  let n_misses = match cache_dir with None -> 0 | Some _ -> List.length misses in
-  (match cache_dir with
-  | Some _ ->
-      Telemetry.count ~by:n_hits "scan_cache.hits";
-      Telemetry.count ~by:n_misses "scan_cache.misses"
-  | None -> ());
   (* a caller-owned pool (the serve daemon's, shared across requests)
      short-circuits the per-call pool lifecycle; otherwise one pool lives
      for the duration of this scan, as before *)
@@ -1040,95 +1144,134 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : mode
     | Some _ -> f pool
     | None -> Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs f
   in
-  let scanned =
-    with_pool @@ fun pool ->
-    let shards =
-      Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
-    in
-    (* two-phase, mirroring [build]: sharded digest into local tables,
-       remap into the global id space in shard order, then match sharded —
-       the store and interner are read-only by then *)
-    let digested =
-      match pool with
-      | None ->
-          List.map
-            (fun ((f : Corpus.file), d) ->
-              let stmts, skip = digest_file ~cfg ~lang ~file:f () in
-              (f, d, stmts, skip))
-            misses
-      | Some _ ->
-          let parts =
-            Accumulator.sharded_map ?pool ~shards
-              ~key:(fun ((f : Corpus.file), _) -> f.Corpus.repo)
-              (fun fs ->
-                let table = Namepath.Interned.create_table () in
-                ( table,
-                  List.map
-                    (fun ((f : Corpus.file), d) ->
-                      let stmts, skip = digest_file ~table ~cfg ~lang ~file:f () in
-                      (f, d, stmts, skip))
-                    fs ))
-              misses
-          in
-          Telemetry.with_span "digest:remap" @@ fun () ->
-          List.concat_map
-            (fun (table, shard_files) ->
-              let mp = Namepath.Interned.remap_into_global table in
-              List.map
-                (fun (f, d, stmts, skip) ->
-                  ( f, d,
-                    List.map
-                      (fun s -> { s with digest = Pattern.Stmt_paths.remap mp s.digest })
-                      stmts, skip ))
-                shard_files)
-            parts
-    in
-    Telemetry.with_span "scan" @@ fun () ->
-    Accumulator.sharded_concat_map ?pool ~shards
-      (fun part ->
-        List.map (fun (f, d, stmts, skip) -> (f, d, match_stmts m stmts, skip)) part)
-      digested
+  with_pool @@ fun pool ->
+  let shards =
+    Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
   in
-  let skipped = List.filter_map (fun (_, _, _, skip) -> skip) scanned in
+  (* worker side: load one file, probe the cache on its content digest,
+     digest on a miss — the source lives only inside this call (cache reads
+     are lock-free: entries are content-addressed and written atomically) *)
+  let process ?table (r : file_ref) =
+    match r.fr_load () with
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception e ->
+        let _, skip = skip_file ~path:r.fr_path (Printexc.to_string e) in
+        (r.fr_path, "", `Miss ([], skip))
+    | source -> (
+        gauge_enter ();
+        Fun.protect ~finally:gauge_exit @@ fun () ->
+        match cache_dir with
+        | None ->
+            let stmts, skip =
+              digest_source ?table ~cfg ~lang ~repo:r.fr_repo ~path:r.fr_path source
+            in
+            (r.fr_path, "", `Miss (stmts, skip))
+        | Some dir -> (
+            let d = Scan_cache.src_digest source in
+            match Scan_cache.find ~dir ~model_hash:m.m_hash ~src_digest:d with
+            | Some entries -> (r.fr_path, d, `Hit entries)
+            | None ->
+                let stmts, skip =
+                  digest_source ?table ~cfg ~lang ~repo:r.fr_repo ~path:r.fr_path
+                    source
+                in
+                (r.fr_path, d, `Miss (stmts, skip))))
+  in
+  let n_hits = ref 0 and n_misses = ref 0 in
+  let rows_rev = ref [] in
+  List.iter
+    (fun batch ->
+      (* two-phase, mirroring [build_core]: sharded digest into local
+         tables, remap into the global id space in shard order, then match
+         sharded — the store and interner are read-only by then *)
+      let digested =
+        match pool with
+        | None -> List.map (fun r -> process r) batch
+        | Some _ ->
+            let parts =
+              Accumulator.sharded_map ?pool ~shards
+                ~key:(fun r -> r.fr_repo)
+                (fun rs ->
+                  let table = Namepath.Interned.create_table () in
+                  (table, List.map (process ~table) rs))
+                batch
+            in
+            Telemetry.with_span "digest:remap" @@ fun () ->
+            List.concat_map
+              (fun (table, outs) ->
+                let mp = Namepath.Interned.remap_into_global table in
+                List.map
+                  (fun (path, d, outcome) ->
+                    match outcome with
+                    | `Hit _ as hit -> (path, d, hit)
+                    | `Miss (stmts, skip) ->
+                        ( path, d,
+                          `Miss
+                            ( List.map
+                                (fun s ->
+                                  { s with
+                                    digest = Pattern.Stmt_paths.remap mp s.digest
+                                  })
+                                stmts, skip ) ))
+                  outs)
+              parts
+      in
+      let matched =
+        Telemetry.with_span "scan" @@ fun () ->
+        Accumulator.sharded_concat_map ?pool ~shards
+          (fun part ->
+            List.map
+              (fun (path, d, outcome) ->
+                match outcome with
+                | `Hit entries -> (path, d, entries, None, true)
+                | `Miss (stmts, skip) -> (path, d, match_stmts m stmts, skip, false))
+              part)
+          digested
+      in
+      List.iter
+        (fun ((_, d, entries, skip, was_hit) as row) ->
+          (match cache_dir with
+          | None -> ()
+          | Some dir ->
+              if was_hit then incr n_hits
+              else begin
+                incr n_misses;
+                (* a skipped file is never cached: caching its (empty)
+                   report list would make later warm scans replay it as
+                   cleanly scanned, hiding the degradation — re-attempt it
+                   on every scan instead *)
+                if skip = None then
+                  Scan_cache.store ~dir ~model_hash:m.m_hash ~src_digest:d entries
+              end);
+          rows_rev := row :: !rows_rev)
+        matched)
+    (chunk (max 1 cfg.digest_batch) refs);
+  (match cache_dir with
+  | Some _ ->
+      Telemetry.count ~by:!n_hits "scan_cache.hits";
+      Telemetry.count ~by:!n_misses "scan_cache.misses"
+  | None -> ());
+  let rows = List.rev !rows_rev in
+  let skipped = List.filter_map (fun (_, _, _, skip, _) -> skip) rows in
   if skipped <> [] then begin
     Log.warn (fun msg ->
-        msg "degraded: skipped %d of %d files" (List.length skipped) (List.length files));
+        msg "degraded: skipped %d of %d files" (List.length skipped)
+          (List.length refs));
     Events.emit
       ~fields:
         [
           ("skipped", Namer_util.Json.Int (List.length skipped));
-          ("total", Namer_util.Json.Int (List.length files));
+          ("total", Namer_util.Json.Int (List.length refs));
         ]
       Events.Warn "scan.degraded"
   end;
-  (match cache_dir with
-  | Some dir ->
-      (* a skipped file is never cached: caching its (empty) report list
-         would make later warm scans replay it as cleanly scanned, hiding
-         the degradation — re-attempt it on every scan instead *)
-      List.iter
-        (fun ((_ : Corpus.file), d, entries, skip) ->
-          if skip = None then
-            Scan_cache.store ~dir ~model_hash:m.m_hash ~src_digest:d entries)
-        scanned
-  | None -> ());
-  let computed = Hashtbl.create 64 in
-  List.iter
-    (fun ((f : Corpus.file), _, entries, _) ->
-      Hashtbl.replace computed f.Corpus.path entries)
-    scanned;
   let reports =
     List.concat_map
-      (fun ((f : Corpus.file), _, hit) ->
-        let entries =
-          match hit with
-          | Some e -> e
-          | None -> Option.value (Hashtbl.find_opt computed f.Corpus.path) ~default:[]
-        in
+      (fun (path, _, entries, _, _) ->
         List.map
           (fun (e : Scan_cache.entry) ->
             {
-              r_file = f.Corpus.path;
+              r_file = path;
               r_line = e.Scan_cache.e_line;
               r_prefix = e.Scan_cache.e_prefix;
               r_found = e.Scan_cache.e_found;
@@ -1136,7 +1279,7 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : mode
               r_kind = e.Scan_cache.e_kind;
             })
           entries)
-      probed
+      rows
     |> List.sort (fun a b ->
            compare
              (a.r_file, a.r_line, a.r_prefix, a.r_suggested, a.r_found, a.r_kind)
@@ -1144,5 +1287,11 @@ let scan_with_model ?(jobs = 1) ?(cap_domains = true) ?pool ?cache_dir (m : mode
     |> Array.of_list
   in
   Telemetry.count ~by:(Array.length reports) "scan_model.reports";
-  { sr_reports = reports; sr_cache_hits = n_hits; sr_cache_misses = n_misses;
+  { sr_reports = reports; sr_cache_hits = !n_hits; sr_cache_misses = !n_misses;
     sr_skipped = skipped }
+
+(** [scan_with_model m files] — {!scan_refs} over already-loaded sources
+    (generated corpora, the serve daemon's request bodies, tests). *)
+let scan_with_model ?jobs ?cap_domains ?pool ?cache_dir (m : model)
+    (files : Corpus.file list) : scan_result =
+  scan_refs ?jobs ?cap_domains ?pool ?cache_dir m (List.map ref_of_file files)

@@ -33,6 +33,12 @@ type config = {
           [true]): more domains than cores is a pure pessimization in
           OCaml 5 and results are identical anyway.  Tests that must
           exercise real worker domains on small machines turn it off. *)
+  digest_batch : int;
+      (** files per streaming digest batch (default [1024]).  [build] and
+          {!scan_refs} hold at most one batch of sources and ASTs resident
+          at a time — peak memory is O(batch × jobs), never O(corpus) —
+          and every value produces bit-identical results (batches are
+          contiguous corpus slices merged in order). *)
 }
 
 val default_config : config
@@ -73,7 +79,9 @@ type t = {
   cv_reports : (Namer_ml.Pipeline.algo * Namer_ml.Pipeline.cv_report) list;
   training_set : (int, unit) Hashtbl.t;
   oracle : Corpus.Oracle.t;
-  sources : (string, string) Hashtbl.t;
+  source_of : string -> string option;
+      (** file → source for report listings; streaming builds re-read the
+          file on demand instead of pinning the corpus in memory *)
   n_stmts : int;
   n_files : int;
   n_repos : int;
@@ -86,6 +94,32 @@ type t = {
 (** Confusing pairs used when a corpus has no commit history. *)
 val builtin_pairs : Corpus.lang -> (string * string) list
 
+(** {1 Streaming file references}
+
+    The frontend never requires a corpus in memory: a {!file_ref} names a
+    file and knows how to load it.  [build]/{!build_refs}/{!scan_refs}
+    stream refs through the digest in bounded batches ([digest_batch]) —
+    the source and AST of a file exist only between its [fr_load] and the
+    end of its digest. *)
+
+type file_ref = {
+  fr_repo : string;  (** shard key — files of one repo stay contiguous *)
+  fr_path : string;
+  fr_load : unit -> string;  (** called once per digest, on a worker domain *)
+}
+
+(** A ref over an already-loaded generated-corpus file. *)
+val ref_of_file : Corpus.file -> file_ref
+
+(** A ref that reads [file] from disk on demand (binary, whole file). *)
+val ref_of_path : repo:string -> path:string -> file:string -> file_ref
+
+(** Streaming-contract gauge (tests): the high-water mark of sources
+    resident in digests since the last reset — O(batch × jobs) bounded. *)
+val reset_in_flight_peak : unit -> unit
+
+val in_flight_sources_peak : unit -> int
+
 (** [build ?patterns cfg corpus] runs the full training pipeline.
     [patterns] short-circuits mining with a pre-mined store (the
     mine-once / scan-many workflow of the CLI).  With [cfg.jobs > 1] the
@@ -93,6 +127,14 @@ val builtin_pairs : Corpus.lang -> (string * string) list
     extraction run sharded on a domain pool, merged deterministically —
     the result is bit-identical to a [jobs = 1] build. *)
 val build : ?patterns:Pattern.Store.t -> config -> Corpus.t -> t
+
+(** [build_refs cfg ~lang refs] — the same pipeline over streaming refs:
+    sources are loaded batch-by-batch and dropped after digesting, so a
+    corpus far larger than memory trains in O(digest_batch × jobs) peak
+    source residency.  No commit history (builtin confusing pairs apply)
+    and an empty oracle — the CLI's on-disk training shape. *)
+val build_refs :
+  ?patterns:Pattern.Store.t -> config -> lang:Corpus.lang -> file_ref list -> t
 
 (** Re-draw the labeled sample and re-train the classifier on the same
     violations (variance reduction for evaluation; the paper averages its
@@ -197,4 +239,13 @@ type scan_result = {
 val scan_with_model :
   ?jobs:int -> ?cap_domains:bool -> ?pool:Namer_parallel.Pool.t ->
   ?cache_dir:string -> model -> Corpus.file list ->
+  scan_result
+
+(** [scan_refs m refs] — the streaming form of {!scan_with_model}: sources
+    are loaded on worker domains batch-by-batch ([digest_batch]), cache-
+    probed, digested and dropped, so scanning a corpus never holds more
+    than O(batch × jobs) sources.  Same determinism and cache contract. *)
+val scan_refs :
+  ?jobs:int -> ?cap_domains:bool -> ?pool:Namer_parallel.Pool.t ->
+  ?cache_dir:string -> model -> file_ref list ->
   scan_result

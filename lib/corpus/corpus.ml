@@ -204,6 +204,38 @@ let generate (cfg : config) : t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Paper-scale streaming generation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_scale ~lang ~seed ~files_per_repo ~n_files emit =
+  let files_per_repo = max 1 files_per_repo in
+  let rates = { Py_gen.issue = 0.02; benign = 0.05 } in
+  let ext = match lang with Python -> ".py" | Java -> ".java" in
+  let emitted = ref 0 and r = ref 0 in
+  while !emitted < n_files do
+    let repo = Printf.sprintf "repo%05d" !r in
+    (* each repo draws from its own PRNG seeded by (seed, repo index) —
+       independent of [n_files] and of every other repo, which is what
+       makes smaller corpora prefixes of larger ones *)
+    let repo_rng = Prng.create (seed + 1 + (!r * 9176)) in
+    let vocab = Vocab.make_slice ~seed:(seed + (!r * 977)) in
+    let f = ref 0 in
+    while !f < files_per_repo && !emitted < n_files do
+      let file_rng = Prng.split repo_rng in
+      let path = Printf.sprintf "%s/src/file%03d%s" repo !f ext in
+      let em =
+        match lang with
+        | Python -> Py_gen.gen_file ~rng:file_rng ~vocab ~rates ~file:path
+        | Java -> Java_gen.gen_file ~rng:file_rng ~vocab ~rates ~file:path
+      in
+      emit ~repo ~path ~source:(Emitter.contents em);
+      incr emitted;
+      incr f
+    done;
+    incr r
+  done
+
+(* ------------------------------------------------------------------ *)
 (* The grading oracle                                                  *)
 (* ------------------------------------------------------------------ *)
 

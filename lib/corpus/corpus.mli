@@ -35,6 +35,17 @@ val default_config : lang -> config
 (** Pure function of [config] (fixed seeds; see DESIGN.md §5). *)
 val generate : config -> t
 
+(** [write_scale ~lang ~seed ~files_per_repo ~n_files emit] streams a
+    paper-scale corpus through [emit] one generated file at a time —
+    nothing is retained, so 100k+ files cost O(1) generator memory.  Each
+    repo draws from a PRNG seeded by (seed, repo index), independent of
+    [n_files], so an [n_files] corpus is a byte-identical prefix of any
+    larger corpus with the same seed — the bounded-memory gates double the
+    corpus without changing a byte of the shared prefix. *)
+val write_scale :
+  lang:lang -> seed:int -> files_per_repo:int -> n_files:int ->
+  (repo:string -> path:string -> source:string -> unit) -> unit
+
 (** Word-boundary, line-targeted application of recorded fixes — used to
     produce commit "after" versions.  Exposed for tests. *)
 val apply_fixes : string -> Issue.injection list -> string

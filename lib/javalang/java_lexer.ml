@@ -1,5 +1,16 @@
 (** Lexer for the Java subset.  Free-form (no layout tokens); line and block
-    comments are skipped; string/char literals keep their unquoted content. *)
+    comments are skipped; string/char literals keep their unquoted content.
+
+    Zero-copy scanner: tokens are recognised as slices of the one shared
+    source buffer and materialised through per-domain
+    {!Namer_util.Lexpool}s that intern each distinct spelling once, so
+    repeated identifiers, keywords and numerals share a single token value
+    and allocate nothing per occurrence.  Literals take one [String.sub];
+    a [Buffer] is built only on the rare escape path.  The emitted token
+    stream is byte-identical to the historical copying lexer (pinned by
+    the golden test against [Ref_lexers.Java]). *)
+
+module Lexpool = Namer_util.Lexpool
 
 type token =
   | Ident of string
@@ -42,9 +53,41 @@ let operators =
     "^"; "?"; ":"; "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "."; "@";
   ]
 
+(* Operators bucketed by first byte, longest first within a bucket (same
+   maximal-munch order as the flat list), each with its pre-built token. *)
+let op_table : (string * token) array array =
+  let t = Array.make 256 [||] in
+  List.iter
+    (fun op ->
+      let i = Char.code op.[0] in
+      t.(i) <- Array.append t.(i) [| (op, Op op) |])
+    operators;
+  t
+
+let mk_ident s = Ident s
+let mk_int s = Int_lit s
+let mk_float s = Float_lit s
+
+(* Per-domain token pools; the word pool is pre-seeded with keywords,
+   which also replaces the old [List.mem] keyword probe. *)
+let word_pool_key : token Lexpool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let p = Lexpool.create () in
+      List.iter (fun kw -> Lexpool.add p kw (Keyword kw)) keywords;
+      p)
+
+let int_pool_key : token Lexpool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Lexpool.create ~max_entries:(1 lsl 15) ())
+
+let float_pool_key : token Lexpool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Lexpool.create ~max_entries:(1 lsl 15) ())
+
 let tokenize src =
   let n = String.length src in
   let pos = ref 0 and line = ref 1 in
+  let words = Domain.DLS.get word_pool_key in
+  let ints = Domain.DLS.get int_pool_key in
+  let floats = Domain.DLS.get float_pool_key in
   let out = ref [] in
   let emit tok = out := { tok; line = !line } :: !out in
   let cur () = if !pos < n then Some src.[!pos] else None in
@@ -52,28 +95,50 @@ let tokenize src =
   let advance () = incr pos in
   let read_escaped quote =
     advance ();
-    let buf = Buffer.create 8 in
-    let rec go () =
-      match cur () with
-      | None -> raise (Lex_error ("unterminated literal", !line))
-      | Some '\\' -> (
-          advance ();
-          match cur () with
-          | None -> raise (Lex_error ("unterminated escape", !line))
-          | Some c ->
-              Buffer.add_char buf
-                (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
-              advance ();
-              go ())
-      | Some c when c = quote -> advance ()
-      | Some '\n' -> raise (Lex_error ("newline in literal", !line))
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
+    (* fast path: scan ahead for the close — no escape, no newline means
+       the content is one slice of the source *)
+    let start = !pos in
+    let j = ref !pos in
+    while
+      !j < n
+      &&
+      let c = String.unsafe_get src !j in
+      c <> quote && c <> '\\' && c <> '\n'
+    do
+      incr j
+    done;
+    if !j < n && src.[!j] = quote then begin
+      let s = String.sub src start (!j - start) in
+      pos := !j + 1;
+      s
+    end
+    else begin
+      (* escape, newline or EOF ahead: byte-at-a-time with a Buffer *)
+      let buf = Buffer.create 8 in
+      Buffer.add_substring buf src start (!j - start);
+      pos := !j;
+      let rec go () =
+        match cur () with
+        | None -> raise (Lex_error ("unterminated literal", !line))
+        | Some '\\' -> (
+            advance ();
+            match cur () with
+            | None -> raise (Lex_error ("unterminated escape", !line))
+            | Some c ->
+                Buffer.add_char buf
+                  (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+                advance ();
+                go ())
+        | Some c when c = quote -> advance ()
+        | Some '\n' -> raise (Lex_error ("newline in literal", !line))
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    end
   in
   let rec loop () =
     match cur () with
@@ -149,30 +214,48 @@ let tokenize src =
               scanning := false
           | _ -> scanning := false
         done;
-        let text = String.sub src start (!pos - start) in
-        emit (if !is_float then Float_lit text else Int_lit text);
+        (* the numeral's classification is a function of its spelling, so
+           int and float spellings each pool consistently *)
+        let len = !pos - start in
+        emit
+          (if !is_float then Lexpool.lookup floats ~src ~off:start ~len ~make:mk_float
+           else Lexpool.lookup ints ~src ~off:start ~len ~make:mk_int);
         loop ()
     | Some c when is_ident_start c ->
         let start = !pos in
         while (match cur () with Some c -> is_ident_char c | None -> false) do
           advance ()
         done;
-        let s = String.sub src start (!pos - start) in
-        emit (if is_keyword s then Keyword s else Ident s);
+        emit (Lexpool.lookup words ~src ~off:start ~len:(!pos - start) ~make:mk_ident);
         loop ()
-    | Some _ -> (
-        let matches op =
-          let l = String.length op in
-          !pos + l <= n && String.sub src !pos l = op
-        in
-        match List.find_opt matches operators with
-        | Some op ->
-            pos := !pos + String.length op;
-            emit (Op op);
-            loop ()
-        | None ->
+    | Some c -> (
+        let bucket = op_table.(Char.code c) in
+        let rec go i =
+          if i >= Array.length bucket then
             raise
-              (Lex_error (Printf.sprintf "unexpected character %C" src.[!pos], !line)))
+              (Lex_error (Printf.sprintf "unexpected character %C" src.[!pos], !line))
+          else
+            let op, tok = bucket.(i) in
+            let l = String.length op in
+            let rest_matches =
+              !pos + l <= n
+              &&
+              let rec eq k =
+                k >= l
+                || Char.equal (String.unsafe_get src (!pos + k))
+                     (String.unsafe_get op k)
+                   && eq (k + 1)
+              in
+              eq 1
+            in
+            if rest_matches then begin
+              pos := !pos + l;
+              emit tok
+            end
+            else go (i + 1)
+        in
+        go 0;
+        loop ())
   in
   loop ();
   emit Eof;

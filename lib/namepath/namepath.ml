@@ -205,6 +205,54 @@ module Interned = struct
 
   let of_paths ?table nps = List.map (fun np -> of_path ?table np) nps
 
+  (** Fused extract-and-intern: the concrete name paths of AST+ [tree] in
+      leaf order, already interned — semantically
+      [of_paths ?table (extract ?limit tree)], with identical dedup,
+      traversal-limit and intern-call order (so id assignment is
+      bit-identical), but each prefix's canonical text is rendered once,
+      incrementally, in a single reused buffer instead of twice via
+      [Printf.sprintf] per step.  This is the digest hot path. *)
+  let extract_tree ?(table = global) ?(limit = 10) (tree : Tree.t) : t list =
+    let out = ref [] and count = ref 0 in
+    let seen_prefix = Hashtbl.create 16 in
+    let pbuf = Buffer.create 128 in
+    let rec go rev_prefix (node : Tree.t) =
+      if !count < limit then
+        if Tree.is_leaf node then begin
+          let prefix_text = Buffer.contents pbuf in
+          if not (Hashtbl.mem seen_prefix prefix_text) then begin
+            Hashtbl.replace seen_prefix prefix_text ();
+            let np =
+              { prefix = List.rev rev_prefix; end_node = Some node.Tree.value }
+            in
+            (* same intern order as {!of_path}: prefix, whole path, end,
+               symbolic path *)
+            let prefix = Interner.intern table.prefixes prefix_text in
+            let e = node.Tree.value in
+            let pid = intern_path table np (prefix_text ^ " " ^ e) in
+            let end_ = intern_end table e in
+            let sym =
+              intern_path table { np with end_node = None } (prefix_text ^ " ϵ")
+            in
+            out := { np; pid; prefix; end_; sym } :: !out;
+            incr count
+          end
+        end
+        else
+          List.iteri
+            (fun i child ->
+              let saved = Buffer.length pbuf in
+              if saved > 0 then Buffer.add_char pbuf ' ';
+              Buffer.add_string pbuf node.Tree.value;
+              Buffer.add_char pbuf ' ';
+              Buffer.add_string pbuf (string_of_int i);
+              go ({ value = node.Tree.value; index = i } :: rev_prefix) child;
+              Buffer.truncate pbuf saved)
+            node.Tree.children
+    in
+    go [] tree;
+    List.rev !out
+
   (* lookup-or-intern against the global table: when the table is frozen,
      unknown strings map to the never-matching sentinel [-2] instead of
      raising — a frozen table means the corpus has been fully interned, so
@@ -333,3 +381,7 @@ module Interned = struct
       sym = m.path_map.(it.sym);
     }
 end
+
+(** Fused fast path: {!extract} and {!Interned.of_paths} in one traversal,
+    rendering each prefix's canonical text exactly once. *)
+let extract_interned = Interned.extract_tree

@@ -85,6 +85,12 @@ module Interned : sig
 
   val of_paths : ?table:table -> path list -> t list
 
+  (** Fused extract-and-intern: semantically
+      [of_paths ?table (extract ?limit tree)] with bit-identical id
+      assignment, but each prefix text rendered once, incrementally — the
+      digest hot path. *)
+  val extract_tree : ?table:table -> ?limit:int -> Namer_tree.Tree.t -> t list
+
   (** Global-table ids for pattern compilation: intern when unfrozen; when
       frozen, unknown strings map to the never-matching sentinel [-2]. *)
   val prefix_id : path -> int
@@ -138,3 +144,7 @@ module Interned : sig
 
   val apply_remap : remap -> t -> t
 end
+
+(** Alias for {!Interned.extract_tree}. *)
+val extract_interned :
+  ?table:Interned.table -> ?limit:int -> Namer_tree.Tree.t -> Interned.t list

@@ -122,3 +122,10 @@ let source_digest files =
     |> List.sort compare
   in
   Digest.to_hex (Digest.string (String.concat "\n" per_file))
+
+let source_digest_refs files =
+  let per_file =
+    List.map (fun (p, load) -> p ^ ":" ^ Digest.to_hex (Digest.string (load ()))) files
+    |> List.sort compare
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" per_file))

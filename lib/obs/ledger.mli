@@ -54,3 +54,8 @@ val source_digest : (string * string) list -> string
 (** Hex digest identifying a scanned input set: MD5 over the sorted
     [(path, MD5 source)] pairs, so the same tree always digests the same
     and any content or path change shows up in the ledger. *)
+
+val source_digest_refs : (string * (unit -> string)) list -> string
+(** {!source_digest} over lazily-loaded sources: each [(path, load)] is
+    read and hashed one file at a time, so the input set never has to be
+    resident at once.  Same digest as {!source_digest} on equal content. *)

@@ -155,8 +155,8 @@ module Stmt_paths = struct
     n_paths : int;
   }
 
-  let of_paths ?table (paths : Namepath.t list) =
-    let ipaths = Array.of_list (I.of_paths ?table paths) in
+  let of_interned (paths : I.t list) =
+    let ipaths = Array.of_list paths in
     let n = Array.length ipaths in
     let ip = Array.make n 0 and ie = Array.make n 0 in
     let k = ref 0 in
@@ -176,7 +176,11 @@ module Stmt_paths = struct
       ipaths;
     { ipaths; index_prefix = Array.sub ip 0 !k; index_end = Array.sub ie 0 !k; n_paths = n }
 
-  let of_tree ?table ?limit tree = of_paths ?table (Namepath.extract ?limit tree)
+  let of_paths ?table (paths : Namepath.t list) = of_interned (I.of_paths ?table paths)
+
+  (* the digest hot path: extract + intern fused into one traversal *)
+  let of_tree ?table ?limit tree =
+    of_interned (Namepath.extract_interned ?table ?limit tree)
   let paths t = Array.to_list (Array.map (fun (it : I.t) -> it.I.np) t.ipaths)
 
   (** End id at [prefix], or [-1] when the prefix does not occur. *)

@@ -4,7 +4,19 @@
     tokens, following the layout algorithm of the CPython reference lexer:
     a stack of indentation widths, with blank and comment-only lines
     ignored, and bracketed (implicit-continuation) regions suppressing
-    layout tokens. *)
+    layout tokens.
+
+    The scanner is zero-copy: tokens are recognised as slices of the one
+    shared source buffer and materialised through a per-domain
+    {!Namer_util.Lexpool} that interns each distinct spelling once —
+    repeated identifiers, keywords and numerals share a single token value
+    and allocate nothing per occurrence.  String literals take one
+    [String.sub] for the whole content; a [Buffer] is built only on the
+    rare escape path.  The emitted token stream is byte-identical to the
+    historical copying lexer (pinned by the golden test against
+    [Ref_lexers.Py]). *)
+
+module Lexpool = Namer_util.Lexpool
 
 type token =
   | Ident of string
@@ -46,9 +58,40 @@ let operators =
     "|"; "^"; "~";
   ]
 
+(* Operators bucketed by first byte, longest first within a bucket (two
+   operators starting with different bytes can never both match at one
+   position, so per-bucket maximal munch equals global maximal munch).
+   Each entry carries its pre-built token: matching an operator allocates
+   nothing. *)
+let op_table : (string * token) array array =
+  let t = Array.make 256 [||] in
+  List.iter
+    (fun op ->
+      let i = Char.code op.[0] in
+      t.(i) <- Array.append t.(i) [| (op, Op op) |])
+    operators;
+  t
+
+let mk_ident s = Ident s
+let mk_number s = Number s
+
+(* Per-domain token pools: lexing domains never contend, and a pool warmed
+   on one file keeps paying on the next.  The word pool is pre-seeded with
+   the keywords, which also replaces the old [List.mem] keyword probe. *)
+let word_pool_key : token Lexpool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let p = Lexpool.create () in
+      List.iter (fun kw -> Lexpool.add p kw (Keyword kw)) keywords;
+      p)
+
+let number_pool_key : token Lexpool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Lexpool.create ~max_entries:(1 lsl 15) ())
+
 let tokenize src =
   let n = String.length src in
   let pos = ref 0 and line = ref 1 in
+  let words = Domain.DLS.get word_pool_key in
+  let numbers = Domain.DLS.get number_pool_key in
   let out = ref [] in
   let emit tok = out := { tok; line = !line } :: !out in
   let indents = ref [ 0 ] in
@@ -96,62 +139,78 @@ let tokenize src =
           done
   in
   (* Triple-quoted strings: scan to the closing delimiter, newlines
-     included (docstrings). *)
+     included (docstrings); the content is one slice of the source. *)
   let read_triple_string quote =
-    advance ();
-    advance ();
-    advance ();
-    let buf = Buffer.create 64 in
-    let rec go () =
-      if !pos + 2 < n && src.[!pos] = quote && src.[!pos + 1] = quote && src.[!pos + 2] = quote
+    pos := !pos + 3;
+    let start = !pos in
+    let rec find () =
+      if
+        !pos + 2 < n
+        && src.[!pos] = quote
+        && src.[!pos + 1] = quote
+        && src.[!pos + 2] = quote
       then begin
-        advance ();
-        advance ();
-        advance ()
+        let content = String.sub src start (!pos - start) in
+        pos := !pos + 3;
+        emit (String content)
       end
-      else
-        match cur () with
-        | None -> raise (Lex_error ("unterminated triple-quoted string", !line))
-        | Some '\n' ->
-            incr line;
-            Buffer.add_char buf '\n';
-            advance ();
-            go ()
-        | Some c ->
-            Buffer.add_char buf c;
-            advance ();
-            go ()
+      else if !pos >= n then
+        raise (Lex_error ("unterminated triple-quoted string", !line))
+      else begin
+        if src.[!pos] = '\n' then incr line;
+        incr pos;
+        find ()
+      end
     in
-    go ();
-    emit (String (Buffer.contents buf))
+    find ()
   in
   let read_string quote =
     if peek 1 = Some quote && peek 2 = Some quote then read_triple_string quote
     else begin
-    advance ();
-    (* opening quote *)
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match cur () with
-      | None -> raise (Lex_error ("unterminated string", !line))
-      | Some '\\' -> (
-          advance ();
+      advance ();
+      (* opening quote; fast path: scan ahead for the close — if nothing
+         needs escape processing the content is one slice *)
+      let start = !pos in
+      let j = ref !pos in
+      while
+        !j < n
+        &&
+        let c = String.unsafe_get src !j in
+        c <> quote && c <> '\\' && c <> '\n'
+      do
+        incr j
+      done;
+      if !j < n && src.[!j] = quote then begin
+        emit (String (String.sub src start (!j - start)));
+        pos := !j + 1
+      end
+      else begin
+        (* escape, newline or EOF ahead: byte-at-a-time with a Buffer *)
+        let buf = Buffer.create 16 in
+        Buffer.add_substring buf src start (!j - start);
+        pos := !j;
+        let rec go () =
           match cur () with
-          | None -> raise (Lex_error ("unterminated string escape", !line))
-          | Some c ->
-              Buffer.add_char buf
-                (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+          | None -> raise (Lex_error ("unterminated string", !line))
+          | Some '\\' -> (
               advance ();
-              go ())
-      | Some c when c = quote -> advance ()
-      | Some '\n' -> raise (Lex_error ("newline in string", !line))
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    emit (String (Buffer.contents buf))
+              match cur () with
+              | None -> raise (Lex_error ("unterminated string escape", !line))
+              | Some c ->
+                  Buffer.add_char buf
+                    (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+                  advance ();
+                  go ())
+          | Some c when c = quote -> advance ()
+          | Some '\n' -> raise (Lex_error ("newline in string", !line))
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+        in
+        go ();
+        emit (String (Buffer.contents buf))
+      end
     end
   in
   let read_number () =
@@ -162,36 +221,52 @@ let tokenize src =
       advance ()
     done;
     (* 'e' exponents: covered by hex-letter range above ('e' ∈ a–f). *)
-    emit (Number (String.sub src start (!pos - start)))
+    emit (Lexpool.lookup numbers ~src ~off:start ~len:(!pos - start) ~make:mk_number)
   in
   let read_ident () =
     let start = !pos in
     while (match cur () with Some c -> is_ident_char c | None -> false) do
       advance ()
     done;
-    let s = String.sub src start (!pos - start) in
+    let len = !pos - start in
     (* String prefixes like r"..." / b'...' *)
     match cur () with
-    | Some (('"' | '\'') as q) when String.length s = 1
-                                    && (s = "r" || s = "b" || s = "u" || s = "f") ->
+    | Some (('"' | '\'') as q)
+      when len = 1
+           && (match src.[start] with 'r' | 'b' | 'u' | 'f' -> true | _ -> false)
+      ->
         read_string q
-    | _ -> if is_keyword s then emit (Keyword s) else emit (Ident s)
+    | _ -> emit (Lexpool.lookup words ~src ~off:start ~len ~make:mk_ident)
   in
   let try_operator () =
-    let matches op =
-      let l = String.length op in
-      !pos + l <= n && String.sub src !pos l = op
+    let bucket = op_table.(Char.code src.[!pos]) in
+    let rec go i =
+      if i >= Array.length bucket then false
+      else
+        let op, tok = bucket.(i) in
+        let l = String.length op in
+        let rest_matches =
+          !pos + l <= n
+          &&
+          let rec eq k =
+            k >= l
+            || Char.equal (String.unsafe_get src (!pos + k)) (String.unsafe_get op k)
+               && eq (k + 1)
+          in
+          eq 1
+        in
+        if rest_matches then begin
+          (match op with
+          | "(" | "[" | "{" -> incr paren_depth
+          | ")" | "]" | "}" -> paren_depth := max 0 (!paren_depth - 1)
+          | _ -> ());
+          pos := !pos + l;
+          emit tok;
+          true
+        end
+        else go (i + 1)
     in
-    match List.find_opt matches operators with
-    | Some op ->
-        (match op with
-        | "(" | "[" | "{" -> incr paren_depth
-        | ")" | "]" | "}" -> paren_depth := max 0 (!paren_depth - 1)
-        | _ -> ());
-        pos := !pos + String.length op;
-        emit (Op op);
-        true
-    | None -> false
+    go 0
   in
   handle_line_start ();
   let rec loop () =

@@ -1,0 +1,78 @@
+(* Slice-interning pool for zero-copy lexing.
+
+   A lexer that has just scanned a token holds its text only as a slice
+   [off, off+len) of the source buffer.  [lookup] maps that slice to a
+   previously built value (a shared token) without materialising the
+   substring: the slice is hashed and compared in place, and a fresh
+   [String.sub] happens exactly once per distinct spelling, inside [make].
+   Repeated identifiers, keywords and numerals — the overwhelming bulk of
+   any real corpus — therefore cost zero allocations beyond the token
+   record itself.
+
+   Pools are not thread-safe by design: each lexing domain owns its own
+   pool (via [Domain.DLS] in the lexers), so lookups never contend.  The
+   entry count is capped; once full, misses fall back to an un-pooled
+   [make] so a pathological corpus (or a long-lived serve daemon fed
+   unbounded fresh identifiers) cannot grow the pool without bound. *)
+
+type 'a t = {
+  mutable buckets : (string * 'a) list array; (* length always a power of 2 *)
+  mutable count : int;
+  max_entries : int;
+}
+
+let create ?(max_entries = 1 lsl 17) () =
+  { buckets = Array.make 1024 []; count = 0; max_entries }
+
+(* FNV-1a over the slice: no allocation, decent dispersion for short
+   ASCII tokens. *)
+let hash_slice src off len =
+  let h = ref 0xcbf29ce4 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get src i)) * 0x01000193 land max_int
+  done;
+  !h
+
+let slice_equal src off len key =
+  String.length key = len
+  &&
+  let rec go i =
+    i = len
+    || Char.equal (String.unsafe_get key i) (String.unsafe_get src (off + i))
+       && go (i + 1)
+  in
+  go 0
+
+let rehash t =
+  let old = t.buckets in
+  let size = 2 * Array.length old in
+  let fresh = Array.make size [] in
+  Array.iter
+    (List.iter (fun ((key, _) as entry) ->
+         let idx = hash_slice key 0 (String.length key) land (size - 1) in
+         fresh.(idx) <- entry :: fresh.(idx)))
+    old;
+  t.buckets <- fresh
+
+let insert t key v =
+  if t.count >= 2 * Array.length t.buckets then rehash t;
+  let idx = hash_slice key 0 (String.length key) land (Array.length t.buckets - 1) in
+  t.buckets.(idx) <- (key, v) :: t.buckets.(idx);
+  t.count <- t.count + 1
+
+(* Pre-seed an entry (e.g. keyword -> Keyword token) before any lookups. *)
+let add t key v = if t.count < t.max_entries then insert t key v
+
+let lookup t ~src ~off ~len ~make =
+  let idx = hash_slice src off len land (Array.length t.buckets - 1) in
+  let rec find = function
+    | [] ->
+        let key = String.sub src off len in
+        let v = make key in
+        if t.count < t.max_entries then insert t key v;
+        v
+    | (key, v) :: rest -> if slice_equal src off len key then v else find rest
+  in
+  find t.buckets.(idx)
+
+let size t = t.count

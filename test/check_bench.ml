@@ -21,8 +21,19 @@
    jobs=4 build to be at least 2x faster than jobs=1; on smaller
    machines the scaling gate is skipped with a notice.
 
+   Schema-6 runs additionally gate the paper-scale streaming section:
+   scanning the full generated corpus must report byte-identically to the
+   jobs=1 half scan baseline, sustain a positive files/sec, keep the
+   in-flight source gauge bounded by the worker count (never the corpus),
+   and keep the top-heap high-water ratios across a 2x corpus doubling
+   bounded: the scan retains only reports so it must stay flat
+   (<= 1.35x); training retains every file's digest for mining, so its
+   heap may grow at most linearly (<= 2.3x) — anything above that means
+   the frontend is retaining sources, not just digests.  The multicore
+   scaling gate also tightens from 2x to 2.5x on schema-6 runs.
+
    Accepts every baseline schema: the original flat stage map (schema 1)
-   and the {schema: 2|..|5, stages, stages_parallel, ...} envelopes, so
+   and the {schema: 2|..|6, stages, stages_parallel, ...} envelopes, so
    the gate keeps working across baseline refreshes.
 
    Usage: check_bench FRESH.json BASELINE.json *)
@@ -118,28 +129,31 @@ let () =
     match number (assoc "schema" fresh) with Some s -> int_of_float s | None -> 1
   in
   (* multicore scaling gate: on a machine with real parallelism available
-     (4+ cores, jobs=4 uncapped), the parallel build must be >= 2x faster
-     — break-even is not good enough when 4 domains are burning.  Only
-     schema-5 runs carry a bench whose harness was tuned for this gate. *)
+     (4+ cores, jobs=4 uncapped), the parallel build must scale — break-
+     even is not good enough when 4 domains are burning.  Only schema-5+
+     runs carry a bench whose harness was tuned for this gate; schema-6
+     runs (streaming frontend, cheaper digests) must clear 2.5x where
+     schema-5 required 2x. *)
   (if fresh_schema >= 5 then
      let cores =
        match number (assoc "cores" fresh) with Some c -> int_of_float c | None -> 0
      in
+     let floor = if fresh_schema >= 6 then 2.5 else 2.0 in
      match number (assoc "speedup" fresh) with
      | Some s when cores >= 4 && effective_jobs >= 4 ->
-         if s < 2.0 then
+         if s < floor then
            fail
              "%s: jobs=%d build only %.2fx faster than jobs=1 on %d cores (gate: >= \
-              2.0x) — parallel scaling regressed"
-             fresh_path effective_jobs s cores
+              %.1fx) — parallel scaling regressed"
+             fresh_path effective_jobs s cores floor
          else
-           Printf.printf "multicore scaling: %.2fx at jobs=%d on %d cores (gate >= 2.0x)\n"
-             s effective_jobs cores
+           Printf.printf "multicore scaling: %.2fx at jobs=%d on %d cores (gate >= %.1fx)\n"
+             s effective_jobs cores floor
      | Some _ ->
          Printf.printf
-           "NOTICE: >=2x multicore scaling gate skipped — %d cores, effective jobs %d \
+           "NOTICE: >=%.1fx multicore scaling gate skipped — %d cores, effective jobs %d \
             (needs >= 4 of both)\n"
-           cores effective_jobs
+           floor cores effective_jobs
      | None -> ());
   (* schema >= 4: snapshot-load and scan-cache gates *)
   if fresh_schema >= 4 then begin
@@ -210,6 +224,59 @@ let () =
         Printf.printf "serve: %.0f req/s, p50 %.2f ms, p99 %.2f ms\n" rps p50 p99
     | Some rps, _, _ -> fail "%s: serve rps %.2f not positive" fresh_path rps
     | _ -> fail "%s: serve object lacks rps/p50_ms/p99_ms" fresh_path
+  end;
+  (* schema >= 6: paper-scale streaming gates *)
+  if fresh_schema >= 6 then begin
+    let scale =
+      match assoc "scale" fresh with
+      | Some s -> s
+      | None -> fail "%s: schema %d but no scale object" fresh_path fresh_schema
+    in
+    (match assoc "reports_identical" scale with
+    | Some (J.Bool true) -> ()
+    | _ ->
+        fail
+          "%s: scale scan reports at jobs=1 and jobs=N diverged — streaming broke \
+           determinism"
+          fresh_path);
+    (match (number (assoc "files_per_sec" scale), number (assoc "files" scale)) with
+    | Some fps, Some files when fps > 0.0 ->
+        Printf.printf "scale: %d files scanned at %.0f files/s\n" (int_of_float files)
+          fps
+    | Some fps, _ -> fail "%s: scale files_per_sec %.2f not positive" fresh_path fps
+    | _ -> fail "%s: scale object lacks files_per_sec/files" fresh_path);
+    (* the streaming contract: doubling the corpus must not grow the peak
+       heap — the top-heap watermark after the full pass stays within a
+       noise margin of the half-pass watermark.  Training retains the
+       corpus's digests for mining (O(n) by design), so its margin is
+       looser; the scan retains only reports and must stay flat. *)
+    (match number (assoc "scan_mem_ratio" scale) with
+    | Some r when r > 1.35 ->
+        fail
+          "%s: scan top-heap grew %.2fx across a 2x corpus doubling (gate: <= 1.35x) \
+           — the scan is no longer streaming"
+          fresh_path r
+    | Some r -> Printf.printf "scale: scan heap ratio across 2x corpus %.2fx (<= 1.35x)\n" r
+    | None -> fail "%s: scale object lacks scan_mem_ratio" fresh_path);
+    (match number (assoc "train_mem_ratio" scale) with
+    | Some r when r > 2.3 ->
+        fail
+          "%s: train top-heap grew %.2fx across a 2x corpus doubling (gate: <= 2.3x, \
+           i.e. at most linear in retained digests) — the build frontend is \
+           retaining more than the digests"
+          fresh_path r
+    | Some r -> Printf.printf "scale: train heap ratio across 2x corpus %.2fx (<= 2.3x)\n" r
+    | None -> fail "%s: scale object lacks train_mem_ratio" fresh_path);
+    match (number (assoc "in_flight_sources_peak" scale), number (assoc "jobs" scale))
+    with
+    | Some peak, Some jobs when peak > 4.0 *. Float.max 1.0 jobs ->
+        fail
+          "%s: %d sources in flight at peak with %d jobs (gate: <= 4x jobs) — \
+           sources are outliving their digests"
+          fresh_path (int_of_float peak) (int_of_float jobs)
+    | Some peak, Some _ ->
+        Printf.printf "scale: %d sources in flight at peak\n" (int_of_float peak)
+    | _ -> fail "%s: scale object lacks in_flight_sources_peak/jobs" fresh_path
   end;
   (* build allocation: a schema>=2 baseline pins it; a 1.5x growth fails *)
   (match

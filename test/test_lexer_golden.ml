@@ -1,0 +1,144 @@
+(* Golden token-stream equivalence: the zero-copy lexers must emit
+   byte-identical streams (token, payload, line) to the historical copying
+   lexers preserved verbatim in [Ref_lexers] — across the whole seed
+   corpus of both languages and across seed-deterministic fuzz mutants
+   (which drive the error paths: garbage bytes, truncation mid-literal,
+   NULs).  Raised [Lex_error]s must match message-and-line too. *)
+
+module Corpus = Namer_corpus.Corpus
+module Mutate = Namer_fuzz.Mutate
+module Prng = Namer_util.Prng
+module Py = Namer_pylang.Py_lexer
+module Java = Namer_javalang.Java_lexer
+
+let py_render toks =
+  let tok = function
+    | Py.Ident s -> "Ident " ^ s
+    | Py.Keyword s -> "Keyword " ^ s
+    | Py.Number s -> "Number " ^ s
+    | Py.String s -> Printf.sprintf "String %S" s
+    | Py.Op s -> "Op " ^ s
+    | Py.Newline -> "Newline"
+    | Py.Indent -> "Indent"
+    | Py.Dedent -> "Dedent"
+    | Py.Eof -> "Eof"
+  in
+  String.concat "\n"
+    (List.map (fun { Py.tok = t; line } -> Printf.sprintf "%4d %s" line (tok t)) toks)
+
+let java_render toks =
+  let tok = function
+    | Java.Ident s -> "Ident " ^ s
+    | Java.Keyword s -> "Keyword " ^ s
+    | Java.Int_lit s -> "Int " ^ s
+    | Java.Float_lit s -> "Float " ^ s
+    | Java.Str_lit s -> Printf.sprintf "Str %S" s
+    | Java.Char_lit s -> Printf.sprintf "Char %S" s
+    | Java.Op s -> "Op " ^ s
+    | Java.Eof -> "Eof"
+  in
+  String.concat "\n"
+    (List.map (fun { Java.tok = t; line } -> Printf.sprintf "%4d %s" line (tok t)) toks)
+
+(* Run a tokenizer, folding the outcome (stream or lexer error) into one
+   comparable string. *)
+let outcome render exn_render f src =
+  match f src with
+  | toks -> "OK\n" ^ render toks
+  | exception e -> "ERR " ^ exn_render e
+
+let py_outcome =
+  outcome py_render (function
+    | Py.Lex_error (msg, line) -> Printf.sprintf "Lex_error(%S, %d)" msg line
+    | e -> Printexc.to_string e)
+
+let java_outcome =
+  outcome java_render (function
+    | Java.Lex_error (msg, line) -> Printf.sprintf "Lex_error(%S, %d)" msg line
+    | e -> Printexc.to_string e)
+
+let seed_files lang =
+  let cfg = { (Corpus.default_config lang) with Corpus.n_repos = 10; seed = 77 } in
+  (Corpus.generate cfg).Corpus.files
+
+let check_corpus lang ref_tok new_tok outcome () =
+  let files = seed_files lang in
+  Alcotest.(check bool) "corpus non-trivial" true (List.length files > 50);
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s" f.Corpus.repo f.Corpus.path)
+        (outcome ref_tok f.Corpus.source)
+        (outcome new_tok f.Corpus.source))
+    files
+
+let check_mutants lang ref_tok new_tok outcome () =
+  let files = seed_files lang in
+  let rng = Prng.create 4242 in
+  let sources = Array.of_list (List.map (fun f -> f.Corpus.source) files) in
+  for i = 0 to 299 do
+    let src = sources.(i mod Array.length sources) in
+    let m =
+      Mutate.mutate ~rng ~pairs:[ ("width", "height") ] ~bomb_depth:60 ~lang src
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "mutant %d (%s)" i (Mutate.kind_name m.Mutate.m_kind))
+      (outcome ref_tok m.Mutate.m_source)
+      (outcome new_tok m.Mutate.m_source)
+  done
+
+(* Hand-picked edge inputs the generator rarely produces. *)
+let py_edges () =
+  let cases =
+    [
+      ""; "\n"; "   \n\t\n"; "x = 'a\\nb'"; "s = \"unterminated";
+      "s = \"esc \\"; "s = 'line\nbreak'"; "r'raw\\n'"; "b\"bytes\"";
+      "f'fstring'"; "u'unicode'"; "'''triple\nstring'''";
+      "\"\"\"doc\n\"\"\""; "'''unterminated\ntriple"; "x = 0xDEADbeef";
+      "y = 1.5e3"; "z = 1..2"; "if x:\n  y\n    # over\n  z\n";
+      "a = (1,\n 2)\n"; "x = 1 \\\n + 2\n"; "x ** = 2"; "x@y";
+      "def f():\n\tpass\n"; "x = '"; "'''";
+    ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check string)
+        (Printf.sprintf "py edge %S" src)
+        (py_outcome Ref_lexers.Py.tokenize src)
+        (py_outcome Py.tokenize src))
+    cases
+
+let java_edges () =
+  let cases =
+    [
+      ""; "\n"; "int x = 0xFF;"; "long l = 10_000L;"; "float f = 1.5f;";
+      "double d = 1e-3;"; "double e = 2E+5;"; "int b = 0b1010;";
+      "String s = \"a\\tb\";"; "char c = 'x';"; "char n = '\\n';";
+      "String u = \"unterminated"; "String e2 = \"esc \\"; "/* open";
+      "// line\nint y;"; "a >>>= 2;"; "x...y"; "m::n"; "String nl = \"a\nb\";";
+      "int z = 1_2_3;"; "'"; "\"";
+    ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check string)
+        (Printf.sprintf "java edge %S" src)
+        (java_outcome Ref_lexers.Java.tokenize src)
+        (java_outcome Java.tokenize src))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "python seed corpus identical" `Quick
+      (check_corpus Corpus.Python Ref_lexers.Py.tokenize Py.tokenize py_outcome);
+    Alcotest.test_case "java seed corpus identical" `Quick
+      (check_corpus Corpus.Java Ref_lexers.Java.tokenize Java.tokenize
+         java_outcome);
+    Alcotest.test_case "python mutants identical" `Quick
+      (check_mutants Corpus.Python Ref_lexers.Py.tokenize Py.tokenize py_outcome);
+    Alcotest.test_case "java mutants identical" `Quick
+      (check_mutants Corpus.Java Ref_lexers.Java.tokenize Java.tokenize
+         java_outcome);
+    Alcotest.test_case "python edge cases identical" `Quick py_edges;
+    Alcotest.test_case "java edge cases identical" `Quick java_edges;
+  ]

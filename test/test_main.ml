@@ -11,6 +11,7 @@ let () =
       ("tree", Test_tree.suite);
       ("pylang", Test_pylang.suite);
       ("javalang", Test_javalang.suite);
+      ("lexer_golden", Test_lexer_golden.suite);
       ("analysis", Test_analysis.suite);
       ("namepath", Test_namepath.suite);
       ("pattern", Test_pattern.suite);
@@ -22,6 +23,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("userstudy", Test_userstudy.suite);
       ("core", Test_core.suite);
+      ("streaming", Test_streaming.suite);
       ("model", Test_model.suite);
       ("fixer", Test_fixer.suite);
       ("fuzz", Test_fuzz.suite);
