@@ -3,7 +3,7 @@
 # skip with a notice when the tool is not installed rather than failing,
 # matching the CI jobs that install them explicitly.
 
-.PHONY: all build test fmt doc bench bench-smoke obs-smoke serve-smoke ci clean
+.PHONY: all build test fmt doc bench bench-smoke obs-smoke serve-smoke merge-smoke ci clean
 
 all: build
 
@@ -90,8 +90,44 @@ serve-smoke: build
 	cat "$$state/daemon.err"; \
 	echo "serve-smoke: OK"
 
+# Merge smoke mirroring the merge-smoke CI job: deal a generated corpus's
+# repos into two symlink-farm halves, train each into a partial, merge
+# the partials into a model, and require it to scan the corpus
+# byte-identically to a direct train over everything; then check the
+# --update incremental path lands on the same reports and that the merge
+# runs left cmd:"merge" rows in the run ledger.
+merge-smoke: build
+	@set -eu; \
+	state=$$(mktemp -d); trap 'rm -rf "$$state"' EXIT; \
+	namer=_build/default/bin/namer_cli.exe; \
+	"$$namer" corpus --files 2000 --out "$$state/corpus" 2>/dev/null; \
+	mkdir -p "$$state/half1" "$$state/half2"; \
+	i=0; for d in "$$state"/corpus/*/; do \
+	  i=$$((i + 1)); \
+	  ln -s "$$(readlink -f "$$d")" "$$state/half$$((i % 2 + 1))/$$(basename "$$d")"; \
+	done; \
+	"$$namer" train "$$state/half1" --partial "$$state/h1.nprt" --ledger "$$state/ledger" 2>/dev/null; \
+	"$$namer" train "$$state/half2" --partial "$$state/h2.nprt" --ledger "$$state/ledger" 2>/dev/null; \
+	"$$namer" train --merge "$$state/h1.nprt" "$$state/h2.nprt" \
+	  --model "$$state/merged.nmdl" --ledger "$$state/ledger" 2>/dev/null; \
+	"$$namer" train "$$state/corpus" --model "$$state/full.nmdl" --ledger "$$state/ledger" 2>/dev/null; \
+	"$$namer" scan "$$state/corpus" --model "$$state/merged.nmdl" --max-reports 100000 \
+	  > "$$state/merged.txt" 2>/dev/null; \
+	"$$namer" scan "$$state/corpus" --model "$$state/full.nmdl" --max-reports 100000 \
+	  > "$$state/full.txt" 2>/dev/null; \
+	diff "$$state/merged.txt" "$$state/full.txt"; \
+	cp "$$state/h1.nprt" "$$state/inc.nprt"; \
+	"$$namer" train --update "$$state/inc.nprt" --add "$$state/half2" \
+	  --model "$$state/inc.nmdl" --ledger "$$state/ledger" 2>/dev/null; \
+	"$$namer" scan "$$state/corpus" --model "$$state/inc.nmdl" --max-reports 100000 \
+	  > "$$state/inc.txt" 2>/dev/null; \
+	diff "$$state/inc.txt" "$$state/full.txt"; \
+	test "$$(grep -c '"cmd":"merge"' "$$state/ledger/ledger.jsonl")" -eq 2; \
+	"$$namer" report --dir "$$state/ledger" | grep -q ' merge '; \
+	echo "merge-smoke: OK"
+
 # Everything the CI workflow checks, in order.
-ci: build test fmt bench-smoke obs-smoke serve-smoke
+ci: build test fmt bench-smoke obs-smoke serve-smoke merge-smoke
 
 clean:
 	dune clean

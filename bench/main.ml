@@ -20,10 +20,10 @@ module Telemetry = Namer_telemetry.Telemetry
    jobs=1 and once with jobs=N (--jobs, default 4): prints the sequential
    per-stage cost table, verifies the two runs report identical violations,
    then drives an in-process serve-daemon load test, and writes both stage
-   maps, the speedup, the snapshot save/load, scan-cache and serve
-   measurements, and the interning micro-benchmarks to BENCH_pipeline.json
-   (schema 5), the machine-readable trajectory file that perf PRs compare
-   against. *)
+   maps, the speedup, the snapshot save/load, scan-cache, serve,
+   streaming-scale and incremental-merge measurements, and the interning
+   micro-benchmarks to BENCH_pipeline.json (schema 7), the
+   machine-readable trajectory file that perf PRs compare against. *)
 let stage_wall name stages =
   match List.find_opt (fun s -> s.Telemetry.stage = name) stages with
   | Some s -> s.Telemetry.wall_ms
@@ -338,7 +338,137 @@ let scale_bench ~jobs ~n_files () =
   in
   (json, ok)
 
-let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok) () =
+(* Incremental-training gates (the schema-7 [merge] object): generate a
+   ~2k-file corpus (~40 repos), time the full classifier-free build, then
+   train the two halves into partial models, merge and finalize them, and
+   require the merged model to scan the corpus byte-identically to the
+   direct build — the merge-algebra contract train(A+B) ≡ merge(train A,
+   train B) at bench scale.  The update flow then measures what
+   incrementality buys: folding one new repo into an existing partial
+   (digest the delta, merge, save) must beat retraining from scratch by
+   at least 5x — check_bench enforces the gate. *)
+let merge_bench ~jobs ~n_files () =
+  let module J = Namer_util.Json in
+  let module Miner = Namer_mining.Miner in
+  let files_per_repo = 50 in
+  let n_repos = (n_files + files_per_repo - 1) / files_per_repo in
+  Printf.printf "### Incremental training: %d repos x %d files ###\n\n" n_repos
+    files_per_repo;
+  let corpus =
+    Corpus.generate
+      {
+        (Corpus.default_config Corpus.Python) with
+        Corpus.n_repos = n_repos;
+        files_per_repo = (files_per_repo, files_per_repo);
+        seed = 42;
+      }
+  in
+  let n_files = List.length corpus.Corpus.files in
+  let cfg =
+    {
+      Namer.default_config with
+      Namer.use_classifier = false;
+      jobs;
+      miner =
+        {
+          Miner.default_config with
+          Miner.min_support = max 5 (n_files / 20);
+          min_path_freq = max 3 (n_files / 50);
+        };
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let t_full, full_ms = time (fun () -> Namer.build cfg corpus) in
+  let slice files commits =
+    { corpus with Corpus.files; injections = []; benigns = []; commits }
+  in
+  let split_at k xs =
+    (List.filteri (fun i _ -> i < k) xs, List.filteri (fun i _ -> i >= k) xs)
+  in
+  let fa, fb = split_at (n_files / 2) corpus.Corpus.files in
+  let ca, cb =
+    split_at (List.length corpus.Corpus.commits / 2) corpus.Corpus.commits
+  in
+  let pa, half_a_ms = time (fun () -> Namer.Partial.of_corpus cfg (slice fa ca)) in
+  let pb, half_b_ms = time (fun () -> Namer.Partial.of_corpus cfg (slice fb cb)) in
+  let merged, merge_ms = time (fun () -> Namer.Partial.merge pa pb) in
+  let t_merged, finalize_ms = time (fun () -> Namer.Partial.finalize cfg merged) in
+  let render (r : Namer.scan_result) =
+    Array.map
+      (fun (x : Namer.report) ->
+        Printf.sprintf "%s:%d:%s:%s:%s:%s" x.Namer.r_file x.Namer.r_line
+          x.Namer.r_prefix x.Namer.r_found x.Namer.r_suggested x.Namer.r_kind)
+      r.Namer.sr_reports
+  in
+  let r_full =
+    render (Namer.scan_with_model ~jobs:1 (Namer.model_of t_full) corpus.Corpus.files)
+  in
+  let r_merged =
+    render
+      (Namer.scan_with_model ~jobs:1 (Namer.model_of t_merged) corpus.Corpus.files)
+  in
+  let reports_identical = r_full = r_merged in
+  (* the update flow: every repo but the last is already trained into a
+     partial (untimed — that work was paid long ago); folding the last
+     repo in digests only its own files *)
+  let last_repo =
+    match List.rev corpus.Corpus.files with
+    | [] -> ""
+    | f :: _ -> f.Corpus.repo
+  in
+  let old_files, new_files =
+    List.partition
+      (fun (f : Corpus.file) -> f.Corpus.repo <> last_repo)
+      corpus.Corpus.files
+  in
+  let p_old = Namer.Partial.of_corpus cfg (slice old_files corpus.Corpus.commits) in
+  let path = Filename.temp_file "namer_partial" ".nprt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let _, update_ms =
+    time (fun () ->
+        let delta = Namer.Partial.of_corpus cfg (slice new_files []) in
+        ignore (Namer.Partial.save (Namer.Partial.merge p_old delta) ~path))
+  in
+  let update_speedup = if update_ms > 0.0 then full_ms /. update_ms else 0.0 in
+  Printf.printf
+    "full build %.0f ms; halves %.0f + %.0f ms, merge %.1f ms, finalize %.0f ms, \
+     reports %s\n"
+    full_ms half_a_ms half_b_ms merge_ms finalize_ms
+    (if reports_identical then "identical" else "DIFFERENT");
+  Printf.printf
+    "update: fold %d new files into a %d-file partial in %.0f ms — %.1fx faster \
+     than the %.0f ms retrain\n\n"
+    (List.length new_files) (List.length old_files) update_ms update_speedup
+    full_ms;
+  let ok = reports_identical && update_speedup >= 5.0 in
+  let json =
+    J.Obj
+      [
+        ("files", J.Int n_files);
+        ("repos", J.Int n_repos);
+        ("jobs", J.Int jobs);
+        ("full_build_ms", J.Float full_ms);
+        ("partial_half_a_ms", J.Float half_a_ms);
+        ("partial_half_b_ms", J.Float half_b_ms);
+        ("merge_ms", J.Float merge_ms);
+        ("finalize_ms", J.Float finalize_ms);
+        ("reports", J.Int (Array.length r_full));
+        ("reports_identical", J.Bool reports_identical);
+        ("update_files", J.Int (List.length new_files));
+        ("update_ms", J.Float update_ms);
+        ("update_speedup", J.Float update_speedup);
+      ]
+  in
+  (json, ok)
+
+let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok)
+    ~merge:(merge_json, merge_ok) () =
   print_endline "### Pipeline telemetry (15-repo Python corpus) ###\n";
   let corpus =
     Corpus.generate { (Corpus.default_config Corpus.Python) with Corpus.n_repos = 15 }
@@ -419,7 +549,7 @@ let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok) () =
     (J.to_string ~indent:2
        (J.Obj
           [
-            ("schema", J.Int 6);
+            ("schema", J.Int 7);
             ("cores", J.Int (Domain.recommended_domain_count ()));
             ("cap_domains", J.Bool Namer.default_config.Namer.cap_domains);
             ("jobs_parallel", J.Int jobs_parallel);
@@ -430,6 +560,7 @@ let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok) () =
             ("scan_cache", cache_json);
             ("serve", serve_json);
             ("scale", scale_json);
+            ("merge", merge_json);
             ("stages", Telemetry.stages_to_json stages_seq);
             ("stages_parallel", Telemetry.stages_to_json stages_par);
             ("micro", J.Obj (List.map (fun (name, ns) -> (name, J.Float ns)) micro));
@@ -458,7 +589,8 @@ let telemetry_bench ~jobs_parallel ~scale:(scale_json, scale_ok) () =
             ("peak_rss_kb", J.Int (Ledger.peak_rss_kb ()));
           ])
    with Sys_error _ | Unix.Unix_error _ -> ());
-  if not (reports_identical && cache_identical && serve_ok && scale_ok) then exit 1
+  if not (reports_identical && cache_identical && serve_ok && scale_ok && merge_ok)
+  then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -478,7 +610,8 @@ let () =
     (* scale first: its heap high-water marks must not inherit the
        telemetry builds' footprint *)
     let scale = scale_bench ~jobs:jobs_parallel ~n_files:(opt_int "--scale-files" 20_000) () in
-    telemetry_bench ~jobs_parallel ~scale ();
+    let merge = merge_bench ~jobs:jobs_parallel ~n_files:(opt_int "--merge-files" 2_000) () in
+    telemetry_bench ~jobs_parallel ~scale ~merge ();
     exit 0
   end;
   if flag "--perf" then begin

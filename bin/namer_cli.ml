@@ -417,41 +417,243 @@ let self_mining_config ~n_files ~jobs =
 
 (* ---------------- train ---------------- *)
 
-let train lang dir jobs model_path obs =
+let usage_error fmt =
+  Printf.ksprintf
+    (fun s ->
+      progress_err "error: %s" s;
+      exit 1)
+    fmt
+
+let partial_skipped (p : Namer.Partial.t) =
+  Array.to_list p.Namer_model.Partial_model.pm_skipped
+  |> List.map (fun (i, reason) ->
+         {
+           Namer.sk_file = snd p.Namer_model.Partial_model.pm_files.(i);
+           sk_reason = reason;
+         })
+
+(* Write whichever trained artifacts were asked for and return their
+   ledger fields: a finalized scan model (--model), a mergeable partial
+   (--partial), or both. *)
+let emit_outputs ~model_path ~partial_out (t : Namer.t option Lazy.t)
+    (p : Namer.Partial.t option) =
+  let model_fields =
+    match model_path with
+    | None -> []
+    | Some path ->
+        let t =
+          match Lazy.force t with
+          | Some t -> t
+          | None -> usage_error "internal: no build to save"
+        in
+        let m = Namer.save_model t ~path in
+        progress "saved model %s (%d patterns, %d bytes) to %s" m.Namer.m_hash
+          (Namer_pattern.Pattern.Store.size m.Namer.m_store)
+          (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0)
+          path;
+        [ ("model_hash", J.String m.Namer.m_hash) ]
+  in
+  let partial_fields =
+    match (partial_out, p) with
+    | None, _ | _, None -> []
+    | Some path, Some p ->
+        let hash = Namer.Partial.save p ~path in
+        progress "saved partial %s (%d files, %d stmts) to %s" hash
+          (Namer.Partial.n_files p) (Namer.Partial.n_stmts p) path;
+        [ ("partial_hash", J.String hash) ]
+  in
+  model_fields @ partial_fields
+
+(* train DIR: mine a directory into a model snapshot (--model), a
+   mergeable partial (--partial), or both. *)
+let train_fresh lang dir jobs model_path partial_out obs =
   let finish = obs_setup ~cmd:"train" obs in
   let refs = collect_refs lang dir in
   progress "mining %d files…" (List.length refs);
   let cfg = self_mining_config ~n_files:(List.length refs) ~jobs in
-  let t = Namer.build_refs cfg ~lang refs in
-  report_skipped t.Namer.skipped;
-  let m = Namer.save_model t ~path:model_path in
-  progress "saved model %s (%d patterns, %d bytes) to %s" m.Namer.m_hash
-    (Namer_pattern.Pattern.Store.size m.Namer.m_store)
-    (try (Unix.stat model_path).Unix.st_size with Unix.Unix_error _ -> 0)
-    model_path;
+  let extra =
+    match partial_out with
+    | Some _ ->
+        let p = Namer.Partial.of_refs cfg ~lang refs in
+        report_skipped (partial_skipped p);
+        emit_outputs ~model_path:None ~partial_out (lazy None) (Some p)
+        @ [ ("skipped", J.Int (Array.length p.Namer_model.Partial_model.pm_skipped)) ]
+        @
+        (match model_path with
+        | None -> []
+        | Some _ ->
+            (* both outputs: finalize the partial rather than train twice *)
+            emit_outputs ~model_path ~partial_out:None
+              (lazy (Some (Namer.Partial.finalize cfg p)))
+              None)
+    | None ->
+        let t = Namer.build_refs cfg ~lang refs in
+        report_skipped t.Namer.skipped;
+        emit_outputs ~model_path ~partial_out:None (lazy (Some t)) None
+        @ [ ("skipped", J.Int (List.length t.Namer.skipped)) ]
+  in
+  finish ~extra:(refs_fields ~jobs refs @ extra) ()
+
+let load_partial path =
+  try Namer.Partial.load ~path
+  with Namer_model.Snapshot.Error msg ->
+    progress_err "error: %s" msg;
+    exit 1
+
+(* train --merge P1 P2 …: combine saved partials into a bigger partial
+   (--partial) and/or a finalized scan model (--model). *)
+let train_merge paths jobs model_path partial_out obs =
+  let finish = obs_setup ~cmd:"merge" obs in
+  let parts = List.map (fun p -> (p, load_partial p)) paths in
+  let merged =
+    try Namer.Partial.merge_all (List.map (fun (_, (p, _)) -> p) parts)
+    with Namer_model.Partial_model.Merge_error msg ->
+      progress_err "error: %s" msg;
+      exit 1
+  in
+  progress "merged %d partials: %d files, %d statements, %d repos"
+    (List.length parts)
+    (Namer.Partial.n_files merged)
+    (Namer.Partial.n_stmts merged)
+    (Namer.Partial.n_repos merged);
+  let cfg = self_mining_config ~n_files:(Namer.Partial.n_files merged) ~jobs in
+  let extra =
+    emit_outputs ~model_path ~partial_out
+      (lazy (Some (Namer.Partial.finalize cfg merged)))
+      (Some merged)
+  in
+  finish
+    ~extra:
+      ([
+         ("jobs", J.Int jobs);
+         ("partials_in", J.Int (List.length parts));
+         ( "partials",
+           J.List (List.map (fun (_, (_, hash)) -> J.String hash) parts) );
+         ("files", J.Int (Namer.Partial.n_files merged));
+         ("skipped", J.Int (Array.length merged.Namer_model.Partial_model.pm_skipped));
+       ]
+      @ extra)
+    ()
+
+(* train --update P --add DIR: digest only the new slice, merge it into
+   the saved partial, and rewrite the partial in place — the incremental
+   path that never re-digests the already-trained corpus. *)
+let train_update lang update_path add_dir jobs model_path partial_out obs =
+  let finish = obs_setup ~cmd:"merge" obs in
+  let p, p_hash = load_partial update_path in
+  let plang = Namer.Partial.lang_of p in
+  if Namer.Partial.n_files p > 0 && plang <> lang && lang <> Corpus.Python then
+    usage_error "--lang %s conflicts with the partial's language %s"
+      (String.lowercase_ascii (Corpus.lang_name lang))
+      (String.lowercase_ascii (Corpus.lang_name plang));
+  let lang = if Namer.Partial.n_files p > 0 then plang else lang in
+  let refs = collect_refs lang add_dir in
+  progress "digesting %d new files…" (List.length refs);
+  let cfg =
+    Namer.Partial.align_config
+      (self_mining_config ~n_files:(List.length refs) ~jobs)
+      p
+  in
+  let delta = Namer.Partial.of_refs cfg ~lang refs in
+  report_skipped (partial_skipped delta);
+  let merged =
+    try Namer.Partial.merge p delta
+    with Namer_model.Partial_model.Merge_error msg ->
+      progress_err "error: %s" msg;
+      exit 1
+  in
+  let out = Option.value partial_out ~default:update_path in
+  let cfg = self_mining_config ~n_files:(Namer.Partial.n_files merged) ~jobs in
+  let extra =
+    emit_outputs ~model_path ~partial_out:(Some out)
+      (lazy (Some (Namer.Partial.finalize cfg merged)))
+      (Some merged)
+  in
   finish
     ~extra:
       (refs_fields ~jobs refs
       @ [
-          ("model_hash", J.String m.Namer.m_hash);
-          ("skipped", J.Int (List.length t.Namer.skipped));
-        ])
+          ("partials_in", J.Int 1);
+          ("partials", J.List [ J.String p_hash ]);
+          ("skipped", J.Int (Array.length delta.Namer_model.Partial_model.pm_skipped));
+        ]
+      @ extra)
     ()
 
+let train lang inputs jobs model_path partial_out merge_flag update_path add_dir
+    obs =
+  match (merge_flag, update_path, add_dir) with
+  | true, Some _, _ -> usage_error "--merge and --update are mutually exclusive"
+  | true, None, _ ->
+      if inputs = [] then
+        usage_error "--merge needs at least one saved partial (train --merge P1 P2 …)";
+      if model_path = None && partial_out = None then
+        usage_error "--merge needs an output: --model FILE and/or --partial FILE";
+      List.iter
+        (fun p ->
+          if not (Sys.file_exists p) then usage_error "no such partial: %s" p)
+        inputs;
+      train_merge inputs jobs model_path partial_out obs
+  | false, Some up, Some add ->
+      if inputs <> [] then
+        usage_error "--update takes no positional arguments (use --add DIR)";
+      train_update lang up add jobs model_path partial_out obs
+  | false, Some _, None -> usage_error "--update needs --add DIR (the new files)"
+  | false, None, Some _ -> usage_error "--add only makes sense with --update PARTIAL"
+  | false, None, None -> (
+      match inputs with
+      | [ dir ] when Sys.file_exists dir && Sys.is_directory dir ->
+          if model_path = None && partial_out = None then
+            usage_error "train needs an output: --model FILE and/or --partial FILE";
+          train_fresh lang dir jobs model_path partial_out obs
+      | [ dir ] -> usage_error "no such directory: %s" dir
+      | [] -> usage_error "train needs a directory of source files"
+      | _ :: _ :: _ ->
+          usage_error "train takes one directory (did you mean --merge?)")
+
 let train_cmd =
-  let dir =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
-           ~doc:"Directory of source files to mine patterns from.")
+  let inputs =
+    Arg.(value & pos_all string [] & info [] ~docv:"DIR|PARTIAL"
+           ~doc:"Directory of source files to mine (default mode), or saved \
+                 partial models to combine (with $(b,--merge)).")
   in
   let model =
-    Arg.(required & opt (some string) None & info [ "model"; "o" ] ~docv:"FILE"
+    Arg.(value & opt (some string) None & info [ "model"; "o" ] ~docv:"FILE"
            ~doc:"Write the trained model snapshot to $(docv).")
+  in
+  let partial =
+    Arg.(value & opt (some string) None & info [ "partial" ] ~docv:"FILE"
+           ~doc:"Write a mergeable partial model to $(docv) instead of (or \
+                 besides) a finalized snapshot.  Partials from disjoint \
+                 corpus slices combine with $(b,--merge) into exactly the \
+                 model a single train over everything would produce.")
+  in
+  let merge =
+    Arg.(value & flag & info [ "merge" ]
+           ~doc:"Treat the positional arguments as saved partial models and \
+                 merge them (associatively, any order) into $(b,--partial) \
+                 and/or finalize them into $(b,--model).")
+  in
+  let update =
+    Arg.(value & opt (some string) None & info [ "update" ] ~docv:"PARTIAL"
+           ~doc:"Incremental training: digest only $(b,--add)'s files, merge \
+                 them into $(docv), and rewrite it in place — never \
+                 re-digesting the corpus already trained into $(docv).")
+  in
+  let add =
+    Arg.(value & opt (some dir) None & info [ "add" ] ~docv:"DIR"
+           ~doc:"With $(b,--update): directory of new source files to fold in.")
   in
   Cmd.v
     (Cmd.info "train"
        ~doc:"Mine name patterns from a directory and save the trained model \
-             as a binary snapshot for later `namer scan --model` runs.")
-    Term.(const train $ lang_arg $ dir $ jobs_arg $ model $ obs_term)
+             as a binary snapshot for later `namer scan --model` runs — or \
+             train incrementally: save mergeable partial models per corpus \
+             slice ($(b,--partial)), combine them ($(b,--merge)), and fold \
+             new slices into an existing partial ($(b,--update)/$(b,--add)).")
+    Term.(
+      const train $ lang_arg $ inputs $ jobs_arg $ model $ partial $ merge
+      $ update $ add $ obs_term)
 
 (* ---------------- scan ---------------- *)
 

@@ -307,37 +307,43 @@ module Pairs_acc = struct
   let merge = Confusing_pairs.merge
 end
 
+(* The builtin catalog as a table, each pair seeded at exactly the prune
+   threshold — the no-history fallback shared by [mine_pairs] and partial
+   finalization. *)
+let builtin_table ~(cfg : config) ~lang =
+  let pairs = Confusing_pairs.create () in
+  List.iter
+    (fun p -> Confusing_pairs.add_pair ~count:cfg.pair_min_count pairs p)
+    (builtin_pairs lang);
+  pairs
+
+(* Unpruned commit-pair tallies: the mergeable shape partial models carry.
+   One commit is independent of the next, so shards of the history are
+   diffed on separate domains into per-shard pair sets; the pair merge
+   sums commutative tallies, so any shard plan yields the same pairs. *)
+let mine_commit_tallies ?pool ~shards ~lang ~commits () =
+  Accumulator.sharded_reduce
+    (module Pairs_acc)
+    ?pool ~shards
+    (fun commits ->
+      let local = Confusing_pairs.create () in
+      List.iter
+        (fun (before_src, after_src) ->
+          match
+            (Frontend.whole_tree lang before_src, Frontend.whole_tree lang after_src)
+          with
+          | Some before, Some after -> Confusing_pairs.add_commit local ~before ~after
+          | _ -> ())
+        commits;
+      local)
+    commits
+
 let mine_pairs ?pool ~shards ~cfg ~lang ~commits () =
-  if commits = [] then begin
-    let pairs = Confusing_pairs.create () in
-    List.iter
-      (fun p -> Confusing_pairs.add_pair ~count:cfg.pair_min_count pairs p)
-      (builtin_pairs lang);
-    pairs
-  end
-  else begin
-    (* one commit is independent of the next, so shards of the history are
-       diffed on separate domains into per-shard pair sets; the pair merge
-       sums commutative tallies, so any shard plan yields the same pairs *)
-    let pairs =
-      Accumulator.sharded_reduce
-        (module Pairs_acc)
-        ?pool ~shards
-        (fun commits ->
-          let local = Confusing_pairs.create () in
-          List.iter
-            (fun (before_src, after_src) ->
-              match
-                (Frontend.whole_tree lang before_src, Frontend.whole_tree lang after_src)
-              with
-              | Some before, Some after -> Confusing_pairs.add_commit local ~before ~after
-              | _ -> ())
-            commits;
-          local)
-        commits
-    in
-    Confusing_pairs.prune pairs ~min_count:cfg.pair_min_count
-  end
+  if commits = [] then builtin_table ~cfg ~lang
+  else
+    Confusing_pairs.prune
+      (mine_commit_tallies ?pool ~shards ~lang ~commits ())
+      ~min_count:cfg.pair_min_count
 
 (* Draw a balanced labeled sample (with simulated labeling error) and train
    the classifier — the "small supervision" of §5.1.  Returns the
@@ -387,38 +393,23 @@ let train_classifier ~(cfg : config) ~prng ~(violations : violation array) ~grad
     end
   end
 
-(** [build cfg corpus] runs the full training pipeline.  [patterns]
-    short-circuits mining with a pre-mined store (e.g. loaded from disk via
-    {!Namer_pattern.Pattern_io}) — the mine-once / scan-many workflow.
-
-    With [cfg.jobs > 1], the per-file stages (digest), the per-commit stage
-    (pair mining), the corpus-wide counting passes inside mining, the scan
-    and feature extraction all run sharded over a domain pool.  Every shard
-    plan is deterministic and every merge happens in shard order over
-    commutative accumulators, so a [jobs = N] build is bit-identical to a
-    [jobs = 1] build — only wall-clock changes. *)
-let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
-    ~oracle ~source_of : t =
-  Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
-  let shards =
-    Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
-  in
-  Telemetry.with_span "build" @@ fun () ->
+(* 1. digest every file: load → parse → analyze → AST+ → name paths.
+   Files stream through in bounded batches of [cfg.digest_batch]: a batch
+   is read, digested and dropped before the next one is touched, so at
+   most O(batch) sources and ASTs are ever resident — never the corpus.
+   Within a batch each shard (contiguous, repo-aligned) runs on its own
+   domain; flattening the per-shard statement lists in shard order, batch
+   after batch, reproduces the sequential statement order exactly, which
+   everything downstream depends on.  With a pool, each shard interns
+   name paths into its own local table — worker domains never touch the
+   shared one — and the tables merge into the global id space in shard
+   order afterwards.  Batches and shards are both contiguous slices of
+   the corpus sequence merged in order, so the first-seen id assignment
+   equals the sequential one for every [digest_batch] and [jobs].
+   Shared by [build_core] and [Partial.of_refs]. *)
+let digest_refs ?pool ~shards ~(cfg : config) ~lang (refs : file_ref list) :
+    scanned_stmt list * skipped list =
   let n_files = List.length refs in
-  let prng = Prng.create cfg.seed in
-  (* 1. digest every file: load → parse → analyze → AST+ → name paths.
-     Files stream through in bounded batches of [cfg.digest_batch]: a batch
-     is read, digested and dropped before the next one is touched, so at
-     most O(batch) sources and ASTs are ever resident — never the corpus.
-     Within a batch each shard (contiguous, repo-aligned) runs on its own
-     domain; flattening the per-shard statement lists in shard order, batch
-     after batch, reproduces the sequential statement order exactly, which
-     everything downstream depends on.  With a pool, each shard interns
-     name paths into its own local table — worker domains never touch the
-     shared one — and the tables merge into the global id space in shard
-     order afterwards.  Batches and shards are both contiguous slices of
-     the corpus sequence merged in order, so the first-seen id assignment
-     equals the sequential one for every [digest_batch] and [jobs]. *)
   let digest_shard ?table files =
     let skips_rev = ref [] in
     let stmts =
@@ -477,6 +468,18 @@ let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
         ]
       Events.Warn "build.degraded"
   end;
+  Telemetry.count ~by:(List.length stmts) "build.statements_digested";
+  Log.info (fun m -> m "digested %d statements" (List.length stmts));
+  (stmts, skipped)
+
+(* Stages 2–6 over already-digested statements — everything downstream of
+   the frontend, shared by [build_core] (fresh digests) and
+   [Partial.finalize] (statements replayed from merged partials).
+   [mk_pairs] supplies the confusing-pair table: commit mining for a
+   direct build, summed tallies (or the builtin fallback) for a merge. *)
+let train_digested ?patterns ?pool (cfg : config) ~lang ~shards ~stmts ~skipped
+    ~n_files ~n_repos ~mk_pairs ~oracle ~source_of : t =
+  let prng = Prng.create cfg.seed in
   (* Dense per-build file/repo ids: the scan aggregates key on ints, not
      paths.  First-seen order over the statement list, so ids are shard-plan
      independent. *)
@@ -486,8 +489,6 @@ let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
       s.sctx.Features.file_id <- Interner.intern file_ids s.sctx.Features.file;
       s.sctx.Features.repo_id <- Interner.intern repo_ids s.sctx.Features.repo)
     stmts;
-  Telemetry.count ~by:(List.length stmts) "build.statements_digested";
-  Log.info (fun m -> m "digested %d statements" (List.length stmts));
   (* The corpus is fully interned: freeze the global table so the mining
      and scan stages — including their sharded passes — run against a
      read-only id space, and thaw on the way out (later builds or tests
@@ -495,10 +496,7 @@ let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
   Namepath.Interned.freeze ();
   Fun.protect ~finally:Namepath.Interned.thaw @@ fun () ->
   (* 2. confusing word pairs from history *)
-  let pairs =
-    Telemetry.with_span "pair-mining" @@ fun () ->
-    mine_pairs ?pool ~shards ~cfg ~lang ~commits ()
-  in
+  let pairs = Telemetry.with_span "pair-mining" @@ fun () -> mk_pairs () in
   Telemetry.count ~by:(Confusing_pairs.total_pairs pairs) "build.confusing_pairs";
   Log.info (fun m -> m "mined %d confusing pairs" (Confusing_pairs.total_pairs pairs));
   (* 3. mine both pattern types (unless a store was supplied) *)
@@ -644,8 +642,6 @@ let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
     in
     (oracle, classifier, cv_reports, training_set)
   in
-  let repos = Hashtbl.create 64 in
-  List.iter (fun r -> Hashtbl.replace repos r.fr_repo ()) refs;
   {
     cfg;
     lang;
@@ -660,12 +656,39 @@ let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
     source_of;
     n_stmts = List.length stmts;
     n_files;
-    n_repos = Hashtbl.length repos;
+    n_repos;
     n_files_violating = Hashtbl.length violating_files;
     n_repos_violating = Hashtbl.length violating_repos;
     n_candidates;
     skipped;
   }
+
+(** [build_core cfg ~lang ~refs ~commits ~oracle ~source_of] — digest the
+    refs, then run the downstream stages; see [build] for the contract.
+    [patterns] short-circuits mining with a pre-mined store (e.g. loaded
+    from disk via {!Namer_pattern.Pattern_io}) — the mine-once / scan-many
+    workflow.
+
+    With [cfg.jobs > 1], the per-file stages (digest), the per-commit stage
+    (pair mining), the corpus-wide counting passes inside mining, the scan
+    and feature extraction all run sharded over a domain pool.  Every shard
+    plan is deterministic and every merge happens in shard order over
+    commutative accumulators, so a [jobs = N] build is bit-identical to a
+    [jobs = 1] build — only wall-clock changes. *)
+let build_core ?patterns (cfg : config) ~lang ~(refs : file_ref list) ~commits
+    ~oracle ~source_of : t =
+  Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+  let shards =
+    Shard.oversubscribe ~jobs:(match pool with Some p -> Pool.size p | None -> 1)
+  in
+  Telemetry.with_span "build" @@ fun () ->
+  let stmts, skipped = digest_refs ?pool ~shards ~cfg ~lang refs in
+  let repos = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace repos r.fr_repo ()) refs;
+  train_digested ?patterns ?pool cfg ~lang ~shards ~stmts ~skipped
+    ~n_files:(List.length refs) ~n_repos:(Hashtbl.length repos)
+    ~mk_pairs:(fun () -> mine_pairs ?pool ~shards ~cfg ~lang ~commits ())
+    ~oracle ~source_of
 
 (** [build cfg corpus] — the in-memory entry point: digest a generated
     corpus whose sources are already resident.  Report listings and the
@@ -949,105 +972,355 @@ let load_model ~path : model =
   let sections, hash =
     Snapshot.decode ~magic:model_magic ~desc ~version:model_version ~path bytes
   in
-  let sec = Snapshot.section ~desc:(Printf.sprintf "%s %s" desc path) sections in
+  let desc = Printf.sprintf "%s %s" desc path in
+  (* per-section decoding: a malformed payload names the failing section *)
+  let read name f = Snapshot.read_section ~desc sections name f in
   let fail fmt = Printf.ksprintf (fun s -> raise (Snapshot.Error s)) fmt in
-  try
-    let r = R.of_string (sec "meta") in
-    let lang =
-      match R.u8 r with
-      | 0 -> Corpus.Python
-      | 1 -> Corpus.Java
-      | k -> fail "%s %s: unknown language tag %d" desc path k
-    in
-    let use_analysis = R.bool r in
-    let max_stmt_paths = R.u32 r in
-    let read_strings r =
-      let n = R.u32 r in
-      let acc = ref [] in
-      for _ = 1 to n do
-        acc := R.str r :: !acc
-      done;
-      List.rev !acc
-    in
-    let r = R.of_string (sec "interner") in
-    let prefixes = read_strings r in
-    let ends = read_strings r in
-    if Namepath.Interned.is_frozen () then
-      fail "cannot load %s %s: the name-path interner is frozen (a build is in flight)"
-        desc path;
-    Namepath.Interned.preload_global ~prefixes ~ends;
-    let r = R.of_string (sec "patterns") in
+  let read_strings r =
     let n = R.u32 r in
-    let store = Pattern.Store.create () in
+    let acc = ref [] in
     for _ = 1 to n do
-      let kind =
-        match R.u8 r with
-        | 0 -> Pattern.Consistency
-        | 1 ->
-            let correct = R.str r in
-            Pattern.Confusing_word { correct }
-        | 2 ->
-            let first = R.str r in
-            let second = R.str r in
-            Pattern.Ordering { first; second }
-        | k -> fail "%s %s: unknown pattern kind tag %d" desc path k
-      in
-      let condition = List.map Namepath.of_string (read_strings r) in
-      let deduction = List.map Namepath.of_string (read_strings r) in
-      (* saved stores are already canonical-deduplicated; nodedup insertion
-         preserves the training-time pattern ids *)
-      ignore (Pattern.Store.add_nodedup store (Pattern.make ~kind ~condition ~deduction))
+      acc := R.str r :: !acc
     done;
-    let r = R.of_string (sec "pairs") in
-    let n = R.u32 r in
-    let pairs = Confusing_pairs.create () in
-    for _ = 1 to n do
-      let w1 = R.str r in
-      let w2 = R.str r in
-      let c = R.i64 r in
-      Confusing_pairs.add_pair ~count:c pairs (w1, w2)
-    done;
-    let r = R.of_string (sec "classifier") in
-    let classifier =
-      if not (R.bool r) then None
-      else begin
-        let r_algo =
+    List.rev !acc
+  in
+  let lang, use_analysis, max_stmt_paths =
+    read "meta" (fun r ->
+        let lang =
           match R.u8 r with
-          | 0 -> Namer_ml.Pipeline.Svm
-          | 1 -> Namer_ml.Pipeline.Logreg
-          | 2 -> Namer_ml.Pipeline.Lda
-          | k -> fail "%s %s: unknown classifier algorithm tag %d" desc path k
+          | 0 -> Corpus.Python
+          | 1 -> Corpus.Java
+          | k -> fail "%s: unknown language tag %d" desc k
         in
-        let r_mu = R.floats r in
-        let r_sigma = R.floats r in
-        let r_components = R.matrix r in
-        let r_mean = R.floats r in
-        let r_explained = R.floats r in
-        let r_weights = R.floats r in
-        let r_bias = R.f64 r in
-        Some
-          (Namer_ml.Pipeline.of_repr
-             {
-               Namer_ml.Pipeline.r_algo; r_mu; r_sigma; r_components; r_mean;
-               r_explained; r_weights; r_bias;
-             })
-      end
-    in
-    Telemetry.count "model.loads";
-    Log.info (fun m ->
-        m "loaded model %s (%d patterns) from %s" hash (Pattern.Store.size store) path);
+        let use_analysis = R.bool r in
+        let max_stmt_paths = R.u32 r in
+        (lang, use_analysis, max_stmt_paths))
+  in
+  let prefixes, ends =
+    read "interner" (fun r ->
+        let prefixes = read_strings r in
+        let ends = read_strings r in
+        (prefixes, ends))
+  in
+  if Namepath.Interned.is_frozen () then
+    fail "cannot load %s: the name-path interner is frozen (a build is in flight)"
+      desc;
+  Namepath.Interned.preload_global ~prefixes ~ends;
+  let store =
+    read "patterns" (fun r ->
+        let n = R.u32 r in
+        let store = Pattern.Store.create () in
+        for _ = 1 to n do
+          let kind =
+            match R.u8 r with
+            | 0 -> Pattern.Consistency
+            | 1 ->
+                let correct = R.str r in
+                Pattern.Confusing_word { correct }
+            | 2 ->
+                let first = R.str r in
+                let second = R.str r in
+                Pattern.Ordering { first; second }
+            | k -> fail "%s: unknown pattern kind tag %d" desc k
+          in
+          let condition = List.map Namepath.of_string (read_strings r) in
+          let deduction = List.map Namepath.of_string (read_strings r) in
+          (* saved stores are already canonical-deduplicated; nodedup
+             insertion preserves the training-time pattern ids *)
+          ignore
+            (Pattern.Store.add_nodedup store (Pattern.make ~kind ~condition ~deduction))
+        done;
+        store)
+  in
+  let pairs =
+    read "pairs" (fun r ->
+        let n = R.u32 r in
+        let pairs = Confusing_pairs.create () in
+        for _ = 1 to n do
+          let w1 = R.str r in
+          let w2 = R.str r in
+          let c = R.i64 r in
+          Confusing_pairs.add_pair ~count:c pairs (w1, w2)
+        done;
+        pairs)
+  in
+  let classifier =
+    read "classifier" (fun r ->
+        if not (R.bool r) then None
+        else begin
+          let r_algo =
+            match R.u8 r with
+            | 0 -> Namer_ml.Pipeline.Svm
+            | 1 -> Namer_ml.Pipeline.Logreg
+            | 2 -> Namer_ml.Pipeline.Lda
+            | k -> fail "%s: unknown classifier algorithm tag %d" desc k
+          in
+          let r_mu = R.floats r in
+          let r_sigma = R.floats r in
+          let r_components = R.matrix r in
+          let r_mean = R.floats r in
+          let r_explained = R.floats r in
+          let r_weights = R.floats r in
+          let r_bias = R.f64 r in
+          Some
+            (Namer_ml.Pipeline.of_repr
+               {
+                 Namer_ml.Pipeline.r_algo; r_mu; r_sigma; r_components; r_mean;
+                 r_explained; r_weights; r_bias;
+               })
+        end)
+  in
+  Telemetry.count "model.loads";
+  Log.info (fun m ->
+      m "loaded model %s (%d patterns) from %s" hash (Pattern.Store.size store) path);
+  {
+    m_lang = lang;
+    m_use_analysis = use_analysis;
+    m_max_stmt_paths = max_stmt_paths;
+    m_store = store;
+    m_pairs = pairs;
+    m_classifier = classifier;
+    m_hash = hash;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Partial models: incremental, mergeable training                     *)
+(* ------------------------------------------------------------------ *)
+
+module Partial = struct
+  module P = Namer_model.Partial_model
+
+  type nonrec t = P.t
+
+  let empty = P.empty
+  let is_empty = P.is_empty
+  let n_files = P.n_files
+  let n_stmts = P.n_stmts
+  let n_repos = P.n_repos
+  let merge = P.merge
+  let merge_all = P.merge_all
+  let lang_tag = function Corpus.Python -> "python" | Corpus.Java -> "java"
+
+  let lang_of (p : P.t) =
+    match p.P.pm_lang with
+    | "python" -> Corpus.Python
+    | "java" -> Corpus.Java
+    | tag ->
+        raise
+          (Snapshot.Error (Printf.sprintf "partial model: unknown language tag %S" tag))
+
+  (** The digest-shaping settings baked into [p], applied over [cfg] —
+      merge compatibility requires digesting an added slice with them. *)
+  let align_config (cfg : config) (p : P.t) =
     {
-      m_lang = lang;
-      m_use_analysis = use_analysis;
-      m_max_stmt_paths = max_stmt_paths;
-      m_store = store;
-      m_pairs = pairs;
-      m_classifier = classifier;
-      m_hash = hash;
+      cfg with
+      use_analysis = p.P.pm_use_analysis;
+      miner = { cfg.miner with Miner.max_stmt_paths = p.P.pm_max_stmt_paths };
     }
-  with
-  | R.Corrupt msg -> fail "%s %s is corrupt: %s" desc path msg
-  | Invalid_argument msg -> fail "%s %s holds malformed data: %s" desc path msg
+
+  (* Package one digested slice as a partial: files in corpus order,
+     statements as vocab-index arrays, the vocabulary in first-seen order —
+     the order a sequential digest first interned each distinct whole path,
+     which [finalize] replays to reproduce the id assignment. *)
+  let export ~(cfg : config) ~lang ~(refs : file_ref list) ~stmts ~skipped
+      ~pair_tallies ~n_commits : P.t =
+    let files = Array.of_list (List.map (fun r -> (r.fr_repo, r.fr_path)) refs) in
+    let file_idx = Hashtbl.create (max 16 (Array.length files)) in
+    Array.iteri
+      (fun i (_, path) ->
+        if not (Hashtbl.mem file_idx path) then Hashtbl.add file_idx path i)
+      files;
+    let idx_of_file path =
+      match Hashtbl.find_opt file_idx path with
+      | Some i -> i
+      | None -> invalid_arg ("Partial.export: statement from unknown file " ^ path)
+    in
+    let vocab_idx : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let vocab_rev = ref [] and n_vocab = ref 0 in
+    let idx_of (it : Namepath.Interned.t) =
+      match Hashtbl.find_opt vocab_idx it.Namepath.Interned.pid with
+      | Some i -> i
+      | None ->
+          let i = !n_vocab in
+          Hashtbl.add vocab_idx it.Namepath.Interned.pid i;
+          vocab_rev := Namepath.to_string it.Namepath.Interned.np :: !vocab_rev;
+          incr n_vocab;
+          i
+    in
+    let pstmts =
+      List.map
+        (fun (s : scanned_stmt) ->
+          let ipaths = s.digest.Pattern.Stmt_paths.ipaths in
+          let paths = Array.make (Array.length ipaths) 0 in
+          (* left-to-right walk: vocab indices are assigned first-seen *)
+          Array.iteri (fun i it -> paths.(i) <- idx_of it) ipaths;
+          {
+            P.ps_file = idx_of_file s.sctx.Features.file;
+            ps_line = s.line;
+            ps_tree_hash = s.sctx.Features.tree_hash;
+            ps_paths = paths;
+          })
+        stmts
+    in
+    {
+      P.pm_lang = lang_tag lang;
+      pm_use_analysis = cfg.use_analysis;
+      pm_max_stmt_paths = cfg.miner.Miner.max_stmt_paths;
+      pm_vocab = Array.of_list (List.rev !vocab_rev);
+      pm_files = files;
+      pm_stmts = Array.of_list pstmts;
+      pm_skipped =
+        Array.of_list (List.map (fun k -> (idx_of_file k.sk_file, k.sk_reason)) skipped);
+      pm_pairs = pair_tallies;
+      pm_n_commits = n_commits;
+    }
+
+  (** [of_refs cfg ~lang refs] digests one corpus slice into a partial —
+      the frontend of [build_refs] with the downstream stages deferred to
+      {!finalize}.  Commit histories are tallied unpruned so tallies sum
+      under {!merge}. *)
+  let of_refs ?(commits = []) (cfg : config) ~lang (refs : file_ref list) : P.t =
+    Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+    let shards =
+      Shard.oversubscribe ~jobs:(match pool with Some pl -> Pool.size pl | None -> 1)
+    in
+    Telemetry.with_span "partial:train" @@ fun () ->
+    let stmts, skipped = digest_refs ?pool ~shards ~cfg ~lang refs in
+    let pair_tallies, n_commits =
+      if commits = [] then ([], 0)
+      else
+        ( Confusing_pairs.bindings (mine_commit_tallies ?pool ~shards ~lang ~commits ()),
+          List.length commits )
+    in
+    export ~cfg ~lang ~refs ~stmts ~skipped ~pair_tallies ~n_commits
+
+  let of_corpus (cfg : config) (corpus : Corpus.t) : P.t =
+    of_refs ~commits:corpus.Corpus.commits cfg ~lang:corpus.Corpus.lang
+      (List.map ref_of_file corpus.Corpus.files)
+
+  (* The finalize-time pair table: prune the summed tallies exactly as a
+     direct build prunes its mined ones; a history-less partial falls back
+     to the builtin catalog, like a history-less build. *)
+  let pairs_of (cfg : config) ~lang (p : P.t) =
+    if p.P.pm_n_commits = 0 then builtin_table ~cfg ~lang
+    else begin
+      let t = Confusing_pairs.create () in
+      List.iter (fun (pr, c) -> Confusing_pairs.add_pair ~count:c t pr) p.P.pm_pairs;
+      Confusing_pairs.prune t ~min_count:cfg.pair_min_count
+    end
+
+  (** [finalize cfg p] runs stages 2–6 over the partial's replayed
+      statements, producing the same build a direct [train] of the
+      concatenated slices would: vocabulary replay reproduces the
+      sequential id assignment, statements rebuild in corpus order, and
+      summed pair tallies prune to the mined table.  [oracle] (default
+      empty) grades the labeled sample when the slices came from a
+      generated corpus. *)
+  let finalize ?patterns ?oracle (cfg : config) (p : P.t) =
+    let lang = lang_of p in
+    let cfg = align_config cfg p in
+    if Namepath.Interned.is_frozen () then
+      raise
+        (Snapshot.Error
+           "cannot finalize a partial model: the name-path interner is frozen (a \
+            build is in flight)");
+    Pool.run ~cap_to_cores:cfg.cap_domains ~jobs:cfg.jobs @@ fun pool ->
+    let shards =
+      Shard.oversubscribe ~jobs:(match pool with Some pl -> Pool.size pl | None -> 1)
+    in
+    Telemetry.with_span "build" @@ fun () ->
+    (* Replay the vocabulary in first-seen order: [of_path] interns each
+       path's prefix / whole / end / symbolic texts in the same sequence a
+       sequential digest of the original statements did, so the id
+       assignment — and everything downstream keyed on it — matches. *)
+    let interned =
+      Telemetry.with_span "partial:replay" @@ fun () ->
+      Array.map
+        (fun text ->
+          match Namepath.Interned.of_path (Namepath.of_string text) with
+          | it -> it
+          | exception Invalid_argument msg ->
+              raise
+                (Snapshot.Error
+                   (Printf.sprintf
+                      "partial model: its %S section holds a malformed name path \
+                       %S: %s"
+                      "vocab" text msg)))
+        p.P.pm_vocab
+    in
+    let stmts =
+      Array.to_list
+        (Array.map
+           (fun (s : P.pstmt) ->
+             let repo, file = p.P.pm_files.(s.P.ps_file) in
+             let digest =
+               Pattern.Stmt_paths.of_interned
+                 (Array.to_list (Array.map (fun i -> interned.(i)) s.P.ps_paths))
+             in
+             {
+               sctx =
+                 {
+                   Features.file;
+                   repo;
+                   file_id = -1;
+                   repo_id = -1;
+                   tree_hash = s.P.ps_tree_hash;
+                   n_paths = digest.Pattern.Stmt_paths.n_paths;
+                 };
+               line = s.P.ps_line;
+               digest;
+             })
+           p.P.pm_stmts)
+    in
+    let skipped =
+      Array.to_list
+        (Array.map
+           (fun (i, reason) -> { sk_file = snd p.P.pm_files.(i); sk_reason = reason })
+           p.P.pm_skipped)
+    in
+    let repos = Hashtbl.create 64 in
+    Array.iter (fun (repo, _) -> Hashtbl.replace repos repo ()) p.P.pm_files;
+    let oracle =
+      match oracle with
+      | Some o -> o
+      | None ->
+          fun () ->
+            Corpus.Oracle.of_corpus
+              { Corpus.lang; files = []; injections = []; benigns = []; commits = [] }
+    in
+    train_digested ?patterns ?pool cfg ~lang ~shards ~stmts ~skipped
+      ~n_files:(Array.length p.P.pm_files) ~n_repos:(Hashtbl.length repos)
+      ~mk_pairs:(fun () -> pairs_of cfg ~lang p)
+      ~oracle
+      ~source_of:(fun path ->
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                match really_input_string ic (in_channel_length ic) with
+                | s -> Some s
+                | exception _ -> None))
+
+  let save (p : P.t) ~path =
+    Telemetry.with_span "partial:save" @@ fun () ->
+    let hash = P.save p ~path in
+    Telemetry.count "partial.saves";
+    Log.info (fun m ->
+        m "saved partial %s (%d files, %d stmts) to %s" hash (P.n_files p)
+          (P.n_stmts p) path);
+    hash
+
+  let load ~path =
+    Telemetry.with_span "partial:load" @@ fun () ->
+    let p, hash = P.load ~path in
+    Telemetry.count "partial.loads";
+    Log.info (fun m ->
+        m "loaded partial %s (%d files, %d stmts) from %s" hash (P.n_files p)
+          (P.n_stmts p) path);
+    (p, hash)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Scanning against a model, with an incremental cache                 *)

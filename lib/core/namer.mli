@@ -204,6 +204,84 @@ val save_model : t -> path:string -> model
     version-mismatched files, with a message naming the file and the fix. *)
 val load_model : path:string -> model
 
+(** {1 Partial models — incremental, mergeable training}
+
+    A partial model is the mergeable training state of one corpus slice:
+    its digested statements (as indices into a first-seen-ordered
+    whole-path vocabulary), its file list and its unpruned confusing-pair
+    tallies, persisted as a versioned, checksummed [NAMERPRT] snapshot.
+    The merge algebra (representation and laws:
+    {!Namer_model.Partial_model}) is closed and associative with
+    {!Partial.empty} as identity, and satisfies the contract
+
+    {v train(A + B) ≡ merge(train A, train B) v}
+
+    — finalizing the merge of slice partials yields a model whose scan
+    reports are byte-identical to those of a model trained on the
+    concatenated corpus, for every split, permutation and
+    parenthesization (DESIGN.md §13; property-tested in
+    [test/test_partial_model.ml]). *)
+module Partial : sig
+  type build := t
+
+  type t = Namer_model.Partial_model.t
+  (** The fields ([pm_files], [pm_pairs], …) are public — see
+      {!Namer_model.Partial_model}. *)
+
+  val empty : t
+  (** Identity element of {!merge}. *)
+
+  val is_empty : t -> bool
+  val n_files : t -> int
+  val n_stmts : t -> int
+  val n_repos : t -> int
+
+  val lang_tag : Corpus.lang -> string
+  (** ["python" | "java"] — the tag stored in [pm_lang]. *)
+
+  val lang_of : t -> Corpus.lang
+  (** @raise Namer_model.Snapshot.Error on an unknown tag. *)
+
+  val align_config : config -> t -> config
+  (** Overlay the digest-shaping settings baked into the partial
+      ([use_analysis], [max_stmt_paths]) onto [cfg] — digest an added
+      slice with the aligned config or {!merge} will reject it. *)
+
+  val of_refs : ?commits:(string * string) list -> config -> lang:Corpus.lang ->
+    file_ref list -> t
+  (** Digest one corpus slice into a partial: the streaming frontend of
+      {!build_refs} with every downstream stage deferred to {!finalize}.
+      [commits] are tallied into unpruned pair counts that sum under
+      {!merge}. *)
+
+  val of_corpus : config -> Corpus.t -> t
+  (** [of_refs] over an in-memory corpus, commits included. *)
+
+  val merge : t -> t -> t
+  (** Combine two partials covering disjoint slices into the partial of
+      their concatenation.  @raise Namer_model.Partial_model.Merge_error
+      on incompatible config/language or overlapping files. *)
+
+  val merge_all : t list -> t
+  (** Left fold of {!merge}; {!empty} for [[]]. *)
+
+  val finalize :
+    ?patterns:Pattern.Store.t ->
+    ?oracle:(unit -> Corpus.Oracle.t) -> config -> t -> build
+  (** Run mining, scanning and supervision over the partial's replayed
+      statements — the build a direct train of the concatenated slices
+      would produce.  [oracle] (default empty, as for directory training)
+      grades the labeled sample when the slices came from a generated
+      corpus. *)
+
+  val save : t -> path:string -> string
+  (** Atomic write; returns the partial's checksum identity. *)
+
+  val load : path:string -> t * string
+  (** @raise Namer_model.Snapshot.Error on unreadable or malformed files,
+      naming the failing section. *)
+end
+
 (** One scan report, rendered down to strings — the cacheable shape. *)
 type report = {
   r_file : string;

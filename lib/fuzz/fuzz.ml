@@ -175,7 +175,10 @@ let run ?(progress = fun _ -> ()) cfg =
            cfg.f_iters (List.length !crashes) !skipped)
   done;
   progress "running metamorphic oracles";
-  let oracles = Oracles.run_all ~rng ~t ~model:m ~files:corpus.Corpus.files in
+  let oracles =
+    Oracles.run_all ~rng ~t ~model:m ~files:corpus.Corpus.files
+      ~commits:corpus.Corpus.commits
+  in
   {
     s_iters = cfg.f_iters;
     s_mutants = !mutants;

@@ -282,11 +282,70 @@ let model_agreement (t : Namer.t) (m : Namer.model) files =
       o_detail = Printf.sprintf "build %d vs scan %d reports; first diff %s"
           (List.length from_build) (List.length from_scan) first }
 
-let run_all ~rng ~t ~model ~files =
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: random corpus split → merged partials                     *)
+(* ------------------------------------------------------------------ *)
+
+let merge_split ~rng (t : Namer.t) (m : Namer.model) files ~commits =
+  let name = "merge-split" in
+  let k = 2 + Prng.int rng 3 in
+  (* deal every file and commit into one of [k] slices, train each slice
+     into a partial, merge in a shuffled order, finalize — the resulting
+     model must scan the corpus byte-identically to [m] *)
+  let fslices = Array.make k [] and cslices = Array.make k [] in
+  List.iter
+    (fun f ->
+      let i = Prng.int rng k in
+      fslices.(i) <- f :: fslices.(i))
+    (List.rev files);
+  List.iter
+    (fun c ->
+      let i = Prng.int rng k in
+      cslices.(i) <- c :: cslices.(i))
+    (List.rev commits);
+  match
+    let parts = Array.make k Namer.Partial.empty in
+    for i = 0 to k - 1 do
+      parts.(i) <-
+        Namer.Partial.of_corpus t.Namer.cfg
+          {
+            Corpus.lang = t.Namer.lang;
+            files = fslices.(i);
+            injections = [];
+            benigns = [];
+            commits = cslices.(i);
+          }
+    done;
+    Prng.shuffle rng parts;
+    Namer.Partial.finalize t.Namer.cfg
+      (Namer.Partial.merge_all (Array.to_list parts))
+  with
+  | exception e ->
+      { o_name = name; o_pass = false;
+        o_detail = Printf.sprintf "split/merge raised %s" (Printexc.to_string e) }
+  | t2 ->
+      let base = render (Namer.scan_with_model ~jobs:1 m files) in
+      let merged =
+        render (Namer.scan_with_model ~jobs:1 (Namer.model_of t2) files)
+      in
+      if String.equal base merged then
+        { o_name = name; o_pass = true;
+          o_detail =
+            Printf.sprintf "%d files in %d shuffled slices: reports byte-identical"
+              (List.length files) k }
+      else
+        { o_name = name; o_pass = false;
+          o_detail =
+            Printf.sprintf "merged-partial scan diverged (%d vs %d bytes)"
+              (String.length base) (String.length merged) }
+
+let run_all ~rng ~t ~model ~files ~commits =
   let r1 = Prng.split rng and r2 = Prng.split rng and r3 = Prng.split rng in
+  let r4 = Prng.split rng in
   [
     fix_reinject ~rng:r1 model files;
     alpha_rename ~rng:r2 model files;
     permutation ~rng:r3 model files;
     model_agreement t model files;
+    merge_split ~rng:r4 t model files ~commits;
   ]

@@ -23,7 +23,13 @@
     {- {b model agreement} — a build's own violation set equals
        {!Namer_core.Namer.scan_with_model} of the same files against
        {!Namer_core.Namer.model_of} of that build.  The train-once /
-       scan-many split must not change what is reported.}} *)
+       scan-many split must not change what is reported.}
+    {- {b merge split} — dealing the corpus into random slices, training
+       each into a partial model, merging the partials in a shuffled
+       order and finalizing must scan the corpus byte-identically to the
+       direct build.  The merge-algebra contract
+       [train(A+B) ≡ merge(train A, train B)], checked from the
+       outside.}} *)
 
 module Namer = Namer_core.Namer
 module Corpus = Namer_corpus.Corpus
@@ -45,12 +51,21 @@ val permutation :
 
 val model_agreement : Namer.t -> Namer.model -> Corpus.file list -> result
 
-(** All four, each on an independent child of [rng] (so adding an oracle
+val merge_split :
+  rng:Namer_util.Prng.t ->
+  Namer.t -> Namer.model -> Corpus.file list ->
+  commits:(string * string) list -> result
+
+(** All five, each on an independent child of [rng] (so adding an oracle
     never perturbs the others' draws).  [t] must be the build [model] came
-    from, and [files] its corpus. *)
+    from, [files] its corpus and [commits] that corpus's commit history.
+    The build must be classifier-free (the fuzzer's models are): the
+    merge-split oracle compares reports across statement orderings, and
+    the labeled-sample draw is order-sensitive by design. *)
 val run_all :
   rng:Namer_util.Prng.t ->
   t:Namer.t ->
   model:Namer.model ->
   files:Corpus.file list ->
+  commits:(string * string) list ->
   result list

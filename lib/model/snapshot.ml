@@ -99,3 +99,13 @@ let section ~desc sections name =
   match List.assoc_opt name sections with
   | Some payload -> payload
   | None -> errf "%s is missing its %S section — regenerate it" desc name
+
+(* Section-scoped decoding: a reader failure inside a section names that
+   section, not just a byte offset — "its \"patterns\" section is corrupt"
+   points at the damage; a bare offset into the container does not. *)
+let read_section ~desc sections name f =
+  let r = Binio.R.of_string (section ~desc sections name) in
+  try f r with
+  | Binio.R.Corrupt msg -> errf "%s: its %S section is corrupt: %s" desc name msg
+  | Invalid_argument msg ->
+      errf "%s: its %S section holds malformed data: %s" desc name msg

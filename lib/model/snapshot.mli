@@ -40,3 +40,10 @@ val read_file : desc:string -> path:string -> string
 
 val section : desc:string -> (string * string) list -> string -> string
 (** Look up a section by name.  @raise Error when absent. *)
+
+val read_section :
+  desc:string -> (string * string) list -> string -> (Binio.R.t -> 'a) -> 'a
+(** [read_section ~desc sections name f] runs decoder [f] over the named
+    section's payload.  A reader failure ([Binio.R.Corrupt]) or a semantic
+    one ([Invalid_argument]) becomes an {!Error} that names the failing
+    section — not just a byte offset.  @raise Error also when absent. *)

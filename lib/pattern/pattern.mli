@@ -55,6 +55,11 @@ module Stmt_paths : sig
       domains intern into shard-local tables and {!remap} later. *)
   val of_paths : ?table:Namepath.Interned.table -> Namepath.t list -> t
 
+  (** Assemble a digest from already-interned paths — the partial-model
+      replay path, where the vocabulary was interned once up front.
+      [of_paths ps = of_interned (Interned.of_paths ps)]. *)
+  val of_interned : Namepath.Interned.t list -> t
+
   val of_tree : ?table:Namepath.Interned.table -> ?limit:int -> Namer_tree.Tree.t -> t
   val paths : t -> Namepath.t list
 

@@ -32,8 +32,16 @@
    the frontend is retaining sources, not just digests.  The multicore
    scaling gate also tightens from 2x to 2.5x on schema-6 runs.
 
+   Schema-7 runs additionally gate incremental training: the model
+   finalized from merged half-corpus partials must scan the corpus
+   byte-identically to the directly-trained one (the merge-algebra
+   contract train(A+B) ≡ merge(train A, train B) at bench scale), and
+   folding one new repo into an existing partial must be at least 5x
+   faster than retraining from scratch — incrementality has to pay for
+   its format.
+
    Accepts every baseline schema: the original flat stage map (schema 1)
-   and the {schema: 2|..|6, stages, stages_parallel, ...} envelopes, so
+   and the {schema: 2|..|7, stages, stages_parallel, ...} envelopes, so
    the gate keeps working across baseline refreshes.
 
    Usage: check_bench FRESH.json BASELINE.json *)
@@ -277,6 +285,34 @@ let () =
     | Some peak, Some _ ->
         Printf.printf "scale: %d sources in flight at peak\n" (int_of_float peak)
     | _ -> fail "%s: scale object lacks in_flight_sources_peak/jobs" fresh_path
+  end;
+  (* schema >= 7: incremental-training gates *)
+  if fresh_schema >= 7 then begin
+    let merge =
+      match assoc "merge" fresh with
+      | Some m -> m
+      | None -> fail "%s: schema %d but no merge object" fresh_path fresh_schema
+    in
+    (match assoc "reports_identical" merge with
+    | Some (J.Bool true) -> ()
+    | _ ->
+        fail
+          "%s: the model finalized from merged partials reports differently from \
+           the direct build — the merge algebra is broken"
+          fresh_path);
+    match
+      (number (assoc "update_speedup" merge), number (assoc "update_ms" merge))
+    with
+    | Some ratio, Some update_ms ->
+        Printf.printf
+          "merge: update folded new files in %.0f ms, %.1fx faster than retrain\n"
+          update_ms ratio;
+        if ratio < 5.0 then
+          fail
+            "%s: incremental update only %.1fx faster than a full retrain (gate: >= \
+             5x) — folding one repo into a partial must beat re-digesting the corpus"
+            fresh_path ratio
+    | _ -> fail "%s: merge object lacks update_speedup/update_ms" fresh_path
   end;
   (* build allocation: a schema>=2 baseline pins it; a 1.5x growth fails *)
   (match

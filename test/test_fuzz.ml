@@ -161,7 +161,8 @@ let test_oracles_pass () =
   List.iter
     (fun (o : Oracles.result) ->
       check_bool (o.Oracles.o_name ^ ": " ^ o.Oracles.o_detail) true o.Oracles.o_pass)
-    (Oracles.run_all ~rng ~t ~model:m ~files:corpus.Corpus.files)
+    (Oracles.run_all ~rng ~t ~model:m ~files:corpus.Corpus.files
+       ~commits:corpus.Corpus.commits)
 
 (* The golden differential behind oracle 4, pinned at both ends of the
    parallelism range: self-mining build, jobs-1 model scan and jobs-4

@@ -25,6 +25,7 @@ let () =
       ("core", Test_core.suite);
       ("streaming", Test_streaming.suite);
       ("model", Test_model.suite);
+      ("partial_model", Test_partial_model.suite);
       ("fixer", Test_fixer.suite);
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);

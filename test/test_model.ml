@@ -154,6 +154,65 @@ let test_rejects_missing_file () =
     (fun () -> Namer.load_model ~path:"/nonexistent/model.nmdl")
     "cannot read"
 
+(* Rewrite one section of a valid snapshot and re-encode the container
+   (magic/version/checksum all pass): the error must name the damaged
+   section, not just a byte offset into the file. *)
+let with_replaced_section name payload =
+  let t = namer () in
+  let path = model_path () in
+  ignore (Namer.save_model t ~path);
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let sections, _ =
+    Snapshot.decode ~magic:"NAMERMDL" ~desc:"model snapshot" ~version:1 bytes
+  in
+  let sections =
+    List.map (fun (n, pl) -> if n = name then (n, payload) else (n, pl)) sections
+  in
+  let bytes, _ = Snapshot.encode ~magic:"NAMERMDL" ~version:1 sections in
+  Snapshot.write ~path bytes;
+  path
+
+let test_error_names_corrupt_section () =
+  (* one pattern record announced, payload truncated mid-record *)
+  let truncated =
+    let w = Namer_model.Binio.W.create () in
+    Namer_model.Binio.W.u32 w 1;
+    Namer_model.Binio.W.u8 w 0;
+    Namer_model.Binio.W.contents w
+  in
+  let path = with_replaced_section "patterns" truncated in
+  expect_error "truncated patterns payload"
+    (fun () -> Namer.load_model ~path)
+    "\"patterns\" section is corrupt";
+  Sys.remove path;
+  let path = with_replaced_section "pairs" "\x02\x00\x00\x00" in
+  expect_error "truncated pairs payload"
+    (fun () -> Namer.load_model ~path)
+    "\"pairs\" section is corrupt";
+  Sys.remove path
+
+let test_rejects_missing_section () =
+  let t = namer () in
+  let path = model_path () in
+  ignore (Namer.save_model t ~path);
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let sections, _ =
+    Snapshot.decode ~magic:"NAMERMDL" ~desc:"model snapshot" ~version:1 bytes
+  in
+  let bytes, _ =
+    Snapshot.encode ~magic:"NAMERMDL" ~version:1
+      (List.filter (fun (n, _) -> n <> "classifier") sections)
+  in
+  Snapshot.write ~path bytes;
+  expect_error "dropped classifier section"
+    (fun () -> Namer.load_model ~path)
+    "missing its \"classifier\" section";
+  Sys.remove path
+
 (* -------- scan cache -------- *)
 
 let scan_stage_count name =
@@ -296,6 +355,10 @@ let suite =
     Alcotest.test_case "rejects wrong magic" `Quick test_rejects_bad_magic;
     Alcotest.test_case "rejects version mismatch" `Quick test_rejects_version_mismatch;
     Alcotest.test_case "rejects missing file" `Quick test_rejects_missing_file;
+    Alcotest.test_case "errors name the corrupt section" `Quick
+      test_error_names_corrupt_section;
+    Alcotest.test_case "rejects a missing section" `Quick
+      test_rejects_missing_section;
     Alcotest.test_case "cache: warm replay hits everything" `Quick
       test_cache_warm_replay;
     Alcotest.test_case "cache: editing one file re-parses one file" `Quick

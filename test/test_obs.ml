@@ -394,6 +394,44 @@ let test_trend_rows_and_table () =
     in
     has 0)
 
+(* A [train --merge] run lands in the ledger as cmd:"merge" with its own
+   fields (partials_in, partial hashes).  The trend table must render it
+   like any other subcommand, and the extra fields must not confuse the
+   row parser or the regression gate. *)
+let test_trend_merge_row () =
+  let merge_record ~ts ~wall =
+    match trend_record ~ts ~cmd:"merge" ~wall ~hits:0 ~misses:0 with
+    | J.Obj fields ->
+        J.Obj
+          (fields
+          @ [
+              ("partials_in", J.Int 2);
+              ("partials", J.List [ J.String "aaaa"; J.String "bbbb" ]);
+              ("model_hash", J.String "cccc");
+            ])
+    | _ -> assert false
+  in
+  let records =
+    [
+      merge_record ~ts:1.0 ~wall:100.0;
+      merge_record ~ts:2.0 ~wall:104.0;
+      trend_record ~ts:3.0 ~cmd:"scan" ~wall:50.0 ~hits:9 ~misses:1;
+    ]
+  in
+  let rows = Trend.rows_of_records records in
+  Alcotest.(check int) "merge rows parse alongside scan rows" 3 (List.length rows);
+  let table = Trend.table rows in
+  let has needle =
+    let n = String.length needle and m = String.length table in
+    let rec go i = i + n <= m && (String.sub table i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table renders the merge command" true (has "merge");
+  match Trend.check rows with
+  | Ok () -> ()
+  | Error msgs ->
+      Alcotest.fail ("steady merge history flagged: " ^ String.concat "; " msgs)
+
 let test_trend_check_gate () =
   let steady =
     [
@@ -434,5 +472,6 @@ let suite =
     Alcotest.test_case "events child context" `Quick test_events_child_ctx;
     Alcotest.test_case "pool span propagation" `Quick test_pool_span_propagation;
     Alcotest.test_case "trend rows and table" `Quick test_trend_rows_and_table;
+    Alcotest.test_case "trend renders merge rows" `Quick test_trend_merge_row;
     Alcotest.test_case "trend check gate" `Quick test_trend_check_gate;
   ]
